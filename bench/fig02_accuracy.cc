@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Figure 2: IPC (left) and prefetch accuracy (right) of the four
+ * traditional stream-prefetcher configurations. Accuracy below 40%
+ * (A_low) marks the benchmarks where prefetching always hurts.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workload/spec_suite.hh"
+
+using namespace fdp;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t insts = instructionBudget(argc, argv, 8'000'000);
+    const auto &benches = memoryIntensiveBenchmarks();
+
+    const std::vector<std::pair<std::string, RunConfig>> configs = {
+        {"Very Conservative", RunConfig::staticLevelConfig(1)},
+        {"Middle-of-the-Road", RunConfig::staticLevelConfig(3)},
+        {"Very Aggressive", RunConfig::staticLevelConfig(5)},
+    };
+
+    std::vector<std::string> names;
+    std::vector<std::vector<RunResult>> results;
+    for (const auto &[label, base] : configs) {
+        RunConfig c = base;
+        c.numInsts = insts;
+        names.push_back(label);
+        results.push_back(runSuite(benches, c, label));
+    }
+
+    buildMetricTable("Figure 2 (left): IPC per configuration", benches,
+                     names, results, metricIpc, 3, MeanKind::Geometric)
+        .print();
+    buildMetricTable("Figure 2 (right): prefetch accuracy", benches, names,
+                     results, metricAccuracy, 3, MeanKind::Arithmetic)
+        .print();
+
+    std::printf("\nBenchmarks with Very Aggressive accuracy below A_low "
+                "(0.40), where the paper finds prefetching always "
+                "degrades performance:\n ");
+    for (std::size_t b = 0; b < benches.size(); ++b)
+        if (results[2][b].accuracy < 0.40)
+            std::printf(" %s", benches[b].c_str());
+    std::printf("\n");
+    return 0;
+}

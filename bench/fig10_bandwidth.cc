@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper Figure 10: memory bandwidth impact of FDP, in Memory Bus
+ * Accesses Per Kilo Instructions (BPKI). FDP must consume less
+ * bandwidth than Very Aggressive while performing better.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workload/spec_suite.hh"
+
+using namespace fdp;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t insts = instructionBudget(argc, argv, 8'000'000);
+    const auto &benches = memoryIntensiveBenchmarks();
+
+    const std::vector<std::pair<std::string, RunConfig>> configs = {
+        {"No Prefetching", RunConfig::noPrefetching()},
+        {"Very Conservative", RunConfig::staticLevelConfig(1)},
+        {"Middle-of-the-Road", RunConfig::staticLevelConfig(3)},
+        {"Very Aggressive", RunConfig::staticLevelConfig(5)},
+        {"FDP", RunConfig::fullFdp()},
+    };
+
+    std::vector<std::string> names;
+    std::vector<std::vector<RunResult>> results;
+    for (const auto &[label, base] : configs) {
+        RunConfig c = base;
+        c.numInsts = insts;
+        names.push_back(label);
+        results.push_back(runSuite(benches, c, label));
+    }
+
+    buildMetricTable("Figure 10: memory bus accesses per kilo "
+                     "instructions (BPKI)",
+                     benches, names, results, metricBpki, 2,
+                     MeanKind::Arithmetic)
+        .print();
+
+    std::printf(
+        "\nFDP vs Very Aggressive: %s bandwidth (paper: -18.7%%), "
+        "%s IPC (paper: +6.5%%)\n",
+        fmtPercent(meanDelta(results[3], results[4], metricBpki,
+                             MeanKind::Arithmetic))
+            .c_str(),
+        fmtPercent(meanDelta(results[3], results[4], metricIpc,
+                             MeanKind::Geometric))
+            .c_str());
+    return 0;
+}

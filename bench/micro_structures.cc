@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the core simulator data
+ * structures: these are the per-access costs that dominate simulation
+ * wall-clock time, kept here so regressions are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fdp_controller.hh"
+#include "core/pollution_filter.hh"
+#include "mem/cache.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "sim/rng.hh"
+#include "workload/generators.hh"
+#include "workload/spec_suite.hh"
+
+namespace
+{
+
+using namespace fdp;
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    SetAssocCache cache(CacheParams{"L2", 1024 * 1024, 16});
+    for (BlockAddr b = 0; b < cache.numBlocks(); ++b)
+        cache.insert(b, false, InsertPos::Mru, false);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(rng.range(cache.numBlocks()), false).hit);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    SetAssocCache cache(CacheParams{"L2", 1024 * 1024, 16});
+    Rng rng(2);
+    BlockAddr next = 0;
+    for (auto _ : state) {
+        const BlockAddr b = next++;
+        if (!cache.probe(b))
+            benchmark::DoNotOptimize(
+                cache.insert(b, false, InsertPos::Mru, false).valid);
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_PollutionFilter(benchmark::State &state)
+{
+    PollutionFilter filter;
+    Rng rng(3);
+    for (auto _ : state) {
+        const BlockAddr b = rng.next() & 0xFFFFFF;
+        filter.onDemandBlockEvictedByPrefetch(b);
+        benchmark::DoNotOptimize(filter.demandMissCausedByPrefetcher(b));
+    }
+}
+BENCHMARK(BM_PollutionFilter);
+
+void
+BM_StreamPrefetcherObserve(benchmark::State &state)
+{
+    StreamPrefetcher pf;
+    pf.setAggressiveness(static_cast<unsigned>(state.range(0)));
+    std::vector<BlockAddr> out;
+    BlockAddr block = 1 << 20;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe({blockBase(block), block, 0x10, true}, out);
+        benchmark::DoNotOptimize(out.size());
+        ++block;
+    }
+}
+BENCHMARK(BM_StreamPrefetcherObserve)->Arg(1)->Arg(5);
+
+void
+BM_GhbPrefetcherObserve(benchmark::State &state)
+{
+    GhbPrefetcher pf;
+    pf.setAggressiveness(3);
+    std::vector<BlockAddr> out;
+    BlockAddr block = 1 << 20;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe({blockBase(block), block, 0x10, true}, out);
+        benchmark::DoNotOptimize(out.size());
+        block += 2;
+    }
+}
+BENCHMARK(BM_GhbPrefetcherObserve);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    SyntheticWorkload wl(benchmarkParams("parser"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wl.next().addr);
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_FdpControllerDemandMiss(benchmark::State &state)
+{
+    StatGroup stats("fdp");
+    FdpParams params;
+    FdpController fdp(params, nullptr, stats);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fdp.onDemandMiss(rng.next() & 0xFFFFFF));
+}
+BENCHMARK(BM_FdpControllerDemandMiss);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Section 5.6: throttling on prefetch accuracy alone vs. the
+ * comprehensive mechanism (accuracy + lateness + pollution). The full
+ * mechanism should win on both performance and bandwidth.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workload/spec_suite.hh"
+
+using namespace fdp;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t insts = instructionBudget(argc, argv, 8'000'000);
+    const auto &benches = memoryIntensiveBenchmarks();
+
+    const std::vector<std::pair<std::string, RunConfig>> configs = {
+        {"Accuracy-only", RunConfig::accuracyOnlyFdp()},
+        {"Full FDP", RunConfig::fullFdp()},
+    };
+
+    std::vector<std::string> names;
+    std::vector<std::vector<RunResult>> results;
+    for (const auto &[label, base] : configs) {
+        RunConfig c = base;
+        c.numInsts = insts;
+        names.push_back(label);
+        results.push_back(runSuite(benches, c, label));
+    }
+
+    buildMetricTable("Section 5.6: accuracy-only throttling vs full FDP "
+                     "(IPC)",
+                     benches, names, results, metricIpc, 3,
+                     MeanKind::Geometric)
+        .print();
+    buildMetricTable("Section 5.6: accuracy-only throttling vs full FDP "
+                     "(BPKI)",
+                     benches, names, results, metricBpki, 2,
+                     MeanKind::Arithmetic)
+        .print();
+
+    std::printf(
+        "\nFull FDP vs accuracy-only: %s IPC (paper: +3.4%%), "
+        "%s bandwidth (paper: -2.5%%)\n",
+        fmtPercent(meanDelta(results[0], results[1], metricIpc,
+                             MeanKind::Geometric))
+            .c_str(),
+        fmtPercent(meanDelta(results[0], results[1], metricBpki,
+                             MeanKind::Arithmetic))
+            .c_str());
+    return 0;
+}

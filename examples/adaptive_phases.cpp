@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Phase adaptation demo: a workload that alternates between a streaming
+ * phase (prefetching is a big win) and a cache-resident polluting phase
+ * (aggressive prefetching hurts). FDP's Dynamic Configuration Counter
+ * is sampled as the run progresses so you can watch it throttle up and
+ * down with the phases - the run-time behavior Section 3.2 of the paper
+ * designs the sampling intervals for.
+ *
+ * Build & run:  ./build/examples/adaptive_phases
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/fdp_controller.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/memory_system.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "workload/generators.hh"
+
+int
+main()
+{
+    using namespace fdp;
+
+    // Phase A: long streams, high accuracy.
+    SyntheticParams streaming;
+    streaming.name = "streaming-phase";
+    streaming.pStream = 0.08;
+    streaming.numStreams = 4;
+    streaming.streamLenBlocks = 8192;
+    streaming.seed = 11;
+
+    // Phase B: a near-L2-sized sweep set plus short false streams.
+    SyntheticParams polluting;
+    polluting.name = "polluting-phase";
+    polluting.pStream = 0.06;
+    polluting.numStreams = 8;
+    polluting.streamLenBlocks = 6;
+    polluting.pHot = 0.48;
+    polluting.hotBlocks = 15360;
+    polluting.hotPattern = SyntheticParams::HotPattern::Sweep;
+    polluting.seed = 12;
+
+    const std::uint64_t phase_ops = 4'000'000;
+    PhasedWorkload workload(
+        std::make_unique<SyntheticWorkload>(streaming),
+        std::make_unique<SyntheticWorkload>(polluting), phase_ops,
+        "phased");
+
+    EventQueue events;
+    StatGroup fdp_stats("fdp"), mem_stats("mem"), core_stats("core");
+    StreamPrefetcher prefetcher;
+    FdpParams fdp_params;
+    fdp_params.intervalEvictions = 1024;  // quick adaptation for the demo
+    FdpController fdp(fdp_params, &prefetcher, fdp_stats);
+    MachineParams machine;
+    MemorySystem memory(machine, events, &prefetcher, fdp, mem_stats);
+    CoreParams core_params;
+    OooCore core(core_params, memory, events, workload, core_stats);
+
+    std::printf("%10s %18s %6s %6s %8s %8s %10s\n", "micro-ops", "phase",
+                "level", "insert", "accuracy", "pollut.", "IPC-so-far");
+    const std::uint64_t step = 500'000;
+    for (int chunk = 1; chunk <= 24; ++chunk) {
+        core.run(step);  // resumable: each call retires `step` more ops
+        std::printf("%10llu %18s %6u %6s %8.2f %8.2f %10.3f\n",
+                    static_cast<unsigned long long>(core.retired()),
+                    workload.currentPhase() == 0 ? "streaming"
+                                                 : "polluting",
+                    fdp.level(), insertPosName(fdp.insertPos()),
+                    fdp.counters().accuracy(),
+                    fdp.counters().pollution(), core.ipc());
+    }
+
+    std::printf("\nExpected: the level climbs toward 5 (Very Aggressive) "
+                "in streaming phases and collapses toward 1 (Very "
+                "Conservative), with LRU-ward insertion, in polluting "
+                "phases.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Prefetcher zoo: run the same workloads under the three prefetcher
+ * families FDP supports (stream, GHB C/DC delta correlation, PC-based
+ * stride), each with and without feedback, and compare accuracy and
+ * bandwidth - Section 5.7/5.8 of the paper in miniature.
+ *
+ * Build & run:  ./build/examples/prefetcher_zoo
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "sim/table.hh"
+#include "workload/spec_suite.hh"
+
+int
+main()
+{
+    using namespace fdp;
+
+    const std::vector<std::string> benches = {"swim", "mgrid", "art",
+                                              "parser"};
+    const std::uint64_t insts = 4'000'000;
+
+    const std::vector<std::pair<std::string, PrefetcherKind>> kinds = {
+        {"stream", PrefetcherKind::Stream},
+        {"ghb-cdc", PrefetcherKind::GhbCdc},
+        {"pc-stride", PrefetcherKind::Stride},
+    };
+
+    for (const auto &bench : benches) {
+        Table t("prefetcher zoo: " + bench);
+        t.setHeader({"prefetcher", "policy", "IPC", "accuracy", "lateness",
+                     "BPKI", "pref sent"});
+        RunConfig none = RunConfig::noPrefetching();
+        none.numInsts = insts;
+        const auto rnone = runBenchmark(bench, none, "none");
+        t.addRow({"(none)", "-", fmtDouble(rnone.ipc, 3), "-", "-",
+                  fmtDouble(rnone.bpki, 2), "0"});
+
+        for (const auto &[kname, kind] : kinds) {
+            for (const bool feedback : {false, true}) {
+                RunConfig c = feedback ? RunConfig::fullFdp()
+                                       : RunConfig::staticLevelConfig(5);
+                c.prefetcher = kind;
+                c.numInsts = insts;
+                const auto r = runBenchmark(bench, c,
+                                            feedback ? "fdp" : "va");
+                t.addRow({kname, feedback ? "FDP" : "Very Aggr.",
+                          fmtDouble(r.ipc, 3), fmtDouble(r.accuracy, 2),
+                          fmtDouble(r.lateness, 2), fmtDouble(r.bpki, 2),
+                          std::to_string(r.prefSent)});
+            }
+        }
+        t.print();
+    }
+
+    std::printf("\nExpected: the stream prefetcher dominates on regular "
+                "streams, GHB C/DC follows repeating delta patterns, the "
+                "PC-stride prefetcher needs stable per-instruction "
+                "strides; FDP keeps each family's wins while cutting its "
+                "bandwidth on hostile workloads (art).\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "core/feedback_counters.hh"
+
+#include "sim/stats.hh"
+
+namespace fdp
+{
+
+void
+FeedbackCounters::endInterval()
+{
+    prefTotal_.endInterval();
+    usedTotal_.endInterval();
+    lateTotal_.endInterval();
+    demandTotal_.endInterval();
+    pollutionTotal_.endInterval();
+}
+
+double
+FeedbackCounters::accuracy() const
+{
+    return ratio(usedTotal_.value(), prefTotal_.value());
+}
+
+double
+FeedbackCounters::lateness() const
+{
+    return ratio(lateTotal_.value(), usedTotal_.value());
+}
+
+double
+FeedbackCounters::pollution() const
+{
+    return ratio(pollutionTotal_.value(), demandTotal_.value());
+}
+
+void
+FeedbackCounters::reset()
+{
+    prefTotal_.reset();
+    usedTotal_.reset();
+    lateTotal_.reset();
+    demandTotal_.reset();
+    pollutionTotal_.reset();
+}
+
+} // namespace fdp

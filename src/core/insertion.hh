@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LRU-stack insertion positions for prefetched blocks (paper Section
+ * 3.3.2). The cache's recency stack is indexed with 0 = LRU and
+ * (assoc - 1) = MRU.
+ */
+
+#ifndef FDP_CORE_INSERTION_HH
+#define FDP_CORE_INSERTION_HH
+
+#include <cstdint>
+
+namespace fdp
+{
+
+/** Where in the set's LRU stack a filled block is inserted. */
+enum class InsertPos : std::uint8_t
+{
+    Lru = 0,   // least-recently-used position
+    Lru4 = 1,  // floor(n/4)-th least-recently-used position
+    Mid = 2,   // floor(n/2)-th least-recently-used position
+    Mru = 3,   // most-recently-used position
+};
+
+/** Number of distinct insertion positions (for distributions). */
+inline constexpr std::size_t kNumInsertPos = 4;
+
+/** Map an insertion position to a recency-stack index for @p assoc ways. */
+constexpr unsigned
+insertStackIndex(InsertPos pos, unsigned assoc)
+{
+    switch (pos) {
+      case InsertPos::Lru:
+        return 0;
+      case InsertPos::Lru4:
+        return assoc / 4;
+      case InsertPos::Mid:
+        return assoc / 2;
+      case InsertPos::Mru:
+      default:
+        return assoc - 1;
+    }
+}
+
+/** Human-readable name of an insertion position. */
+constexpr const char *
+insertPosName(InsertPos pos)
+{
+    switch (pos) {
+      case InsertPos::Lru: return "LRU";
+      case InsertPos::Lru4: return "LRU-4";
+      case InsertPos::Mid: return "MID";
+      case InsertPos::Mru: return "MRU";
+      default: return "?";
+    }
+}
+
+} // namespace fdp
+
+#endif // FDP_CORE_INSERTION_HH

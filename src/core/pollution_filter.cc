@@ -1,0 +1,59 @@
+#include "core/pollution_filter.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+PollutionFilter::PollutionFilter(std::size_t bits)
+    : bits_(bits, false), mask_(bits - 1)
+{
+    if (bits == 0 || (bits & (bits - 1)) != 0)
+        fatal("pollution filter size must be a power of two, got %zu", bits);
+    shift_ = 0;
+    while ((std::size_t{1} << shift_) < bits)
+        ++shift_;
+}
+
+std::size_t
+PollutionFilter::indexOf(BlockAddr block) const
+{
+    // Figure 4: CacheBlockAddress[11:0] XOR CacheBlockAddress[23:12],
+    // generalized to the configured filter width.
+    return static_cast<std::size_t>((block ^ (block >> shift_)) & mask_);
+}
+
+void
+PollutionFilter::onDemandBlockEvictedByPrefetch(BlockAddr block)
+{
+    bits_[indexOf(block)] = true;
+}
+
+void
+PollutionFilter::onPrefetchFill(BlockAddr block)
+{
+    bits_[indexOf(block)] = false;
+}
+
+bool
+PollutionFilter::demandMissCausedByPrefetcher(BlockAddr block) const
+{
+    return bits_[indexOf(block)];
+}
+
+std::size_t
+PollutionFilter::popcount() const
+{
+    return static_cast<std::size_t>(
+        std::count(bits_.begin(), bits_.end(), true));
+}
+
+void
+PollutionFilter::clear()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+}
+
+} // namespace fdp

@@ -1,0 +1,166 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+constexpr std::uint64_t kNoPos = ~std::uint64_t{0};
+} // namespace
+
+OooCore::OooCore(const CoreParams &params, MemorySystem &mem,
+                 EventQueue &events, Workload &workload, StatGroup &stats)
+    : params_(params), mem_(mem), events_(events), workload_(workload),
+      rob_(params.robSize),
+      cycles_(stats, "cycles", "simulated cycles"),
+      retired_(stats, "retired", "retired micro-ops"),
+      loads_(stats, "loads", "retired loads"),
+      stores_(stats, "stores", "retired stores"),
+      robFullCycles_(stats, "rob_full_cycles",
+                     "cycles dispatch stalled on a full ROB")
+{
+    if (params_.robSize == 0 || params_.width == 0)
+        fatal("core needs nonzero ROB size and width");
+    lastLoadPos_ = kNoPos;
+}
+
+void
+OooCore::issueLoad(unsigned slot, Cycle now)
+{
+    RobEntry &e = rob_[slot];
+    e.issued = true;
+    const std::uint64_t seq = e.seq;
+    mem_.demandAccess(e.addr, e.pc, false, now,
+                      [this, slot, seq](Cycle c) {
+                          loadComplete(slot, seq, c);
+                      });
+}
+
+void
+OooCore::loadComplete(unsigned slot, std::uint64_t seq, Cycle when)
+{
+    RobEntry &e = rob_[slot];
+    if (e.seq != seq)
+        return;  // the slot was recycled; stale callback
+    e.done = true;
+    e.doneCycle = when;
+    if (e.waiter >= 0) {
+        const unsigned w = static_cast<unsigned>(e.waiter);
+        e.waiter = -1;
+        issueLoad(w, when);
+    }
+}
+
+void
+OooCore::run(std::uint64_t numInsts)
+{
+    Cycle cyc = events_.horizon();
+    const Cycle start = cyc;
+    std::uint64_t dispatched = 0;
+    std::uint64_t retired_count = 0;
+
+    while (retired_count < numInsts) {
+        events_.serviceUntil(cyc);
+
+        // Retire up to `width` completed micro-ops in program order.
+        unsigned r = 0;
+        while (r < params_.width && head_ != tail_) {
+            RobEntry &h = rob_[robIndex(head_)];
+            if (!h.done || h.doneCycle > cyc)
+                break;
+            ++head_;
+            ++retired_count;
+            ++r;
+        }
+        retired_ += r;
+
+        // Dispatch up to `width` new micro-ops while the ROB has room.
+        unsigned d = 0;
+        while (d < params_.width && tail_ - head_ < rob_.size() &&
+               dispatched < numInsts) {
+            const MicroOp op = workload_.next();
+            const std::uint64_t pos = tail_++;
+            const unsigned slot = robIndex(pos);
+            RobEntry &e = rob_[slot];
+            e = RobEntry{};
+            e.seq = nextSeq_++;
+            e.kind = op.kind;
+            e.addr = op.addr;
+            e.pc = op.pc;
+
+            switch (op.kind) {
+              case OpKind::Int:
+                e.done = true;
+                e.doneCycle = cyc + 1;
+                e.issued = true;
+                break;
+              case OpKind::Store:
+                ++stores_;
+                // Stores drain through the store buffer: they access the
+                // hierarchy but never block retirement.
+                mem_.demandAccess(op.addr, op.pc, true, cyc, [](Cycle) {});
+                e.done = true;
+                e.doneCycle = cyc + 1;
+                e.issued = true;
+                break;
+              case OpKind::Load: {
+                ++loads_;
+                bool issue_now = true;
+                if (op.depPrevLoad && lastLoadPos_ != kNoPos &&
+                    lastLoadPos_ >= head_) {
+                    RobEntry &prod = rob_[robIndex(lastLoadPos_)];
+                    if (!prod.done) {
+                        prod.waiter = static_cast<int>(slot);
+                        issue_now = false;
+                    }
+                }
+                if (issue_now)
+                    issueLoad(slot, cyc);
+                lastLoadPos_ = pos;
+                break;
+              }
+            }
+            ++d;
+            ++dispatched;
+        }
+
+        if (retired_count >= numInsts)
+            break;
+
+        // Advance the clock, skipping dead time when fully stalled.
+        Cycle nxt = cyc + 1;
+        if (r == 0 && d == 0) {
+            Cycle target = events_.nextEventCycle();
+            if (head_ != tail_) {
+                const RobEntry &h = rob_[robIndex(head_)];
+                if (h.done)
+                    target = std::min(target, h.doneCycle);
+            }
+            if (target == kNoCycle) {
+                if (head_ != tail_)
+                    panic("core deadlock: stalled with no pending events");
+                target = cyc + 1;
+            }
+            if (target > cyc)
+                nxt = target;
+            if (tail_ - head_ == rob_.size())
+                robFullCycles_ += nxt - cyc;
+        }
+        cyc = nxt;
+    }
+
+    cycles_ += (cyc - start) + 1;
+}
+
+double
+OooCore::ipc() const
+{
+    return ratio(static_cast<double>(retired_.value()),
+                 static_cast<double>(cycles_.value()));
+}
+
+} // namespace fdp

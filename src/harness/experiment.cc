@@ -1,0 +1,194 @@
+#include "harness/experiment.hh"
+
+#include <cstring>
+#include <string>
+
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/stride_prefetcher.hh"
+#include "sim/logging.hh"
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+
+RunConfig
+RunConfig::noPrefetching()
+{
+    RunConfig c;
+    c.prefetcher = PrefetcherKind::None;
+    c.fdp.dynamicAggressiveness = false;
+    c.fdp.dynamicInsertion = false;
+    return c;
+}
+
+RunConfig
+RunConfig::staticLevelConfig(unsigned level, InsertPos ins)
+{
+    RunConfig c;
+    c.staticLevel = level;
+    c.fdp.dynamicAggressiveness = false;
+    c.fdp.dynamicInsertion = false;
+    c.fdp.staticInsertPos = ins;
+    return c;
+}
+
+RunConfig
+RunConfig::dynamicAggressiveness()
+{
+    RunConfig c;
+    c.fdp.dynamicAggressiveness = true;
+    c.fdp.dynamicInsertion = false;
+    c.fdp.staticInsertPos = InsertPos::Mru;
+    return c;
+}
+
+RunConfig
+RunConfig::dynamicInsertion(unsigned staticLevel)
+{
+    RunConfig c;
+    c.staticLevel = staticLevel;
+    c.fdp.dynamicAggressiveness = false;
+    c.fdp.dynamicInsertion = true;
+    return c;
+}
+
+RunConfig
+RunConfig::fullFdp()
+{
+    RunConfig c;
+    c.fdp.dynamicAggressiveness = true;
+    c.fdp.dynamicInsertion = true;
+    return c;
+}
+
+RunConfig
+RunConfig::accuracyOnlyFdp()
+{
+    RunConfig c = fullFdp();
+    c.fdp.accuracyOnly = true;
+    return c;
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, unsigned level)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::Stream: {
+        StreamPrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<StreamPrefetcher>(p);
+      }
+      case PrefetcherKind::GhbCdc: {
+        GhbPrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<GhbPrefetcher>(p);
+      }
+      case PrefetcherKind::Stride: {
+        StridePrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<StridePrefetcher>(p);
+      }
+    }
+    panic("unknown prefetcher kind");
+}
+
+RunResult
+runWorkload(Workload &workload, const RunConfig &config,
+            const std::string &configLabel)
+{
+    EventQueue events;
+    StatGroup fdp_stats("fdp");
+    StatGroup mem_stats("mem");
+    StatGroup core_stats("core");
+
+    FdpParams fp = config.fdp;
+    const unsigned start_level =
+        fp.dynamicAggressiveness ? fp.initialLevel : config.staticLevel;
+    if (!fp.dynamicAggressiveness)
+        fp.initialLevel = config.staticLevel;
+
+    auto prefetcher = makePrefetcher(config.prefetcher, start_level);
+    FdpController fdp(fp, prefetcher.get(), fdp_stats);
+    MemorySystem mem(config.machine, events, prefetcher.get(), fdp,
+                     mem_stats);
+    OooCore core(config.core, mem, events, workload, core_stats);
+
+    core.run(config.numInsts);
+
+    RunResult r;
+    r.benchmark = workload.name();
+    r.config = configLabel;
+    r.insts = core.retired();
+    r.cycles = core.cycles();
+    r.ipc = core.ipc();
+    r.busAccesses = mem.dram().busAccesses();
+    r.bpki = ratio(static_cast<double>(r.busAccesses),
+                   static_cast<double>(r.insts) / 1000.0);
+    r.accuracy = fdp.lifetimeAccuracy();
+    r.lateness = fdp.lifetimeLateness();
+    r.pollution = fdp.lifetimePollution();
+    r.l2Misses = mem.l2Misses();
+    r.demandAccesses = mem.demandAccesses();
+    r.mshrStallCount = mem.mshrStalls();
+    r.avgMissLatency = mem.avgDemandMissLatency();
+    for (const auto *s : mem_stats.scalars()) {
+        if (s->name() == "demand_grants")
+            r.demandGrants = s->value();
+        else if (s->name() == "prefetch_grants")
+            r.prefetchGrants = s->value();
+        else if (s->name() == "writeback_grants")
+            r.writebackGrants = s->value();
+        else if (s->name() == "pref_drop_queue_full")
+            r.prefDropQueueFull = s->value();
+    }
+
+    for (const auto *s : fdp_stats.scalars()) {
+        if (s->name() == "pref_sent")
+            r.prefSent = s->value();
+        else if (s->name() == "pref_used")
+            r.prefUsed = s->value();
+    }
+    const DistributionStat &ld = fdp.levelDistribution();
+    for (std::size_t i = 0; i < r.levelDist.size(); ++i)
+        r.levelDist[i] = ld.fraction(i);
+    const DistributionStat &id = fdp.insertDistribution();
+    for (std::size_t i = 0; i < r.insertDist.size(); ++i)
+        r.insertDist[i] = id.fraction(i);
+    return r;
+}
+
+RunResult
+runBenchmark(const std::string &benchmark, const RunConfig &config,
+             const std::string &configLabel)
+{
+    auto workload = makeBenchmark(benchmark);
+    return runWorkload(*workload, config, configLabel);
+}
+
+std::vector<RunResult>
+runSuite(const std::vector<std::string> &benchmarks,
+         const RunConfig &config, const std::string &configLabel)
+{
+    std::vector<RunResult> results;
+    results.reserve(benchmarks.size());
+    for (const auto &b : benchmarks)
+        results.push_back(runBenchmark(b, config, configLabel));
+    return results;
+}
+
+std::uint64_t
+instructionBudget(int argc, char **argv, std::uint64_t fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return 1'000'000;
+        if (std::strcmp(argv[i], "--insts") == 0 && i + 1 < argc)
+            return std::stoull(argv[i + 1]);
+    }
+    return fallback;
+}
+
+} // namespace fdp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Experiment runner: assembles a full simulated machine (workload ->
+ * core -> memory system -> prefetcher -> FDP controller), runs it, and
+ * returns the metrics every paper table/figure is built from.
+ */
+
+#ifndef FDP_HARNESS_EXPERIMENT_HH
+#define FDP_HARNESS_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fdp_controller.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/memory_system.hh"
+#include "prefetch/prefetcher.hh"
+#include "workload/generators.hh"
+
+namespace fdp
+{
+
+/** Which prefetcher the machine uses. */
+enum class PrefetcherKind : std::uint8_t
+{
+    None,
+    Stream,
+    GhbCdc,
+    Stride,
+};
+
+/** One complete machine + policy configuration. */
+struct RunConfig
+{
+    MachineParams machine;
+    CoreParams core;
+    PrefetcherKind prefetcher = PrefetcherKind::Stream;
+    /** Aggressiveness used while dynamic aggressiveness is off. */
+    unsigned staticLevel = kMaxAggrLevel;
+    FdpParams fdp;
+    std::uint64_t numInsts = 5'000'000;
+
+    /// @name Named configurations used throughout the paper
+    /// @{
+
+    /** No prefetcher at all. */
+    static RunConfig noPrefetching();
+
+    /** Traditional static configuration at @p level, MRU insertion. */
+    static RunConfig staticLevelConfig(unsigned level,
+                                       InsertPos ins = InsertPos::Mru);
+
+    /** Dynamic Aggressiveness only (Section 5.1). */
+    static RunConfig dynamicAggressiveness();
+
+    /** Dynamic Insertion only, on a Very Aggressive prefetcher (5.2). */
+    static RunConfig dynamicInsertion(unsigned staticLevel = kMaxAggrLevel);
+
+    /** Full FDP: Dynamic Aggressiveness + Dynamic Insertion (5.3). */
+    static RunConfig fullFdp();
+
+    /** Section 5.6 ablation: throttle on accuracy alone. */
+    static RunConfig accuracyOnlyFdp();
+
+    /// @}
+};
+
+/** Everything a bench binary needs from one run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string config;
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+    /** Memory bus accesses per thousand retired instructions. */
+    double bpki = 0.0;
+    double accuracy = 0.0;
+    double lateness = 0.0;
+    double pollution = 0.0;
+    std::uint64_t prefSent = 0;
+    std::uint64_t prefUsed = 0;
+    std::uint64_t busAccesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandGrants = 0;
+    std::uint64_t prefetchGrants = 0;
+    std::uint64_t writebackGrants = 0;
+    std::uint64_t mshrStallCount = 0;
+    std::uint64_t prefDropQueueFull = 0;
+    double avgMissLatency = 0.0;
+    /** Fraction of sampling intervals at each aggressiveness level. */
+    std::array<double, 5> levelDist{};
+    /** Fraction of prefetch fills per insertion position (LRU..MRU). */
+    std::array<double, 4> insertDist{};
+};
+
+/** Build the configured prefetcher (nullptr for PrefetcherKind::None). */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
+                                           unsigned level);
+
+/** Run one named SPEC stand-in under @p config. */
+RunResult runBenchmark(const std::string &benchmark,
+                       const RunConfig &config,
+                       const std::string &configLabel);
+
+/** Run a custom workload under @p config. */
+RunResult runWorkload(Workload &workload, const RunConfig &config,
+                      const std::string &configLabel);
+
+/** Run every benchmark in @p benchmarks under @p config. */
+std::vector<RunResult> runSuite(const std::vector<std::string> &benchmarks,
+                                const RunConfig &config,
+                                const std::string &configLabel);
+
+/**
+ * Instruction-count override for bench binaries: honors
+ * "--insts N" and "--quick" (1M) command-line flags.
+ */
+std::uint64_t instructionBudget(int argc, char **argv,
+                                std::uint64_t fallback = 5'000'000);
+
+} // namespace fdp
+
+#endif // FDP_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,76 @@
+#include "harness/reporting.hh"
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+double
+meanOf(const std::vector<RunResult> &results, const Metric &metric,
+       MeanKind mean)
+{
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const auto &r : results)
+        values.push_back(metric(r));
+    switch (mean) {
+      case MeanKind::Geometric:
+        return gmean(values);
+      case MeanKind::Arithmetic:
+        return amean(values);
+      case MeanKind::None:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+Table
+buildMetricTable(const std::string &title,
+                 const std::vector<std::string> &benchmarks,
+                 const std::vector<std::string> &configNames,
+                 const std::vector<std::vector<RunResult>> &results,
+                 const Metric &metric, int decimals, MeanKind mean)
+{
+    if (results.size() != configNames.size())
+        panic("table %s: %zu result sets but %zu config names",
+              title.c_str(), results.size(), configNames.size());
+    for (const auto &per_config : results)
+        if (per_config.size() != benchmarks.size())
+            panic("table %s: config has %zu results for %zu benchmarks",
+                  title.c_str(), per_config.size(), benchmarks.size());
+
+    Table table(title);
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), configNames.begin(), configNames.end());
+    table.setHeader(std::move(header));
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> row = {benchmarks[b]};
+        for (std::size_t c = 0; c < results.size(); ++c)
+            row.push_back(fmtDouble(metric(results[c][b]), decimals));
+        table.addRow(std::move(row));
+    }
+
+    if (mean != MeanKind::None) {
+        table.addRule();
+        std::vector<std::string> row = {
+            mean == MeanKind::Geometric ? "gmean" : "amean"};
+        for (std::size_t c = 0; c < results.size(); ++c)
+            row.push_back(fmtDouble(meanOf(results[c], metric, mean),
+                                    decimals));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+double
+meanDelta(const std::vector<RunResult> &base,
+          const std::vector<RunResult> &test, const Metric &metric,
+          MeanKind mean)
+{
+    const double b = meanOf(base, metric, mean);
+    const double t = meanOf(test, metric, mean);
+    return b == 0.0 ? 0.0 : (t - b) / b;
+}
+
+} // namespace fdp

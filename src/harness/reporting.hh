@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table-building helpers shared by the bench binaries: each paper
+ * figure/table is "benchmarks down the side, configurations across the
+ * top, one metric in the cells, a mean row at the bottom".
+ */
+
+#ifndef FDP_HARNESS_REPORTING_HH
+#define FDP_HARNESS_REPORTING_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sim/table.hh"
+
+namespace fdp
+{
+
+/** Pulls one metric out of a RunResult. */
+using Metric = std::function<double(const RunResult &)>;
+
+/** How the mean row at the bottom of a table is computed. */
+enum class MeanKind
+{
+    Geometric,   ///< the paper's IPC means
+    Arithmetic,  ///< the paper's BPKI means ("amean")
+    None,
+};
+
+/**
+ * Build a benchmarks x configurations table of one metric.
+ *
+ * @param results  results[c][b] is benchmark b under configuration c
+ *                 (all inner vectors ordered like @p benchmarks).
+ */
+Table buildMetricTable(const std::string &title,
+                       const std::vector<std::string> &benchmarks,
+                       const std::vector<std::string> &configNames,
+                       const std::vector<std::vector<RunResult>> &results,
+                       const Metric &metric, int decimals, MeanKind mean);
+
+/** Mean of @p metric over one configuration's results. */
+double meanOf(const std::vector<RunResult> &results, const Metric &metric,
+              MeanKind mean);
+
+/** Convenience metrics. */
+inline double metricIpc(const RunResult &r) { return r.ipc; }
+inline double metricBpki(const RunResult &r) { return r.bpki; }
+inline double metricAccuracy(const RunResult &r) { return r.accuracy; }
+inline double metricLateness(const RunResult &r) { return r.lateness; }
+inline double metricPollution(const RunResult &r) { return r.pollution; }
+
+/**
+ * Percentage change of @p metric's mean from @p base to @p test
+ * (0.065 = +6.5%).
+ */
+double meanDelta(const std::vector<RunResult> &base,
+                 const std::vector<RunResult> &test, const Metric &metric,
+                 MeanKind mean);
+
+} // namespace fdp
+
+#endif // FDP_HARNESS_REPORTING_HH

@@ -1,0 +1,186 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+SetAssocCache::SetAssocCache(const CacheParams &params) : params_(params)
+{
+    if (params_.assoc == 0 || params_.assoc > 255)
+        fatal("%s: associativity %u unsupported", params_.name.c_str(),
+              params_.assoc);
+    const std::size_t blocks = params_.sizeBytes / kBlockBytes;
+    if (blocks == 0 || blocks % params_.assoc != 0)
+        fatal("%s: size %zu not divisible into %u-way sets",
+              params_.name.c_str(), params_.sizeBytes, params_.assoc);
+    const std::size_t num_sets = blocks / params_.assoc;
+    if ((num_sets & (num_sets - 1)) != 0)
+        fatal("%s: number of sets %zu must be a power of two",
+              params_.name.c_str(), num_sets);
+
+    sets_.resize(num_sets);
+    for (auto &set : sets_) {
+        set.ways.resize(params_.assoc);
+        set.stack.reserve(params_.assoc);
+    }
+}
+
+std::size_t
+SetAssocCache::setIndex(BlockAddr block) const
+{
+    return static_cast<std::size_t>(block & (sets_.size() - 1));
+}
+
+int
+SetAssocCache::findWay(const Set &set, BlockAddr block) const
+{
+    for (std::size_t w = 0; w < set.ways.size(); ++w)
+        if (set.ways[w].valid && set.ways[w].block == block)
+            return static_cast<int>(w);
+    return -1;
+}
+
+void
+SetAssocCache::promoteToMru(Set &set, std::uint8_t way)
+{
+    auto it = std::find(set.stack.begin(), set.stack.end(), way);
+    set.stack.erase(it);
+    set.stack.push_back(way);
+}
+
+CacheAccessResult
+SetAssocCache::access(BlockAddr block, bool isWrite)
+{
+    Set &set = sets_[setIndex(block)];
+    const int w = findWay(set, block);
+    if (w < 0)
+        return {};
+
+    Way &way = set.ways[static_cast<std::size_t>(w)];
+    CacheAccessResult result;
+    result.hit = true;
+    result.hitPrefetched = way.prefBit;
+    way.prefBit = false;
+    if (isWrite)
+        way.dirty = true;
+    promoteToMru(set, static_cast<std::uint8_t>(w));
+    return result;
+}
+
+bool
+SetAssocCache::probe(BlockAddr block) const
+{
+    const Set &set = sets_[setIndex(block)];
+    return findWay(set, block) >= 0;
+}
+
+CacheVictim
+SetAssocCache::insert(BlockAddr block, bool prefBit, InsertPos pos,
+                      bool dirty)
+{
+    Set &set = sets_[setIndex(block)];
+    if (findWay(set, block) >= 0)
+        panic("%s: inserting block already present", params_.name.c_str());
+
+    CacheVictim victim;
+    std::uint8_t way_idx;
+    if (set.used == params_.assoc) {
+        // Set full: evict the LRU way and reuse it.
+        way_idx = set.stack.front();
+        set.stack.erase(set.stack.begin());
+        Way &v = set.ways[way_idx];
+        victim.valid = true;
+        victim.block = v.block;
+        victim.prefBit = v.prefBit;
+        victim.dirty = v.dirty;
+    } else {
+        way_idx = 0;
+        while (set.ways[way_idx].valid)
+            ++way_idx;
+        ++set.used;
+    }
+
+    Way &way = set.ways[way_idx];
+    way.valid = true;
+    way.block = block;
+    way.prefBit = prefBit;
+    way.dirty = dirty;
+
+    const unsigned stack_pos =
+        std::min<unsigned>(insertStackIndex(pos, params_.assoc),
+                           static_cast<unsigned>(set.stack.size()));
+    set.stack.insert(set.stack.begin() + stack_pos, way_idx);
+    return victim;
+}
+
+bool
+SetAssocCache::markDirty(BlockAddr block)
+{
+    Set &set = sets_[setIndex(block)];
+    const int w = findWay(set, block);
+    if (w < 0)
+        return false;
+    set.ways[static_cast<std::size_t>(w)].dirty = true;
+    return true;
+}
+
+CacheVictim
+SetAssocCache::invalidate(BlockAddr block)
+{
+    Set &set = sets_[setIndex(block)];
+    const int w = findWay(set, block);
+    if (w < 0)
+        return {};
+
+    Way &way = set.ways[static_cast<std::size_t>(w)];
+    CacheVictim victim;
+    victim.valid = true;
+    victim.block = way.block;
+    victim.prefBit = way.prefBit;
+    victim.dirty = way.dirty;
+
+    way = Way{};
+    auto it = std::find(set.stack.begin(), set.stack.end(),
+                        static_cast<std::uint8_t>(w));
+    set.stack.erase(it);
+    --set.used;
+    return victim;
+}
+
+int
+SetAssocCache::stackDepth(BlockAddr block) const
+{
+    const Set &set = sets_[setIndex(block)];
+    const int w = findWay(set, block);
+    if (w < 0)
+        return -1;
+    for (std::size_t i = 0; i < set.stack.size(); ++i)
+        if (set.stack[i] == static_cast<std::uint8_t>(w))
+            return static_cast<int>(i);
+    panic("%s: valid way missing from recency stack", params_.name.c_str());
+}
+
+std::size_t
+SetAssocCache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &set : sets_)
+        n += set.used;
+    return n;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &set : sets_) {
+        for (auto &way : set.ways)
+            way = Way{};
+        set.stack.clear();
+        set.used = 0;
+    }
+}
+
+} // namespace fdp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache with a true-LRU recency stack that supports
+ * inserting fills at an arbitrary stack position (paper Section 3.3.2).
+ *
+ * Each tag-store entry carries the pref-bit of paper Section 3.1.1: set
+ * when a prefetch fill installs the block, cleared (and reported) when a
+ * demand access touches the block.
+ */
+
+#ifndef FDP_MEM_CACHE_HH
+#define FDP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/insertion.hh"
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** Geometry and identity of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 1024 * 1024;
+    unsigned assoc = 16;
+};
+
+/** Result of a demand lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Hit on a block whose pref-bit was set (bit is cleared by the hit). */
+    bool hitPrefetched = false;
+};
+
+/** Information about a block evicted by an insertion. */
+struct CacheVictim
+{
+    bool valid = false;
+    BlockAddr block = 0;
+    bool prefBit = false;  ///< block was prefetched and never used
+    bool dirty = false;
+};
+
+/** Set-associative, true-LRU, write-back cache model (tags only). */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    /**
+     * Demand access: on a hit the block moves to MRU, its pref-bit is
+     * cleared, and @p isWrite marks it dirty.
+     */
+    CacheAccessResult access(BlockAddr block, bool isWrite);
+
+    /** State-preserving presence check. */
+    bool probe(BlockAddr block) const;
+
+    /**
+     * Install @p block at stack position @p pos, evicting the LRU block
+     * of the set if the set is full. @p prefBit tags prefetch fills.
+     */
+    CacheVictim insert(BlockAddr block, bool prefBit, InsertPos pos,
+                       bool dirty);
+
+    /** Mark @p block dirty if present (L1 writeback landing in L2). */
+    bool markDirty(BlockAddr block);
+
+    /** Remove @p block if present; returns its pre-removal state. */
+    CacheVictim invalidate(BlockAddr block);
+
+    /**
+     * Recency-stack depth of @p block: 0 = LRU .. assoc-1 = MRU,
+     * or -1 when absent (test/introspection helper).
+     */
+    int stackDepth(BlockAddr block) const;
+
+    std::size_t numSets() const { return sets_.size(); }
+    unsigned assoc() const { return params_.assoc; }
+    std::size_t numBlocks() const { return numSets() * assoc(); }
+    const std::string &name() const { return params_.name; }
+
+    /** Blocks currently valid (for tests). */
+    std::size_t occupancy() const;
+
+    void clear();
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        BlockAddr block = 0;
+        bool prefBit = false;
+        bool dirty = false;
+    };
+
+    struct Set
+    {
+        std::vector<Way> ways;
+        /** stack[0] = LRU way index .. stack[assoc-1] = MRU way index. */
+        std::vector<std::uint8_t> stack;
+        std::uint8_t used = 0;  ///< valid ways (== stack prefix length)
+    };
+
+    std::size_t setIndex(BlockAddr block) const;
+    int findWay(const Set &set, BlockAddr block) const;
+    static void promoteToMru(Set &set, std::uint8_t way);
+
+    CacheParams params_;
+    std::vector<Set> sets_;
+};
+
+} // namespace fdp
+
+#endif // FDP_MEM_CACHE_HH

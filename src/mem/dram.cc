@@ -1,0 +1,187 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+Cycle
+DramParams::transferCycles() const
+{
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(kBlockBytes) / busBytesPerCycle));
+}
+
+Cycle
+DramParams::unloadedLatency() const
+{
+    return accessRowConflict + transferCycles() + returnCycles;
+}
+
+DramParams
+DramParams::withUnloadedLatency(Cycle total)
+{
+    DramParams p;
+    const Cycle transfer = p.transferCycles();
+    if (total < transfer + 20)
+        fatal("unloaded DRAM latency %llu too small",
+              static_cast<unsigned long long>(total));
+    const Cycle rest = total - transfer;
+    p.accessRowConflict = rest / 2;
+    p.accessRowHit = (p.accessRowConflict * 3) / 5;
+    p.returnCycles = rest - p.accessRowConflict;
+    return p;
+}
+
+DramModel::DramModel(const DramParams &params, EventQueue &events,
+                     StatGroup &stats)
+    : params_(params), events_(events),
+      transferCycles_(params.transferCycles()),
+      bankReady_(params.banks, 0),
+      openRow_(params.banks, ~std::uint64_t{0}),
+      busAccesses_(stats, "bus_accesses", "blocks transferred on the bus"),
+      demandGrants_(stats, "demand_grants", "demand bus grants"),
+      prefetchGrants_(stats, "prefetch_grants", "prefetch bus grants"),
+      writebackGrants_(stats, "writeback_grants", "writeback bus grants"),
+      rowHits_(stats, "row_hits", "row-buffer hits"),
+      rowConflicts_(stats, "row_conflicts", "row-buffer conflicts"),
+      busBusyCycles_(stats, "bus_busy_cycles", "cycles the data bus was busy"),
+      promotions_(stats, "promotions", "prefetches promoted to demand")
+{
+    if (params_.banks == 0 || params_.rowBlocks == 0)
+        fatal("DRAM needs nonzero banks and row size");
+}
+
+bool
+DramModel::enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done)
+{
+    switch (prio) {
+      case BusPriority::Demand:
+        if (demandQ_.size() >= params_.queueCapacity)
+            panic("demand bus queue overflow (MSHRs should bound it)");
+        demandQ_.push_back({block, prio, now, std::move(done)});
+        break;
+      case BusPriority::Prefetch:
+        if (prefQ_.size() >= params_.queueCapacity)
+            return false;
+        prefQ_.push_back({block, prio, now, std::move(done)});
+        break;
+      case BusPriority::Writeback:
+        wbQ_.push_back({block, prio, now, std::move(done)});
+        break;
+    }
+    schedulePump(now);
+    return true;
+}
+
+void
+DramModel::promoteToDemand(BlockAddr block)
+{
+    auto it = std::find_if(prefQ_.begin(), prefQ_.end(),
+                           [block](const Request &r) {
+                               return r.block == block;
+                           });
+    if (it == prefQ_.end())
+        return;  // already granted the bus; nothing to expedite
+    Request req = std::move(*it);
+    prefQ_.erase(it);
+    req.prio = BusPriority::Demand;
+    demandQ_.push_back(std::move(req));
+    ++promotions_;
+}
+
+std::size_t
+DramModel::queued() const
+{
+    return demandQ_.size() + prefQ_.size() + wbQ_.size();
+}
+
+void
+DramModel::schedulePump(Cycle now)
+{
+    if (pumpScheduled_)
+        return;
+    pumpScheduled_ = true;
+    events_.schedule(std::max(now, busFree_), [this] { pump(); });
+}
+
+bool
+DramModel::popNext(Request &out)
+{
+    // Demand first; writebacks pre-empt prefetches only when their
+    // backlog is high enough to threaten unbounded growth.
+    std::deque<Request> *q = nullptr;
+    if (!demandQ_.empty())
+        q = &demandQ_;
+    else if (wbQ_.size() > params_.writebackHighWater)
+        q = &wbQ_;
+    else if (!prefQ_.empty())
+        q = &prefQ_;
+    else if (!wbQ_.empty())
+        q = &wbQ_;
+    else
+        return false;
+    out = std::move(q->front());
+    q->pop_front();
+    return true;
+}
+
+void
+DramModel::pump()
+{
+    pumpScheduled_ = false;
+    Request req;
+    if (!popNext(req))
+        return;
+
+    const Cycle now = events_.horizon();
+    const std::uint64_t global_row = req.block / params_.rowBlocks;
+    const unsigned bank =
+        static_cast<unsigned>(global_row % params_.banks);
+    const std::uint64_t row = global_row / params_.banks;
+
+    const bool row_hit = openRow_[bank] == row;
+    const Cycle access =
+        row_hit ? params_.accessRowHit : params_.accessRowConflict;
+
+    // The access phase is latency, counted from when the bank can accept
+    // the command; open-row accesses pipeline at the CAS-to-CAS cadence
+    // (their latency overlaps earlier operations), while a row conflict
+    // (precharge + activate) occupies the bank until its transfer ends.
+    // The data transfer itself serializes on the shared bus.
+    const Cycle access_start = std::max(req.enqueueCycle, bankReady_[bank]);
+    const Cycle data_start =
+        std::max({access_start + access, busFree_, now});
+    const Cycle data_end = data_start + transferCycles_;
+
+    busFree_ = data_end;
+    bankReady_[bank] =
+        row_hit ? access_start + params_.casToCASCycles : data_end;
+    openRow_[bank] = row;
+
+    ++busAccesses_;
+    busBusyCycles_ += transferCycles_;
+    if (row_hit)
+        ++rowHits_;
+    else
+        ++rowConflicts_;
+    switch (req.prio) {
+      case BusPriority::Demand: ++demandGrants_; break;
+      case BusPriority::Prefetch: ++prefetchGrants_; break;
+      case BusPriority::Writeback: ++writebackGrants_; break;
+    }
+
+    if (req.done) {
+        const Cycle fill = data_end + params_.returnCycles;
+        events_.schedule(fill,
+                         [fn = std::move(req.done), fill] { fn(fill); });
+    }
+
+    if (queued() > 0)
+        schedulePump(busFree_);
+}
+
+} // namespace fdp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bandwidth-limited DRAM + memory bus model (paper Table 3).
+ *
+ * Requests drain from three priority queues (demand > prefetch >
+ * writeback, with a writeback high-water override so dirty data cannot
+ * starve forever). The shared data bus is the serializing resource: each
+ * 64B block occupies it for sizeBytes/busBytesPerCycle cycles, which with
+ * the paper's 4.5 GB/s at 4 GHz is ~57 cycles per block. Banks model
+ * open-row hits vs. conflicts; the unloaded end-to-end latency is
+ * 500 cycles for a row conflict and 400 for a row hit.
+ */
+
+#ifndef FDP_MEM_DRAM_HH
+#define FDP_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** DRAM timing/geometry parameters. */
+struct DramParams
+{
+    unsigned banks = 32;
+    /** Blocks per DRAM row (128 x 64B = 8KB rows). */
+    unsigned rowBlocks = 128;
+    /** Bank access phase, row-buffer hit (cycles). */
+    Cycle accessRowHit = 150;
+    /** Bank access phase, row conflict (cycles). */
+    Cycle accessRowConflict = 250;
+    /** Open-row command cadence: bank busy per pipelined row hit. */
+    Cycle casToCASCycles = 8;
+    /** Data-bus bandwidth (4.5 GB/s at 4 GHz = 1.125 B/cycle). */
+    double busBytesPerCycle = 1.125;
+    /** Fixed fill/return overhead after the transfer (cycles). */
+    Cycle returnCycles = 193;
+    /** Capacity of the demand and prefetch bus-request queues. */
+    std::size_t queueCapacity = 128;
+    /** Writebacks get demand priority beyond this backlog. */
+    std::size_t writebackHighWater = 64;
+
+    /** Cycles one block occupies the data bus. */
+    Cycle transferCycles() const;
+
+    /** Unloaded row-conflict latency (the paper's "minimum" 500). */
+    Cycle unloadedLatency() const;
+
+    /**
+     * Derive a parameter set whose unloaded row-conflict latency is
+     * @p total cycles (used by the Table 7 sensitivity sweep).
+     */
+    static DramParams withUnloadedLatency(Cycle total);
+};
+
+/** Priority of a bus request. */
+enum class BusPriority : std::uint8_t { Demand, Prefetch, Writeback };
+
+/** Event-driven DRAM/bus engine. */
+class DramModel
+{
+  public:
+    using DoneFn = std::function<void(Cycle)>;
+
+    DramModel(const DramParams &params, EventQueue &events,
+              StatGroup &stats);
+
+    /**
+     * Enqueue a block request. Returns false (and drops the request)
+     * only for prefetches when the prefetch queue is full. @p done is
+     * invoked with the cycle at which the fill reaches the L2; pass
+     * nullptr for writebacks.
+     */
+    bool enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done);
+
+    /**
+     * Promote a still-queued prefetch for @p block to demand priority
+     * (a demand merged with it in the MSHR). No-op if already granted.
+     */
+    void promoteToDemand(BlockAddr block);
+
+    /** Requests currently waiting (all priorities). */
+    std::size_t queued() const;
+
+    const DramParams &params() const { return params_; }
+
+    /// @name Lifetime statistics
+    /// @{
+    std::uint64_t busAccesses() const { return busAccesses_.value(); }
+    std::uint64_t busBusyCycles() const { return busBusyCycles_.value(); }
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+    /// @}
+
+  private:
+    struct Request
+    {
+        BlockAddr block;
+        BusPriority prio;
+        Cycle enqueueCycle;
+        DoneFn done;
+    };
+
+    void schedulePump(Cycle now);
+    void pump();
+    bool popNext(Request &out);
+
+    DramParams params_;
+    EventQueue &events_;
+    Cycle transferCycles_;
+
+    std::deque<Request> demandQ_;
+    std::deque<Request> prefQ_;
+    std::deque<Request> wbQ_;
+
+    std::vector<Cycle> bankReady_;
+    std::vector<std::uint64_t> openRow_;
+    Cycle busFree_ = 0;
+    bool pumpScheduled_ = false;
+
+    ScalarStat busAccesses_;
+    ScalarStat demandGrants_;
+    ScalarStat prefetchGrants_;
+    ScalarStat writebackGrants_;
+    ScalarStat rowHits_;
+    ScalarStat rowConflicts_;
+    ScalarStat busBusyCycles_;
+    ScalarStat promotions_;
+};
+
+} // namespace fdp
+
+#endif // FDP_MEM_DRAM_HH

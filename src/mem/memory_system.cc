@@ -1,0 +1,296 @@
+#include "mem/memory_system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+
+MemorySystem::MemorySystem(const MachineParams &params, EventQueue &events,
+                           Prefetcher *pf, FdpController &fdp,
+                           StatGroup &stats)
+    : params_(params), events_(events), prefetcher_(pf), fdp_(fdp),
+      l1_(params.l1), l2_(params.l2), mshrs_(params.l2Mshrs),
+      dram_(params.dram, events, stats),
+      demandAccesses_(stats, "demand_accesses", "demand loads+stores"),
+      l1Hits_(stats, "l1_hits", "L1D hits"),
+      l1Misses_(stats, "l1_misses", "L1D misses"),
+      l2Hits_(stats, "l2_hits", "L2 demand hits"),
+      l2Misses_(stats, "l2_misses", "L2 demand misses"),
+      mshrMerges_(stats, "mshr_merges", "demands merged into in-flight MSHRs"),
+      mshrStalls_(stats, "mshr_stalls", "demands stalled on a full MSHR file"),
+      prefIssued_(stats, "pref_issued", "prefetch candidates produced"),
+      prefDropL2Hit_(stats, "pref_drop_l2hit",
+                     "prefetches dropped: block already cached"),
+      prefDropInFlight_(stats, "pref_drop_inflight",
+                        "prefetches dropped: block already in flight"),
+      prefDropQueueFull_(stats, "pref_drop_queue_full",
+                         "prefetches dropped: request queue overflow"),
+      pcacheHits_(stats, "pcache_hits", "demand hits in the prefetch cache"),
+      writebacks_(stats, "writebacks", "dirty blocks written back to DRAM"),
+      demandMissFills_(stats, "demand_miss_fills",
+                       "DRAM fills that served demand misses"),
+      demandMissCycles_(stats, "demand_miss_cycles",
+                        "total alloc-to-fill cycles of demand-miss fills")
+{
+    if (params_.mshrDemandReserve >= params_.l2Mshrs)
+        fatal("MSHR demand reserve must be below the MSHR capacity");
+    if (params_.prefetchCache.enabled)
+        pcache_ = std::make_unique<PrefetchCache>(params_.prefetchCache);
+}
+
+void
+MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
+                           DoneFn done)
+{
+    ++demandAccesses_;
+    const BlockAddr block = blockAddr(addr);
+    const Cycle t1 = now + params_.l1Latency;
+
+    if (l1_.access(block, isWrite).hit) {
+        ++l1Hits_;
+        done(t1);
+        return;
+    }
+    ++l1Misses_;
+
+    const Cycle t2 = t1 + params_.l2Latency;
+    const CacheAccessResult l2res = l2_.access(block, false);
+    PrefetchObservation obs{addr, block, pc, !l2res.hit};
+
+    if (l2res.hit) {
+        ++l2Hits_;
+        if (l2res.hitPrefetched)
+            fdp_.onPrefetchUsedInCache();
+        fillL1(block, isWrite, t2);
+        done(t2);
+        observeAndIssue(obs, t2);
+        return;
+    }
+
+    // Probed in parallel with the L2, so a prefetch-cache hit costs the
+    // same latency as an L2 hit (paper Section 5.7).
+    if (pcache_ && pcache_->extract(block)) {
+        ++pcacheHits_;
+        fdp_.onPrefetchUsedInCache();
+        insertL2Fill(block, false, false, t2);
+        fillL1(block, isWrite, t2);
+        done(t2);
+        obs.miss = false;  // serviced without going to memory
+        observeAndIssue(obs, t2);
+        return;
+    }
+
+    ++l2Misses_;
+    fdp_.onDemandMiss(block);
+    observeAndIssue(obs, t2);
+
+    if (MshrEntry *e = mshrs_.find(block)) {
+        ++mshrMerges_;
+        if (e->prefBit) {
+            // Late prefetch: a demand wants data that a prefetch is
+            // still fetching (paper Section 3.1.2).
+            fdp_.onLatePrefetchMshrHit();
+            e->prefBit = false;
+            dram_.promoteToDemand(block);
+        }
+        if (isWrite)
+            e->writeIntent = true;
+        e->waiters.push_back(std::move(done));
+        return;
+    }
+
+    if (mshrs_.full()) {
+        ++mshrStalls_;
+        mshrWaitQ_.push_back({block, isWrite, std::move(done), t2});
+        return;
+    }
+    startDemandMiss(block, isWrite, t2, std::move(done));
+}
+
+void
+MemorySystem::startDemandMiss(BlockAddr block, bool isWrite, Cycle now,
+                              DoneFn done)
+{
+    MshrEntry &e = mshrs_.allocate(block, false, now);
+    e.writeIntent = isWrite;
+    e.waiters.push_back(std::move(done));
+    dram_.enqueue(block, BusPriority::Demand, now,
+                  [this, block](Cycle c) { onFill(block, c); });
+}
+
+void
+MemorySystem::observeAndIssue(const PrefetchObservation &obs, Cycle now)
+{
+    if (!prefetcher_)
+        return;
+    pfCandidates_.clear();
+    const std::size_t budget =
+        params_.prefetchQueueCap - prefetchQueue_.size();
+    prefetcher_->observe(obs, pfCandidates_, budget);
+
+    for (const BlockAddr b : pfCandidates_) {
+        ++prefIssued_;
+        if (prefetchQueue_.size() >= params_.prefetchQueueCap) {
+            ++prefDropQueueFull_;
+            continue;
+        }
+        prefetchQueue_.push_back(b);
+    }
+    drainPrefetchQueue(now);
+}
+
+void
+MemorySystem::drainPrefetchQueue(Cycle now)
+{
+    while (!prefetchQueue_.empty()) {
+        const BlockAddr b = prefetchQueue_.front();
+        if (l2_.probe(b) || (pcache_ && pcache_->probe(b))) {
+            ++prefDropL2Hit_;
+            prefetchQueue_.pop_front();
+            continue;
+        }
+        if (mshrs_.find(b)) {
+            ++prefDropInFlight_;
+            prefetchQueue_.pop_front();
+            continue;
+        }
+        // Prefetches may not take the MSHRs reserved for demands; when
+        // none is available the queue simply waits for a deallocation.
+        if (mshrs_.size() + params_.mshrDemandReserve >= mshrs_.capacity())
+            return;
+        mshrs_.allocate(b, true, now);
+        const bool sent =
+            dram_.enqueue(b, BusPriority::Prefetch, now,
+                          [this, b](Cycle c) { onFill(b, c); });
+        if (!sent) {
+            // Bus queue full: keep the candidate queued for later.
+            mshrs_.deallocate(b);
+            return;
+        }
+        prefetchQueue_.pop_front();
+        fdp_.onPrefetchSent();
+    }
+}
+
+void
+MemorySystem::onFill(BlockAddr block, Cycle fillCycle)
+{
+    MshrEntry *e = mshrs_.find(block);
+    if (!e)
+        panic("fill for block with no MSHR entry");
+
+    const bool was_prefetch = e->prefBit;
+    const bool write_intent = e->writeIntent;
+    auto waiters = std::move(e->waiters);
+    if (!was_prefetch) {
+        ++demandMissFills_;
+        demandMissCycles_ += fillCycle - e->allocCycle;
+    }
+    mshrs_.deallocate(block);
+
+    if (was_prefetch) {
+        if (pcache_) {
+            pcache_->insert(block);
+        } else {
+            fdp_.onPrefetchFill(block);
+            insertL2Fill(block, true, false, fillCycle);
+        }
+    } else {
+        insertL2Fill(block, false, false, fillCycle);
+        fillL1(block, write_intent, fillCycle);
+    }
+
+    for (auto &w : waiters)
+        w(fillCycle);
+    admitPending(fillCycle);
+    drainPrefetchQueue(fillCycle);
+}
+
+void
+MemorySystem::insertL2Fill(BlockAddr block, bool prefBit, bool dirty,
+                           Cycle now)
+{
+    const InsertPos pos = prefBit ? fdp_.insertPos() : InsertPos::Mru;
+    const CacheVictim v = l2_.insert(block, prefBit, pos, dirty);
+    if (!v.valid)
+        return;
+    fdp_.onCacheEviction();
+    if (prefBit && !v.prefBit)
+        fdp_.onDemandBlockEvictedByPrefetch(v.block);
+    if (v.dirty && params_.modelWritebacks) {
+        ++writebacks_;
+        dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
+    }
+}
+
+void
+MemorySystem::fillL1(BlockAddr block, bool isWrite, Cycle now)
+{
+    if (l1_.probe(block)) {
+        if (isWrite)
+            l1_.markDirty(block);
+        return;
+    }
+    const CacheVictim v = l1_.insert(block, false, InsertPos::Mru, isWrite);
+    if (v.valid && v.dirty) {
+        // Dirty L1 victims land in the L2 when present there; otherwise
+        // they must go all the way to memory.
+        if (!l2_.markDirty(v.block) && params_.modelWritebacks) {
+            ++writebacks_;
+            dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
+        }
+    }
+}
+
+void
+MemorySystem::admitPending(Cycle now)
+{
+    while (!mshrWaitQ_.empty() && !mshrs_.full()) {
+        PendingDemand p = std::move(mshrWaitQ_.front());
+        mshrWaitQ_.pop_front();
+        // A prefetch issued while this demand waited may have brought
+        // the block in already; it is a hit now.
+        if (l2_.probe(p.block) || (pcache_ && pcache_->probe(p.block))) {
+            if (pcache_ && pcache_->extract(p.block)) {
+                ++pcacheHits_;
+                fdp_.onPrefetchUsedInCache();
+                insertL2Fill(p.block, false, false, now);
+            }
+            fillL1(p.block, p.isWrite, now);
+            p.done(now);
+            continue;
+        }
+        if (MshrEntry *e = mshrs_.find(p.block)) {
+            ++mshrMerges_;
+            if (e->prefBit) {
+                fdp_.onLatePrefetchMshrHit();
+                e->prefBit = false;
+                dram_.promoteToDemand(p.block);
+            }
+            if (p.isWrite)
+                e->writeIntent = true;
+            e->waiters.push_back(std::move(p.done));
+            continue;
+        }
+        startDemandMiss(p.block, p.isWrite, now, std::move(p.done));
+    }
+}
+
+double
+MemorySystem::avgDemandMissLatency() const
+{
+    return ratio(static_cast<double>(demandMissCycles_.value()),
+                 static_cast<double>(demandMissFills_.value()));
+}
+
+bool
+MemorySystem::quiesced() const
+{
+    return mshrs_.size() == 0 && mshrWaitQ_.empty() &&
+           prefetchQueue_.empty() && dram_.queued() == 0;
+}
+
+} // namespace fdp

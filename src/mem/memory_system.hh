@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The full memory hierarchy of paper Table 3: L1D -> L2 -> DRAM, with
+ * the L2-side hardware prefetcher and every FDP bookkeeping hook.
+ *
+ * Responsibilities:
+ *  - demand path: L1 lookup, L2 lookup, MSHR allocate/merge, DRAM access,
+ *    fill into L2 (at the FDP-selected stack position for prefetches) and
+ *    into L1 (for demands);
+ *  - prefetch path: run the prefetcher on every demand L2 access, filter
+ *    candidates against L2 contents / prefetch cache / MSHRs / queue
+ *    capacity, issue survivors at prefetch (lowest) priority;
+ *  - late-prefetch detection: a demand that merges with an in-flight
+ *    prefetch MSHR promotes it to demand priority and reports it late;
+ *  - pollution bookkeeping: demand-fetched victims of prefetch fills set
+ *    the pollution filter, prefetch fills clear it, demand misses test it;
+ *  - optional prefetch cache (Section 5.7): prefetch fills bypass the L2.
+ */
+
+#ifndef FDP_MEM_MEMORY_SYSTEM_HH
+#define FDP_MEM_MEMORY_SYSTEM_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/fdp_controller.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetch_cache.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** Paper Table 3 machine configuration (memory side). */
+struct MachineParams
+{
+    CacheParams l1{"L1D", 64 * 1024, 4};
+    Cycle l1Latency = 2;
+    CacheParams l2{"L2", 1024 * 1024, 16};
+    Cycle l2Latency = 10;
+    std::size_t l2Mshrs = 128;
+    /** MSHRs held back from prefetches so demands can always allocate. */
+    std::size_t mshrDemandReserve = 16;
+    /** Prefetch Request Queue capacity (paper Section 4.1: 128). */
+    std::size_t prefetchQueueCap = 128;
+    DramParams dram;
+    PrefetchCacheParams prefetchCache;
+    bool modelWritebacks = true;
+};
+
+/** L1 + L2 + DRAM with prefetching and FDP instrumentation. */
+class MemorySystem
+{
+  public:
+    using DoneFn = std::function<void(Cycle)>;
+
+    /**
+     * @param params  machine configuration
+     * @param events  shared event queue
+     * @param pf      L2 prefetcher (nullptr disables prefetching)
+     * @param fdp     feedback controller (always present; it observes
+     *                even when its dynamic policies are disabled)
+     * @param stats   group receiving memory-side statistics
+     */
+    MemorySystem(const MachineParams &params, EventQueue &events,
+                 Prefetcher *pf, FdpController &fdp, StatGroup &stats);
+
+    /**
+     * Demand load/store at cycle @p now. @p done fires with the cycle
+     * the data is available (loads); stores invoke it too but the core
+     * does not wait on them.
+     */
+    void demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
+                      DoneFn done);
+
+    /** True when no misses are in flight and no requests are queued. */
+    bool quiesced() const;
+
+    const SetAssocCache &l1() const { return l1_; }
+    const SetAssocCache &l2() const { return l2_; }
+    DramModel &dram() { return dram_; }
+    const DramModel &dram() const { return dram_; }
+    const MachineParams &params() const { return params_; }
+
+    /// @name Lifetime statistics
+    /// @{
+    std::uint64_t demandAccesses() const { return demandAccesses_.value(); }
+    std::uint64_t l1Misses() const { return l1Misses_.value(); }
+    std::uint64_t l2Misses() const { return l2Misses_.value(); }
+    std::uint64_t prefetchesIssued() const { return prefIssued_.value(); }
+    std::uint64_t prefetchCacheHits() const { return pcacheHits_.value(); }
+    std::uint64_t mshrStalls() const { return mshrStalls_.value(); }
+
+    /** Average cycles from demand-miss MSHR allocation to fill. */
+    double avgDemandMissLatency() const;
+    /// @}
+
+  private:
+    struct PendingDemand
+    {
+        BlockAddr block;
+        bool isWrite;
+        DoneFn done;
+        Cycle arrival;
+    };
+
+    /** Run the prefetcher on a demand L2 access and queue candidates. */
+    void observeAndIssue(const PrefetchObservation &obs, Cycle now);
+
+    /**
+     * Drain the Prefetch Request Queue into the MSHRs / bus queue as
+     * capacity allows (prefetches wait here rather than being lost).
+     */
+    void drainPrefetchQueue(Cycle now);
+
+    /** Allocate the MSHR and send a demand miss to DRAM. */
+    void startDemandMiss(BlockAddr block, bool isWrite, Cycle now,
+                         DoneFn done);
+
+    /** DRAM fill arrived for @p block. */
+    void onFill(BlockAddr block, Cycle fillCycle);
+
+    /** Install a fill in the L2, handling victim bookkeeping. */
+    void insertL2Fill(BlockAddr block, bool prefBit, bool dirty, Cycle now);
+
+    /** Install a block in the L1, handling dirty-victim writeback. */
+    void fillL1(BlockAddr block, bool isWrite, Cycle now);
+
+    /** Admit MSHR-stalled demands after a deallocation. */
+    void admitPending(Cycle now);
+
+    MachineParams params_;
+    EventQueue &events_;
+    Prefetcher *prefetcher_;
+    FdpController &fdp_;
+
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    MshrFile mshrs_;
+    DramModel dram_;
+    std::unique_ptr<PrefetchCache> pcache_;
+
+    std::deque<PendingDemand> mshrWaitQ_;
+    std::deque<BlockAddr> prefetchQueue_;  ///< the Prefetch Request Queue
+    std::vector<BlockAddr> pfCandidates_;  ///< scratch, reused per access
+
+    ScalarStat demandAccesses_;
+    ScalarStat l1Hits_;
+    ScalarStat l1Misses_;
+    ScalarStat l2Hits_;
+    ScalarStat l2Misses_;
+    ScalarStat mshrMerges_;
+    ScalarStat mshrStalls_;
+    ScalarStat prefIssued_;
+    ScalarStat prefDropL2Hit_;
+    ScalarStat prefDropInFlight_;
+    ScalarStat prefDropQueueFull_;
+    ScalarStat pcacheHits_;
+    ScalarStat writebacks_;
+    ScalarStat demandMissFills_;
+    ScalarStat demandMissCycles_;
+};
+
+} // namespace fdp
+
+#endif // FDP_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,37 @@
+#include "mem/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+MshrEntry *
+MshrFile::find(BlockAddr block)
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+MshrEntry &
+MshrFile::allocate(BlockAddr block, bool prefBit, Cycle now)
+{
+    if (full())
+        panic("MSHR allocate while full (capacity %zu)", capacity_);
+    auto [it, inserted] = entries_.try_emplace(block);
+    if (!inserted)
+        panic("MSHR allocate for block already in flight");
+    MshrEntry &e = it->second;
+    e.block = block;
+    e.prefBit = prefBit;
+    e.allocCycle = now;
+    return e;
+}
+
+void
+MshrFile::deallocate(BlockAddr block)
+{
+    if (entries_.erase(block) != 1)
+        panic("MSHR deallocate for absent block");
+}
+
+} // namespace fdp

@@ -1,0 +1,37 @@
+#include "mem/prefetch_cache.hh"
+
+namespace fdp
+{
+
+PrefetchCache::PrefetchCache(const PrefetchCacheParams &params)
+{
+    CacheParams cp;
+    cp.name = "prefetch_cache";
+    cp.sizeBytes = params.sizeBytes;
+    cp.assoc = params.assoc == 0
+                   ? static_cast<unsigned>(params.sizeBytes / kBlockBytes)
+                   : params.assoc;
+    cache_ = std::make_unique<SetAssocCache>(cp);
+}
+
+void
+PrefetchCache::insert(BlockAddr block)
+{
+    if (cache_->probe(block))
+        return;
+    cache_->insert(block, true, InsertPos::Mru, false);
+}
+
+bool
+PrefetchCache::probe(BlockAddr block) const
+{
+    return cache_->probe(block);
+}
+
+bool
+PrefetchCache::extract(BlockAddr block)
+{
+    return cache_->invalidate(block).valid;
+}
+
+} // namespace fdp

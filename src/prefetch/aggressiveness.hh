@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Aggressiveness configurations (paper Table 1 and Section 5.7).
+ *
+ * The Dynamic Configuration Counter is a 3-bit saturating counter clamped
+ * to [1, 5]; each value names an aggressiveness level that maps to a
+ * (Prefetch Distance, Prefetch Degree) pair for the prefetcher in use.
+ */
+
+#ifndef FDP_PREFETCH_AGGRESSIVENESS_HH
+#define FDP_PREFETCH_AGGRESSIVENESS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace fdp
+{
+
+/** The five aggressiveness levels of paper Table 1. */
+enum class AggrLevel : std::uint8_t
+{
+    VeryConservative = 1,
+    Conservative = 2,
+    MiddleOfTheRoad = 3,
+    Aggressive = 4,
+    VeryAggressive = 5,
+};
+
+inline constexpr unsigned kMinAggrLevel = 1;
+inline constexpr unsigned kMaxAggrLevel = 5;
+inline constexpr unsigned kInitialAggrLevel = 3;
+
+/** A (distance, degree) pair selected by the configuration counter. */
+struct AggrConfig
+{
+    unsigned distance;
+    unsigned degree;
+};
+
+/**
+ * Stream prefetcher configurations (paper Table 1).
+ * Index 0 is unused so that levels index directly.
+ */
+inline constexpr std::array<AggrConfig, 6> kStreamAggrTable = {{
+    {0, 0},   // unused
+    {4, 1},   // Very Conservative
+    {8, 1},   // Conservative
+    {16, 2},  // Middle-of-the-Road
+    {32, 4},  // Aggressive
+    {64, 4},  // Very Aggressive
+}};
+
+/**
+ * GHB C/DC configurations (paper Section 5.7: distance == degree; the
+ * exact degrees were lost in text extraction and are calibrated so the
+ * Middle-of-the-Road GHB configuration consumes bandwidth comparable to
+ * the stream prefetcher's, as the paper's comparison requires).
+ */
+inline constexpr std::array<AggrConfig, 6> kGhbAggrTable = {{
+    {0, 0},
+    {2, 2},
+    {4, 4},
+    {8, 8},
+    {12, 12},
+    {16, 16},
+}};
+
+/** PC-stride configurations (paper Section 5.8; same shape as Table 1). */
+inline constexpr std::array<AggrConfig, 6> kStrideAggrTable = {{
+    {0, 0},
+    {4, 1},
+    {8, 1},
+    {16, 2},
+    {32, 4},
+    {64, 4},
+}};
+
+/** Human-readable name of an aggressiveness level (1-based). */
+constexpr const char *
+aggrLevelName(unsigned level)
+{
+    switch (level) {
+      case 1: return "Very Conservative";
+      case 2: return "Conservative";
+      case 3: return "Middle-of-the-Road";
+      case 4: return "Aggressive";
+      case 5: return "Very Aggressive";
+      default: return "?";
+    }
+}
+
+} // namespace fdp
+
+#endif // FDP_PREFETCH_AGGRESSIVENESS_HH

@@ -1,0 +1,152 @@
+#include "prefetch/ghb_prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherParams &params)
+    : params_(params), level_(params.initialLevel), ghb_(params.ghbSize),
+      index_(params.indexSize)
+{
+    if (params_.ghbSize == 0 || params_.indexSize == 0)
+        fatal("GHB prefetcher needs nonzero buffer and index sizes");
+    setAggressiveness(params_.initialLevel);
+    history_.reserve(params_.maxHistory);
+    deltas_.reserve(params_.maxHistory);
+}
+
+void
+GhbPrefetcher::setAggressiveness(unsigned level)
+{
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        panic("GHB prefetcher: bad aggressiveness level %u", level);
+    level_ = level;
+}
+
+void
+GhbPrefetcher::reset()
+{
+    for (auto &e : ghb_)
+        e = GhbEntry{};
+    for (auto &e : index_)
+        e = IndexEntry{};
+    nextSeq_ = 1;
+    tick_ = 0;
+}
+
+bool
+GhbPrefetcher::seqLive(std::uint64_t seq) const
+{
+    // Sequence numbers start at 1; slot seq % ghbSize is overwritten once
+    // ghbSize newer entries have been pushed.
+    return seq != 0 && seq < nextSeq_ && nextSeq_ - seq <= ghb_.size();
+}
+
+GhbPrefetcher::IndexEntry *
+GhbPrefetcher::findZone(std::uint64_t zone)
+{
+    for (auto &e : index_)
+        if (e.valid && e.zone == zone)
+            return &e;
+    return nullptr;
+}
+
+GhbPrefetcher::IndexEntry &
+GhbPrefetcher::allocateZone(std::uint64_t zone)
+{
+    IndexEntry *victim = &index_.front();
+    for (auto &e : index_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = IndexEntry{};
+    victim->valid = true;
+    victim->zone = zone;
+    return *victim;
+}
+
+void
+GhbPrefetcher::doObserve(const PrefetchObservation &obs,
+                         std::vector<BlockAddr> &out, std::size_t budget)
+{
+    if (!obs.miss)
+        return;  // the C/DC prefetcher trains on the L2 miss stream
+
+    ++tick_;
+    const auto block = static_cast<std::int64_t>(obs.block);
+    const std::uint64_t zone = obs.block >> params_.czoneShift;
+
+    IndexEntry *idx = findZone(zone);
+    if (!idx)
+        idx = &allocateZone(zone);
+    idx->lastUse = tick_;
+
+    // Push this miss into the GHB, linking it to the zone's previous miss.
+    const std::uint64_t seq = nextSeq_++;
+    GhbEntry &slot = ghb_[seq % ghb_.size()];
+    slot.block = block;
+    slot.hasPrev = seqLive(idx->headSeq);
+    slot.prevSeq = idx->headSeq;
+    idx->headSeq = seq;
+
+    // Reconstruct the zone's recent miss history (most recent first).
+    history_.clear();
+    std::uint64_t cur = seq;
+    while (seqLive(cur) || cur == seq) {
+        const GhbEntry &e = ghb_[cur % ghb_.size()];
+        history_.push_back(e.block);
+        if (history_.size() >= params_.maxHistory || !e.hasPrev)
+            break;
+        if (!seqLive(e.prevSeq))
+            break;
+        cur = e.prevSeq;
+    }
+    if (history_.size() < 4)
+        return;  // need at least 3 deltas to correlate a pair
+
+    // Chronological deltas: deltas_[i] = addr[i+1] - addr[i].
+    deltas_.clear();
+    for (std::size_t i = history_.size() - 1; i > 0; --i)
+        deltas_.push_back(history_[i - 1] - history_[i]);
+
+    const std::size_t n = deltas_.size();
+    const std::int64_t key1 = deltas_[n - 2];
+    const std::int64_t key2 = deltas_[n - 1];
+
+    // Find the most recent earlier occurrence of the (key1, key2) pair.
+    std::size_t match = n;  // sentinel: no match
+    for (std::size_t k = n - 2; k-- > 0;) {
+        if (deltas_[k] == key1 && deltas_[k + 1] == key2) {
+            match = k + 1;  // index of the second delta of the pair
+            break;
+        }
+    }
+    if (match == n)
+        return;
+
+    // Replay the deltas that followed the matched pair, cycling through
+    // them until `degree` prefetch addresses have been produced.
+    const unsigned deg = static_cast<unsigned>(
+        std::min<std::size_t>(degree(), budget));
+    const std::size_t replay_begin = match + 1;
+    const std::size_t replay_len = n - replay_begin;
+    if (replay_len == 0)
+        return;
+
+    std::int64_t addr = block;
+    for (unsigned i = 0; i < deg; ++i) {
+        addr += deltas_[replay_begin + (i % replay_len)];
+        if (addr < 0)
+            break;
+        out.push_back(static_cast<BlockAddr>(addr));
+    }
+}
+
+} // namespace fdp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Global History Buffer C/DC (C-Zone Delta Correlation) prefetcher
+ * (Nesbit & Smith, as used by paper Section 5.7).
+ *
+ * L2 miss addresses are pushed into a circular Global History Buffer;
+ * an index table keyed by Concentration Zone (CZone) heads a linked list
+ * of that zone's misses through the buffer. On each miss the zone's
+ * recent delta stream is reconstructed and the last delta pair is
+ * correlated against history; on a match, the deltas that followed the
+ * match are replayed to produce prefetch addresses.
+ */
+
+#ifndef FDP_PREFETCH_GHB_PREFETCHER_HH
+#define FDP_PREFETCH_GHB_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace fdp
+{
+
+/** Configuration knobs for the GHB C/DC prefetcher. */
+struct GhbPrefetcherParams
+{
+    /** Entries in the global history buffer. */
+    unsigned ghbSize = 256;
+    /** Entries in the CZone index table. */
+    unsigned indexSize = 256;
+    /** log2(CZone size in blocks); 10 = 64KB zones with 64B blocks. */
+    unsigned czoneShift = 10;
+    /** Maximum history walked per miss, in GHB entries. */
+    unsigned maxHistory = 64;
+    /** Initial aggressiveness level (1..5). */
+    unsigned initialLevel = kInitialAggrLevel;
+};
+
+/** GHB-based delta-correlation prefetcher. */
+class GhbPrefetcher : public Prefetcher
+{
+  public:
+    explicit GhbPrefetcher(const GhbPrefetcherParams &params = {});
+
+    void setAggressiveness(unsigned level) override;
+    unsigned aggressiveness() const override { return level_; }
+    const char *name() const override { return "ghb-cdc"; }
+    void reset() override;
+
+    /** Current prefetch degree (== distance for GHB, Section 5.7). */
+    unsigned degree() const { return kGhbAggrTable[level_].degree; }
+
+  private:
+    void doObserve(const PrefetchObservation &obs,
+                   std::vector<BlockAddr> &out,
+                   std::size_t budget) override;
+
+    struct GhbEntry
+    {
+        std::int64_t block = 0;
+        /** Sequence number of the previous same-zone entry (or 0). */
+        std::uint64_t prevSeq = 0;
+        bool hasPrev = false;
+    };
+
+    struct IndexEntry
+    {
+        bool valid = false;
+        std::uint64_t zone = 0;
+        std::uint64_t headSeq = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** True when @p seq still addresses a live (not overwritten) slot. */
+    bool seqLive(std::uint64_t seq) const;
+
+    /** Index-table lookup; returns nullptr on miss. */
+    IndexEntry *findZone(std::uint64_t zone);
+
+    /** Index-table fill, evicting LRU if needed. */
+    IndexEntry &allocateZone(std::uint64_t zone);
+
+    GhbPrefetcherParams params_;
+    unsigned level_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    /** Sequence number of the next push; slot = seq % ghbSize. */
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t tick_ = 0;
+    /** Scratch buffers reused across observe() calls. */
+    std::vector<std::int64_t> history_;
+    std::vector<std::int64_t> deltas_;
+};
+
+} // namespace fdp
+
+#endif // FDP_PREFETCH_GHB_PREFETCHER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Abstract interface every hardware data prefetcher implements.
+ *
+ * The memory system calls observe() on every demand L2 access; the
+ * prefetcher appends candidate prefetch block addresses to the output
+ * vector. FDP (or a static configuration) drives setAggressiveness().
+ */
+
+#ifndef FDP_PREFETCH_PREFETCHER_HH
+#define FDP_PREFETCH_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/aggressiveness.hh"
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** One demand access as seen by the L2-side prefetcher. */
+struct PrefetchObservation
+{
+    /** Full byte address of the demand access (for stride detection). */
+    Addr addr;
+    /** Block address of the demand access. */
+    BlockAddr block;
+    /** Program counter of the memory instruction (for PC-based schemes). */
+    Addr pc;
+    /** True when the access missed in the L2. */
+    bool miss;
+};
+
+/** Base class for the stream / GHB / stride prefetchers. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** "No limit" budget for observe(). */
+    static constexpr std::size_t kUnlimited = ~std::size_t{0};
+
+    /**
+     * Observe one demand L2 access and append at most @p budget prefetch
+     * candidates (cache-block addresses) to @p out. @p budget is the
+     * free space in the Prefetch Request Queue: a hardware prefetcher
+     * only generates requests the queue can accept, and retries from the
+     * same point on the next trigger rather than losing coverage.
+     * The memory system further filters candidates against L2 contents
+     * and MSHRs.
+     */
+    void
+    observe(const PrefetchObservation &obs, std::vector<BlockAddr> &out,
+            std::size_t budget = kUnlimited)
+    {
+        doObserve(obs, out, budget);
+    }
+
+    /** Select the aggressiveness level (1..5, paper Table 1). */
+    virtual void setAggressiveness(unsigned level) = 0;
+
+    /** Current aggressiveness level (1..5). */
+    virtual unsigned aggressiveness() const = 0;
+
+    /** Short identifier, e.g. "stream". */
+    virtual const char *name() const = 0;
+
+    /** Drop all learned state (streams, history, strides). */
+    virtual void reset() = 0;
+
+  protected:
+    /** Implementation of observe(); see the public wrapper. */
+    virtual void doObserve(const PrefetchObservation &obs,
+                           std::vector<BlockAddr> &out,
+                           std::size_t budget) = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_PREFETCH_PREFETCHER_HH

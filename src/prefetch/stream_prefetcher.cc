@@ -1,0 +1,241 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherParams &params)
+    : params_(params), level_(params.initialLevel),
+      entries_(params.numStreams)
+{
+    if (params_.numStreams == 0)
+        fatal("stream prefetcher needs at least one tracking entry");
+    setAggressiveness(params_.initialLevel);
+}
+
+void
+StreamPrefetcher::setAggressiveness(unsigned level)
+{
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        panic("stream prefetcher: bad aggressiveness level %u", level);
+    level_ = level;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    tick_ = 0;
+}
+
+bool
+StreamPrefetcher::inMonitorRegion(const Entry &e, std::int64_t block)
+{
+    const std::int64_t lo = std::min(e.startPtr, e.endPtr);
+    const std::int64_t hi = std::max(e.startPtr, e.endPtr);
+    return block >= lo && block <= hi;
+}
+
+bool
+StreamPrefetcher::inTrainWindow(const Entry &e, std::int64_t block) const
+{
+    return std::llabs(block - e.firstMiss) <=
+           static_cast<std::int64_t>(params_.trainWindow);
+}
+
+unsigned
+StreamPrefetcher::effectiveDistance() const
+{
+    const unsigned active = std::max(1u, numActiveStreams());
+    const unsigned share =
+        std::max(degree(), params_.queueShareBudget / active);
+    return std::min(distance(), share);
+}
+
+void
+StreamPrefetcher::issueFromEntry(Entry &e, std::vector<BlockAddr> &out,
+                                 std::size_t budget)
+{
+    const std::int64_t n = std::min<std::int64_t>(
+        degree(), static_cast<std::int64_t>(
+                      std::min<std::size_t>(budget, kMaxAggrLevel * 64)));
+    const std::int64_t dist = effectiveDistance();
+    if (n == 0)
+        return;
+
+    // If the distance was lowered (FDP throttling down), pull the end
+    // pointer back so new requests stay within the new distance of the
+    // demand stream; already-issued blocks beyond it are simply
+    // re-covered later and dropped as cache hits.
+    if (std::llabs(e.endPtr - e.startPtr) > dist)
+        e.endPtr = e.startPtr + e.dir * dist;
+
+    for (std::int64_t i = 1; i <= n; ++i) {
+        const std::int64_t block = e.endPtr + e.dir * i;
+        if (block < 0)
+            break;  // descending stream ran off the address space
+        out.push_back(static_cast<BlockAddr>(block));
+    }
+
+    // Slide the monitored region: until it spans Prefetch Distance only
+    // the end pointer advances; afterwards both pointers advance so that
+    // P stays Prefetch Distance ahead of the demand stream.
+    const std::int64_t size = std::llabs(e.endPtr - e.startPtr);
+    e.endPtr += e.dir * n;
+    if (size >= dist)
+        e.startPtr += e.dir * n;
+}
+
+void
+StreamPrefetcher::startRamp(Entry &e, std::int64_t region_start,
+                            std::int64_t ramp_from,
+                            std::vector<BlockAddr> &out, std::size_t budget)
+{
+    // The start-up window is what establishes the prefetch distance:
+    // degree-per-trigger alone can never open a gap because triggers
+    // arrive once per consumed block (paper footnote 5).
+    const std::int64_t startup = std::min<std::int64_t>(
+        effectiveDistance(),
+        static_cast<std::int64_t>(std::min<std::size_t>(budget, 64)));
+    e.startPtr = region_start;
+    for (std::int64_t i = 1; i <= startup; ++i) {
+        const std::int64_t pf = ramp_from + e.dir * i;
+        if (pf < 0)
+            break;
+        out.push_back(static_cast<BlockAddr>(pf));
+    }
+    e.endPtr = ramp_from + e.dir * startup;
+}
+
+StreamPrefetcher::Entry &
+StreamPrefetcher::allocateEntry()
+{
+    Entry *victim = &entries_.front();
+    for (auto &e : entries_) {
+        if (e.state == State::Invalid)
+            return e;
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return *victim;
+}
+
+void
+StreamPrefetcher::doObserve(const PrefetchObservation &obs,
+                            std::vector<BlockAddr> &out,
+                            std::size_t budget)
+{
+    const auto block = static_cast<std::int64_t>(obs.block);
+    ++tick_;
+
+    // Any demand access (hit or miss) inside a monitored region triggers
+    // the next batch of prefetch requests. A demand *miss* that has
+    // overtaken the region (the ramp was starved of queue budget, or
+    // prefetches were dropped) re-anchors the stream and restarts the
+    // ramp - otherwise the entry silently dies and coverage collapses.
+    const auto w = static_cast<std::int64_t>(params_.trainWindow);
+    for (auto &e : entries_) {
+        if (e.state != State::MonitorRequest)
+            continue;
+        if (inMonitorRegion(e, block)) {
+            e.lastUse = tick_;
+            issueFromEntry(e, out, budget);
+            return;
+        }
+        const std::int64_t front = e.dir > 0
+                                       ? std::max(e.startPtr, e.endPtr)
+                                       : std::min(e.startPtr, e.endPtr);
+        const std::int64_t overshoot = (block - front) * e.dir;
+        if (obs.miss && overshoot > 0 && overshoot <= w) {
+            e.lastUse = tick_;
+            startRamp(e, block, block, out, budget);
+            return;
+        }
+    }
+
+    if (!obs.miss)
+        return;  // hits outside monitored regions do not train streams
+
+    // A miss trailing just behind an existing monitored stream belongs
+    // to that stream (a demand catching a still-in-flight prefetch
+    // behind the start pointer): it must not allocate a duplicate
+    // tracking entry, which would train a redundant stream and flood
+    // the prefetch request queue with copies.
+    for (auto &e : entries_) {
+        if (e.state != State::MonitorRequest)
+            continue;
+        const std::int64_t lo = std::min(e.startPtr, e.endPtr) - w;
+        const std::int64_t hi = std::max(e.startPtr, e.endPtr) + w;
+        if (block >= lo && block <= hi) {
+            e.lastUse = tick_;
+            return;
+        }
+    }
+
+    // Misses train an existing Allocated/Training entry...
+    for (auto &e : entries_) {
+        if (e.state != State::Allocated && e.state != State::Training)
+            continue;
+        if (!inTrainWindow(e, block))
+            continue;
+
+        e.lastUse = tick_;
+        if (block == e.firstMiss || block == e.lastMiss)
+            return;  // repeated miss on an in-flight block: no information
+
+        if (e.state == State::Allocated) {
+            e.dir = block > e.firstMiss ? 1 : -1;
+            e.lastMiss = block;
+            e.state = State::Training;
+            return;
+        }
+
+        // Training: a second delta in the same direction confirms the
+        // stream; a reversal restarts training from this miss.
+        const int dir2 = block > e.lastMiss ? 1 : -1;
+        if (dir2 != e.dir) {
+            e.dir = block > e.firstMiss ? 1 : -1;
+            e.lastMiss = block;
+            return;
+        }
+
+        e.state = State::MonitorRequest;
+        // The region begins at the allocating miss (paper footnote 5).
+        startRamp(e, e.firstMiss, block, out, budget);
+        return;
+    }
+
+    // ...or allocate a fresh entry when no tracking entry matches.
+    Entry &e = allocateEntry();
+    e = Entry{};
+    e.state = State::Allocated;
+    e.firstMiss = block;
+    e.lastMiss = block;
+    e.lastUse = tick_;
+}
+
+unsigned
+StreamPrefetcher::numActiveStreams() const
+{
+    return static_cast<unsigned>(std::count_if(
+        entries_.begin(), entries_.end(), [this](const Entry &e) {
+            return e.state == State::MonitorRequest &&
+                   tick_ - e.lastUse <= params_.activityWindow;
+        }));
+}
+
+unsigned
+StreamPrefetcher::numMonitoringStreams() const
+{
+    return static_cast<unsigned>(
+        std::count_if(entries_.begin(), entries_.end(), [](const Entry &e) {
+            return e.state == State::MonitorRequest;
+        }));
+}
+
+} // namespace fdp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * IBM POWER4-style stream prefetcher (paper Section 2.1).
+ *
+ * Tracks up to 64 access streams. Each tracking entry walks the
+ * Invalid -> Allocated -> Training -> Monitor-and-Request state machine:
+ * a demand L2 miss allocates an entry, the next two misses within +/-16
+ * blocks train the direction, and once trained the entry monitors the
+ * region between its start pointer (A) and end pointer (P). A demand L2
+ * access inside the monitored region requests blocks [P+1 .. P+N] and
+ * slides the region forward, keeping P at most Prefetch Distance ahead.
+ */
+
+#ifndef FDP_PREFETCH_STREAM_PREFETCHER_HH
+#define FDP_PREFETCH_STREAM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace fdp
+{
+
+/** Configuration knobs for the stream prefetcher. */
+struct StreamPrefetcherParams
+{
+    /** Number of stream tracking entries. */
+    unsigned numStreams = 64;
+    /** Training window around the first miss, in blocks. */
+    unsigned trainWindow = 16;
+    /**
+     * Aggregate requested-but-unconsumed window the engine paces itself
+     * to (the Prefetch Request Queue plus headroom). Each monitoring
+     * stream gets an equal share, so a few early streams cannot
+     * monopolize the queue and starve later ones.
+     */
+    unsigned queueShareBudget = 192;
+    /**
+     * A monitoring entry counts toward the pacing share only if it
+     * triggered within this many observations: stale entries from
+     * ended streams must not throttle live ones.
+     */
+    std::uint64_t activityWindow = 1024;
+    /** Initial aggressiveness level (1..5). */
+    unsigned initialLevel = kInitialAggrLevel;
+};
+
+/** Multi-stream sequential prefetcher with 4-state tracking entries. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    /** Per-entry state machine states (paper Section 2.1). */
+    enum class State : std::uint8_t
+    {
+        Invalid,
+        Allocated,
+        Training,
+        MonitorRequest,
+    };
+
+    explicit StreamPrefetcher(const StreamPrefetcherParams &params = {});
+
+    void setAggressiveness(unsigned level) override;
+    unsigned aggressiveness() const override { return level_; }
+    const char *name() const override { return "stream"; }
+    void reset() override;
+
+    /** Current prefetch distance (blocks P may run ahead of A). */
+    unsigned distance() const { return kStreamAggrTable[level_].distance; }
+
+    /** Distance after queue-share pacing across active streams. */
+    unsigned effectiveDistance() const;
+
+    /** Current prefetch degree (blocks requested per trigger). */
+    unsigned degree() const { return kStreamAggrTable[level_].degree; }
+
+    /** Number of entries currently in the Monitor-and-Request state. */
+    unsigned numMonitoringStreams() const;
+
+    /** Monitoring entries that triggered within the activity window. */
+    unsigned numActiveStreams() const;
+
+    /** State of tracking entry @p idx (for tests). */
+    State entryState(unsigned idx) const { return entries_.at(idx).state; }
+
+  private:
+    struct Entry
+    {
+        State state = State::Invalid;
+        int dir = 1;             // +1 ascending, -1 descending
+        std::int64_t firstMiss = 0;
+        std::int64_t lastMiss = 0;
+        std::int64_t startPtr = 0;  // A
+        std::int64_t endPtr = 0;    // P
+        std::uint64_t lastUse = 0;  // LRU timestamp
+    };
+
+    /** Monitor-region hit test. */
+    static bool inMonitorRegion(const Entry &e, std::int64_t block);
+
+    /** Training-window hit test (anchored at the entry's first miss). */
+    bool inTrainWindow(const Entry &e, std::int64_t block) const;
+
+    void doObserve(const PrefetchObservation &obs,
+                   std::vector<BlockAddr> &out,
+                   std::size_t budget) override;
+
+    /** Issue up to min(degree, budget) prefetches past P and slide the
+     *  region by the number actually issued. */
+    void issueFromEntry(Entry &e, std::vector<BlockAddr> &out,
+                        std::size_t budget);
+
+    /**
+     * (Re)start the monitored region at @p anchor and request the
+     * start-up window (prefetch distance, bounded by @p budget). Used
+     * when training completes and when the demand stream overtakes a
+     * region whose ramp was starved of queue budget.
+     */
+    void startRamp(Entry &e, std::int64_t region_start,
+                   std::int64_t ramp_from, std::vector<BlockAddr> &out,
+                   std::size_t budget);
+
+    /** Pick a victim entry: any Invalid entry, else the LRU one. */
+    Entry &allocateEntry();
+
+    StreamPrefetcherParams params_;
+    unsigned level_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_PREFETCH_STREAM_PREFETCHER_HH

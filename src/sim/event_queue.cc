@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+void
+EventQueue::schedule(Cycle when, Callback fn)
+{
+    if (when < horizon_)
+        panic("event scheduled at cycle %llu before horizon %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(horizon_));
+    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::serviceUntil(Cycle now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Move the callback out before popping: the callback may schedule
+        // new events, which mutates the heap underneath a held reference.
+        Event ev = heap_.top();
+        heap_.pop();
+        horizon_ = ev.when;
+        ++serviced_;
+        ev.fn();
+    }
+    if (now > horizon_)
+        horizon_ = now;
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? kNoCycle : heap_.top().when;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    nextSeq_ = 0;
+    serviced_ = 0;
+    horizon_ = 0;
+}
+
+} // namespace fdp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal discrete-event kernel.
+ *
+ * The CPU model steps cycle by cycle; memory-system components schedule
+ * completion callbacks on this queue. Events scheduled for the same cycle
+ * fire in scheduling order (FIFO), which keeps the simulation deterministic.
+ */
+
+#ifndef FDP_SIM_EVENT_QUEUE_HH
+#define FDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** Ordered queue of timed callbacks driving the simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p fn to run at absolute cycle @p when.
+     * Scheduling in the past (before the last serviced cycle) is a bug.
+     */
+    void schedule(Cycle when, Callback fn);
+
+    /** Run every event with time <= @p now, in (time, FIFO) order. */
+    void serviceUntil(Cycle now);
+
+    /** Cycle of the earliest pending event, or kNoCycle if none. */
+    Cycle nextEventCycle() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Total events serviced since construction (for stats/tests). */
+    std::uint64_t serviced() const { return serviced_; }
+
+    /** Last cycle passed to serviceUntil(). */
+    Cycle horizon() const { return horizon_; }
+
+    /** Drop all pending events and reset the horizon. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t serviced_ = 0;
+    Cycle horizon_ = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  - a simulator bug; aborts.
+ * fatal()  - a user/configuration error; exits with status 1.
+ * warn()   - something works but is suspicious.
+ * inform() - plain status output.
+ */
+
+#ifndef FDP_SIM_LOGGING_HH
+#define FDP_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace fdp
+{
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+formatMessage(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt,
+                                    std::forward<Args>(args)...);
+        std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+        if (n > 0)
+            std::snprintf(out.data(), out.size() + 1, fmt,
+                          std::forward<Args>(args)...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::formatMessage(fmt, std::forward<Args>(args)...)
+                     .c_str());
+    std::abort();
+}
+
+/** Report an unrecoverable user/configuration error and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::formatMessage(fmt, std::forward<Args>(args)...)
+                     .c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(fmt, std::forward<Args>(args)...)
+                     .c_str());
+}
+
+/** Report plain status output. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(fmt, std::forward<Args>(args)...)
+                     .c_str());
+}
+
+} // namespace fdp
+
+#endif // FDP_SIM_LOGGING_HH

@@ -1,0 +1,83 @@
+#include "sim/stats.hh"
+
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+ScalarStat::ScalarStat(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.scalars_.push_back(this);
+}
+
+DistributionStat::DistributionStat(StatGroup &group, std::string name,
+                                   std::string desc, std::size_t buckets)
+    : name_(std::move(name)), desc_(std::move(desc)), buckets_(buckets, 0)
+{
+    group.distributions_.push_back(this);
+}
+
+void
+DistributionStat::sample(std::size_t bucket, std::uint64_t count)
+{
+    if (bucket >= buckets_.size())
+        panic("distribution %s: bucket %zu out of %zu", name_.c_str(),
+              bucket, buckets_.size());
+    buckets_[bucket] += count;
+}
+
+std::uint64_t
+DistributionStat::total() const
+{
+    return std::accumulate(buckets_.begin(), buckets_.end(),
+                           std::uint64_t{0});
+}
+
+double
+DistributionStat::fraction(std::size_t i) const
+{
+    const std::uint64_t sum = total();
+    return sum == 0 ? 0.0
+                    : static_cast<double>(buckets_.at(i)) /
+                          static_cast<double>(sum);
+}
+
+void
+DistributionStat::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+void
+StatGroup::dump(std::FILE *out) const
+{
+    for (const auto *s : scalars_) {
+        std::fprintf(out, "%s.%-32s %12llu  # %s\n", name_.c_str(),
+                     s->name().c_str(),
+                     static_cast<unsigned long long>(s->value()),
+                     s->desc().c_str());
+    }
+    for (const auto *d : distributions_) {
+        for (std::size_t i = 0; i < d->numBuckets(); ++i) {
+            std::fprintf(out, "%s.%s[%zu] %12llu  # %s\n", name_.c_str(),
+                         d->name().c_str(), i,
+                         static_cast<unsigned long long>(d->bucket(i)),
+                         d->desc().c_str());
+        }
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : scalars_)
+        s->reset();
+    for (auto *d : distributions_)
+        d->reset();
+}
+
+} // namespace fdp

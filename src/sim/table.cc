@@ -1,0 +1,118 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    if (!rows_.empty())
+        panic("table %s: header set after rows", title_.c_str());
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("table %s: row width %zu != header width %zu", title_.c_str(),
+              row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addRule()
+{
+    rulesBefore_.push_back(rows_.size());
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_rule = [&]() {
+        std::fputc('+', out);
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::fputc('-', out);
+            std::fputc('+', out);
+        }
+        std::fputc('\n', out);
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells,
+                           bool left_first) {
+        std::fputc('|', out);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const bool left = left_first && c == 0;
+            std::fprintf(out, left ? " %-*s |" : " %*s |",
+                         static_cast<int>(width[c]), cells[c].c_str());
+        }
+        std::fputc('\n', out);
+    };
+
+    std::fprintf(out, "\n== %s ==\n", title_.c_str());
+    print_rule();
+    print_cells(header_, true);
+    print_rule();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(rulesBefore_.begin(), rulesBefore_.end(), r) !=
+            rulesBefore_.end())
+            print_rule();
+        print_cells(rows_[r], true);
+    }
+    print_rule();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+double
+gmean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            panic("gmean: non-positive input %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double
+amean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+} // namespace fdp

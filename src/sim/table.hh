@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark harness output.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure;
+ * this class keeps that output aligned and uniform.
+ */
+
+#ifndef FDP_SIM_TABLE_HH
+#define FDP_SIM_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fdp
+{
+
+/** Column-aligned ASCII table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header; must be called before the first row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal rule before the next row (e.g. above means). */
+    void addRule();
+
+    /** Render the table to @p out. */
+    void print(std::FILE *out = stdout) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> rulesBefore_;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a percentage (0.137 -> "13.7%"). */
+std::string fmtPercent(double v, int decimals = 1);
+
+/** Geometric mean; zero/negative entries are a caller bug. */
+double gmean(const std::vector<double> &v);
+
+/** Arithmetic mean of @p v (0 for empty input). */
+double amean(const std::vector<double> &v);
+
+} // namespace fdp
+
+#endif // FDP_SIM_TABLE_HH

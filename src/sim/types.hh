@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator subsystem.
+ */
+
+#ifndef FDP_SIM_TYPES_HH
+#define FDP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace fdp
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Cache-block address (byte address >> log2(block size)). */
+using BlockAddr = std::uint64_t;
+
+/** Simulated processor clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing statistic counter. */
+using Counter = std::uint64_t;
+
+/** Sentinel meaning "no cycle" / "never". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Log2 of the cache block size used throughout the hierarchy (64B). */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Cache block size in bytes. */
+inline constexpr unsigned kBlockBytes = 1u << kBlockShift;
+
+/** Convert a byte address to a cache-block address. */
+constexpr BlockAddr
+blockAddr(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Convert a cache-block address back to the block's base byte address. */
+constexpr Addr
+blockBase(BlockAddr block)
+{
+    return block << kBlockShift;
+}
+
+} // namespace fdp
+
+#endif // FDP_SIM_TYPES_HH

@@ -1,0 +1,188 @@
+#include "workload/generators.hh"
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    const double mix = params_.pStream + params_.pHot + params_.pChase +
+                       params_.pRandom;
+    if (mix > 1.0)
+        fatal("workload %s: op-mix probabilities sum to %f > 1",
+              params_.name.c_str(), mix);
+    if (params_.pChase > 0.0 &&
+        (params_.chaseBlocks & (params_.chaseBlocks - 1)) != 0)
+        fatal("workload %s: chaseBlocks must be a power of two",
+              params_.name.c_str());
+    if (params_.pStream > 0.0 && params_.numStreams == 0)
+        fatal("workload %s: pStream > 0 needs numStreams > 0",
+              params_.name.c_str());
+    reset();
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = Rng(params_.seed);
+    streams_.assign(params_.numStreams, Stream{});
+    for (unsigned i = 0; i < params_.numStreams; ++i) {
+        streams_[i].pc = 0x4000 + 4 * i;
+        respawnStream(streams_[i]);
+    }
+    nextStream_ = 0;
+    chaseCur_ = rng_.range(std::max<unsigned>(params_.chaseBlocks, 1));
+    chaseSeqAddr_ = kChaseRegionBase;
+
+    hotOrder_.clear();
+    hotCursor_ = 0;
+    if (params_.hotPattern == SyntheticParams::HotPattern::Sweep &&
+        params_.hotBlocks > 0) {
+        hotOrder_.resize(params_.hotBlocks);
+        for (std::uint32_t i = 0; i < params_.hotBlocks; ++i)
+            hotOrder_[i] = i;
+        // Fisher-Yates with the workload's own Rng: the same seed always
+        // produces the same (scattered, untrainable) sweep order.
+        for (std::size_t i = hotOrder_.size(); i > 1; --i)
+            std::swap(hotOrder_[i - 1], hotOrder_[rng_.range(i)]);
+    }
+}
+
+void
+SyntheticWorkload::respawnStream(Stream &s)
+{
+    const Addr span = kStreamRegionSize / kBlockBytes;
+    s.cur = kStreamRegionBase + blockBase(rng_.range(span));
+    s.dir = rng_.chance(params_.descendingFrac) ? -1 : 1;
+    s.remainingBytes =
+        std::uint64_t{params_.streamLenBlocks} * kBlockBytes;
+}
+
+MicroOp
+SyntheticWorkload::streamOp()
+{
+    Stream &s = streams_[nextStream_];
+    nextStream_ = (nextStream_ + 1) % streams_.size();
+
+    MicroOp op;
+    op.kind = rng_.range(100) < params_.storePercent ? OpKind::Store
+                                                     : OpKind::Load;
+    op.addr = s.cur;
+    op.pc = s.pc;
+
+    const Addr step = params_.accessStrideBytes;
+    s.cur = s.dir > 0 ? s.cur + step : s.cur - step;
+    s.remainingBytes = s.remainingBytes > step ? s.remainingBytes - step : 0;
+    if (s.remainingBytes == 0)
+        respawnStream(s);
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::hotOp()
+{
+    MicroOp op;
+    op.kind = rng_.range(100) < params_.storePercent ? OpKind::Store
+                                                     : OpKind::Load;
+    Addr block;
+    if (params_.hotPattern == SyntheticParams::HotPattern::Sweep) {
+        block = hotOrder_[hotCursor_];
+        hotCursor_ = (hotCursor_ + 1) % hotOrder_.size();
+    } else {
+        block = rng_.range(params_.hotBlocks);
+    }
+    const Addr word = rng_.range(kBlockBytes / 8) * 8;
+    op.addr = kHotRegionBase + blockBase(block) + word;
+    op.pc = 0x8000 + 4 * (rng_.range(16));
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::chaseOp()
+{
+    MicroOp op;
+    op.kind = OpKind::Load;
+    op.depPrevLoad = true;
+    op.pc = 0xc000;
+
+    if (params_.chaseSequential) {
+        // Sequential dependent walk: prefetchable, but the demand rate is
+        // bounded only by the chain latency, so prefetches run late.
+        op.addr = chaseSeqAddr_;
+        chaseSeqAddr_ += 8;
+        return op;
+    }
+
+    // Permuted cycle through the chase region: a full-period affine step
+    // keeps the walk deterministic but scattered (unprefetchable).
+    const std::uint64_t n = params_.chaseBlocks;
+    chaseCur_ = (chaseCur_ * 5 + 1) & (n - 1);
+    op.addr = kChaseRegionBase + blockBase(chaseCur_);
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::randomOp()
+{
+    MicroOp op;
+    op.kind = rng_.range(100) < params_.storePercent ? OpKind::Store
+                                                     : OpKind::Load;
+    const Addr span = kRandomRegionSize / kBlockBytes;
+    op.addr = kRandomRegionBase + blockBase(rng_.range(span));
+    op.pc = 0x10000 + 4 * (rng_.range(64));
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::next()
+{
+    double x = rng_.uniform();
+    if (x < params_.pStream)
+        return streamOp();
+    x -= params_.pStream;
+    if (x < params_.pHot)
+        return hotOp();
+    x -= params_.pHot;
+    if (x < params_.pChase)
+        return chaseOp();
+    x -= params_.pChase;
+    if (x < params_.pRandom)
+        return randomOp();
+    return MicroOp{};  // Int op
+}
+
+PhasedWorkload::PhasedWorkload(std::unique_ptr<Workload> a,
+                               std::unique_ptr<Workload> b,
+                               std::uint64_t phaseOps, std::string name)
+    : a_(std::move(a)), b_(std::move(b)), phaseOps_(phaseOps),
+      name_(std::move(name))
+{
+    if (phaseOps_ == 0)
+        fatal("phased workload needs a nonzero phase length");
+}
+
+unsigned
+PhasedWorkload::currentPhase() const
+{
+    return static_cast<unsigned>((count_ / phaseOps_) % 2);
+}
+
+MicroOp
+PhasedWorkload::next()
+{
+    Workload &w = currentPhase() == 0 ? *a_ : *b_;
+    ++count_;
+    return w.next();
+}
+
+void
+PhasedWorkload::reset()
+{
+    a_->reset();
+    b_->reset();
+    count_ = 0;
+}
+
+} // namespace fdp

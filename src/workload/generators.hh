@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * One generator class covers every SPEC stand-in by mixing four memory
+ * behaviors, selected per micro-op with configured probabilities:
+ *
+ *  - stream: round-robin walks over long sequential regions (trains the
+ *    stream prefetcher; long streams -> high accuracy, short -> low);
+ *  - hot:    uniform reuse of a fixed working set (the data aggressive
+ *    prefetching can pollute);
+ *  - chase:  dependent (pointer-chasing) loads, either scattered through
+ *    a permuted cycle (irregular, unprefetchable) or sequential
+ *    (prefetchable but demand-rate-bound -> late prefetches);
+ *  - random: uniform cold misses in a huge region (untrainable noise).
+ *
+ * The remainder of the op mix is single-cycle Int work. Everything is
+ * driven by a seeded Rng, so traces replay exactly.
+ */
+
+#ifndef FDP_WORKLOAD_GENERATORS_HH
+#define FDP_WORKLOAD_GENERATORS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "workload/workload.hh"
+
+namespace fdp
+{
+
+/** Knobs of the synthetic generator (see file comment). */
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+
+    /// @name Op mix: probabilities of each memory behavior per micro-op.
+    /// The remainder (1 - sum) is Int work.
+    /// @{
+    double pStream = 0.0;
+    double pHot = 0.0;
+    double pChase = 0.0;
+    double pRandom = 0.0;
+    /// @}
+
+    /** Percentage of (non-chase) memory ops that are stores. */
+    unsigned storePercent = 20;
+
+    /// @name Stream behavior
+    /// @{
+    unsigned numStreams = 4;
+    unsigned streamLenBlocks = 1024;   ///< blocks before a stream respawns
+    unsigned accessStrideBytes = 8;    ///< per-access stride within streams
+    double descendingFrac = 0.0;       ///< fraction of descending streams
+    /// @}
+
+    /// @name Hot-set behavior
+    /// @{
+    unsigned hotBlocks = 1024;
+    /**
+     * Access pattern over the hot set. Uniform models scattered reuse
+     * (very pollution-resistant: hot blocks are constantly re-promoted).
+     * Sweep walks a fixed pseudo-random permutation cyclically, giving
+     * every block the same LRU reuse distance - the loopy array-sweep
+     * reuse of art/ammp that prefetcher pollution destroys.
+     */
+    enum class HotPattern : std::uint8_t { Uniform, Sweep };
+    HotPattern hotPattern = HotPattern::Uniform;
+    /// @}
+
+    /// @name Chase behavior
+    /// @{
+    unsigned chaseBlocks = 1 << 15;    ///< power of two
+    bool chaseSequential = false;      ///< sequential dependent walk
+    /// @}
+
+    std::uint64_t seed = 1;
+};
+
+/** The configurable synthetic micro-op stream. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(const SyntheticParams &params);
+
+    MicroOp next() override;
+    void reset() override;
+    const char *name() const override { return params_.name.c_str(); }
+
+    const SyntheticParams &params() const { return params_; }
+
+  private:
+    struct Stream
+    {
+        Addr cur = 0;
+        std::uint64_t remainingBytes = 0;
+        int dir = 1;
+        Addr pc = 0;
+    };
+
+    MicroOp streamOp();
+    MicroOp hotOp();
+    MicroOp chaseOp();
+    MicroOp randomOp();
+    void respawnStream(Stream &s);
+
+    SyntheticParams params_;
+    Rng rng_;
+    std::vector<Stream> streams_;
+    unsigned nextStream_ = 0;
+    std::uint64_t chaseCur_ = 0;
+    Addr chaseSeqAddr_ = 0;
+    /** Fixed visit order for HotPattern::Sweep. */
+    std::vector<std::uint32_t> hotOrder_;
+    std::size_t hotCursor_ = 0;
+};
+
+/**
+ * Alternates between two sub-workloads every @p phaseOps micro-ops,
+ * exercising FDP's interval-based adaptation (examples + tests).
+ */
+class PhasedWorkload : public Workload
+{
+  public:
+    PhasedWorkload(std::unique_ptr<Workload> a, std::unique_ptr<Workload> b,
+                   std::uint64_t phaseOps, std::string name);
+
+    MicroOp next() override;
+    void reset() override;
+    const char *name() const override { return name_.c_str(); }
+
+    /** Which phase (0 or 1) the next op comes from. */
+    unsigned currentPhase() const;
+
+  private:
+    std::unique_ptr<Workload> a_;
+    std::unique_ptr<Workload> b_;
+    std::uint64_t phaseOps_;
+    std::uint64_t count_ = 0;
+    std::string name_;
+};
+
+/// @name Address-space layout of the synthetic generators
+/// Regions are disjoint so behaviors never alias.
+/// @{
+inline constexpr Addr kHotRegionBase = 0x1'0000'0000ull;
+inline constexpr Addr kChaseRegionBase = 0x2'0000'0000ull;
+inline constexpr Addr kStreamRegionBase = 0x40'0000'0000ull;
+inline constexpr Addr kStreamRegionSize = 0x100'0000'0000ull;  // 1 TB
+inline constexpr Addr kRandomRegionBase = 0x200'0000'0000ull;
+inline constexpr Addr kRandomRegionSize = 0x100'0000'0000ull;  // 1 TB
+/// @}
+
+} // namespace fdp
+
+#endif // FDP_WORKLOAD_GENERATORS_HH

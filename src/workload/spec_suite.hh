@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic stand-ins for the 26 SPEC CPU2000 benchmarks (DESIGN.md §4).
+ *
+ * The 17 memory-intensive benchmarks of paper Figures 1-10 and the
+ * remaining 9 of Figure 14 each map to a SyntheticParams tuned to
+ * reproduce that benchmark's published qualitative behavior: streaming
+ * winners (swim, mgrid, ...), pollution victims (art, ammp), the
+ * high-accuracy/high-lateness case (mcf), mixed INT codes, and the
+ * quiet low-miss group.
+ */
+
+#ifndef FDP_WORKLOAD_SPEC_SUITE_HH
+#define FDP_WORKLOAD_SPEC_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generators.hh"
+
+namespace fdp
+{
+
+/** Names of the 17 memory-intensive benchmarks (paper Figures 1-10). */
+const std::vector<std::string> &memoryIntensiveBenchmarks();
+
+/** Names of the remaining 9 benchmarks (paper Figure 14). */
+const std::vector<std::string> &remainingBenchmarks();
+
+/** All 26 benchmark names. */
+std::vector<std::string> allBenchmarks();
+
+/** Generator parameters for @p name; fatal on unknown names. */
+const SyntheticParams &benchmarkParams(const std::string &name);
+
+/** Construct the generator for @p name. */
+std::unique_ptr<SyntheticWorkload> makeBenchmark(const std::string &name);
+
+} // namespace fdp
+
+#endif // FDP_WORKLOAD_SPEC_SUITE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Micro-op trace interface between workload generators and the core.
+ *
+ * The paper drives its simulator with SPEC CPU2000 binaries; this
+ * reproduction substitutes deterministic synthetic generators that
+ * produce an equivalent micro-op stream (see DESIGN.md Section 4).
+ */
+
+#ifndef FDP_WORKLOAD_WORKLOAD_HH
+#define FDP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** Kind of a micro-op as the core model distinguishes them. */
+enum class OpKind : std::uint8_t
+{
+    Int,    ///< non-memory work; completes in one cycle
+    Load,   ///< completes when the memory system responds
+    Store,  ///< issues to memory but never blocks retirement
+};
+
+/** One element of the instruction stream. */
+struct MicroOp
+{
+    OpKind kind = OpKind::Int;
+    Addr addr = 0;
+    Addr pc = 0;
+    /**
+     * True for loads whose address depends on the previous load's value
+     * (pointer chasing): the core serializes their memory accesses.
+     */
+    bool depPrevLoad = false;
+};
+
+/** Infinite deterministic micro-op stream. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next micro-op. */
+    virtual MicroOp next() = 0;
+
+    /** Restart the stream from the beginning (same seed). */
+    virtual void reset() = 0;
+
+    /** Identifier used in reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_WORKLOAD_WORKLOAD_HH

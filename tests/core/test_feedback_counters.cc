@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the interval-halved feedback counters (Equation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/feedback_counters.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(IntervalCounter, StartsAtZero)
+{
+    IntervalCounter c;
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_EQ(c.intervalValue(), 0u);
+}
+
+TEST(IntervalCounter, Equation1SingleInterval)
+{
+    IntervalCounter c;
+    c.increment(100);
+    c.endInterval();
+    // (0 + 100) / 2
+    EXPECT_DOUBLE_EQ(c.value(), 50.0);
+    EXPECT_EQ(c.intervalValue(), 0u);
+}
+
+TEST(IntervalCounter, Equation1TwoIntervals)
+{
+    IntervalCounter c;
+    c.increment(100);
+    c.endInterval();  // 50
+    c.increment(200);
+    c.endInterval();  // (50 + 200) / 2 = 125
+    EXPECT_DOUBLE_EQ(c.value(), 125.0);
+}
+
+TEST(IntervalCounter, RecentIntervalDominates)
+{
+    // A counter with long history converges toward the recent rate: after
+    // k identical intervals of v, value -> v (geometric series).
+    IntervalCounter c;
+    for (int i = 0; i < 30; ++i) {
+        c.increment(1000);
+        c.endInterval();
+    }
+    EXPECT_NEAR(c.value(), 1000.0, 0.01);
+}
+
+TEST(IntervalCounter, HistoryDecaysGeometrically)
+{
+    IntervalCounter c;
+    c.increment(1024);
+    c.endInterval();  // 512
+    for (int i = 0; i < 9; ++i)
+        c.endInterval();  // halves every empty interval
+    EXPECT_DOUBLE_EQ(c.value(), 1.0);  // 512 / 2^9
+}
+
+TEST(IntervalCounter, ResetClearsEverything)
+{
+    IntervalCounter c;
+    c.increment(10);
+    c.endInterval();
+    c.increment(5);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_EQ(c.intervalValue(), 0u);
+}
+
+TEST(FeedbackCounters, AccuracyRatio)
+{
+    FeedbackCounters fc;
+    for (int i = 0; i < 100; ++i)
+        fc.onPrefetchSent();
+    for (int i = 0; i < 60; ++i)
+        fc.onPrefetchUsed();
+    fc.endInterval();
+    EXPECT_NEAR(fc.accuracy(), 0.6, 1e-12);
+}
+
+TEST(FeedbackCounters, LatenessRatio)
+{
+    FeedbackCounters fc;
+    for (int i = 0; i < 50; ++i)
+        fc.onPrefetchUsed();
+    for (int i = 0; i < 10; ++i)
+        fc.onLatePrefetch();
+    fc.endInterval();
+    EXPECT_NEAR(fc.lateness(), 0.2, 1e-12);
+}
+
+TEST(FeedbackCounters, PollutionRatio)
+{
+    FeedbackCounters fc;
+    for (int i = 0; i < 200; ++i)
+        fc.onDemandMiss();
+    for (int i = 0; i < 20; ++i)
+        fc.onPollutionMiss();
+    fc.endInterval();
+    EXPECT_NEAR(fc.pollution(), 0.1, 1e-12);
+}
+
+TEST(FeedbackCounters, ZeroDenominatorsAreZero)
+{
+    FeedbackCounters fc;
+    fc.endInterval();
+    EXPECT_DOUBLE_EQ(fc.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(fc.lateness(), 0.0);
+    EXPECT_DOUBLE_EQ(fc.pollution(), 0.0);
+}
+
+TEST(FeedbackCounters, MetricsUseSmoothedValues)
+{
+    FeedbackCounters fc;
+    // Interval 1: perfect accuracy.
+    fc.onPrefetchSent();
+    fc.onPrefetchUsed();
+    fc.endInterval();
+    // Interval 2: 100 sent, none used.
+    for (int i = 0; i < 100; ++i)
+        fc.onPrefetchSent();
+    fc.endInterval();
+    // sent: (0.5 + 100)/2 = 50.25 ; used: (0.5 + 0)/2 = 0.25
+    EXPECT_NEAR(fc.accuracy(), 0.25 / 50.25, 1e-12);
+}
+
+TEST(FeedbackCounters, AccuracyBoundedByOne)
+{
+    // Every used prefetch was sent, so smoothed accuracy stays <= 1.
+    FeedbackCounters fc;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 37; ++i) {
+            fc.onPrefetchSent();
+            fc.onPrefetchUsed();
+        }
+        fc.endInterval();
+        EXPECT_LE(fc.accuracy(), 1.0 + 1e-12);
+    }
+}
+
+} // namespace
+} // namespace fdp

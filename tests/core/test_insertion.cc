@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for LRU-stack insertion position mapping (paper Section 3.3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/insertion.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(Insertion, SixteenWayPositions)
+{
+    // The paper's 16-way L2: MID = floor(16/2), LRU-4 = floor(16/4).
+    EXPECT_EQ(insertStackIndex(InsertPos::Lru, 16), 0u);
+    EXPECT_EQ(insertStackIndex(InsertPos::Lru4, 16), 4u);
+    EXPECT_EQ(insertStackIndex(InsertPos::Mid, 16), 8u);
+    EXPECT_EQ(insertStackIndex(InsertPos::Mru, 16), 15u);
+}
+
+TEST(Insertion, OrderingHoldsForAllAssociativities)
+{
+    for (unsigned assoc : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        EXPECT_LE(insertStackIndex(InsertPos::Lru, assoc),
+                  insertStackIndex(InsertPos::Lru4, assoc));
+        EXPECT_LE(insertStackIndex(InsertPos::Lru4, assoc),
+                  insertStackIndex(InsertPos::Mid, assoc));
+        EXPECT_LE(insertStackIndex(InsertPos::Mid, assoc),
+                  insertStackIndex(InsertPos::Mru, assoc));
+        EXPECT_LT(insertStackIndex(InsertPos::Mru, assoc), assoc);
+    }
+}
+
+TEST(Insertion, DegenerateAssociativity)
+{
+    // Direct-mapped: every position collapses to the only slot.
+    EXPECT_EQ(insertStackIndex(InsertPos::Lru, 1), 0u);
+    EXPECT_EQ(insertStackIndex(InsertPos::Mid, 1), 0u);
+    EXPECT_EQ(insertStackIndex(InsertPos::Mru, 1), 0u);
+}
+
+TEST(Insertion, Names)
+{
+    EXPECT_STREQ(insertPosName(InsertPos::Lru), "LRU");
+    EXPECT_STREQ(insertPosName(InsertPos::Lru4), "LRU-4");
+    EXPECT_STREQ(insertPosName(InsertPos::Mid), "MID");
+    EXPECT_STREQ(insertPosName(InsertPos::Mru), "MRU");
+}
+
+TEST(Insertion, EnumIsDenselyNumberedForDistributions)
+{
+    // The FDP insertion distribution indexes buckets by enum value.
+    EXPECT_EQ(static_cast<std::size_t>(InsertPos::Lru), 0u);
+    EXPECT_EQ(static_cast<std::size_t>(InsertPos::Lru4), 1u);
+    EXPECT_EQ(static_cast<std::size_t>(InsertPos::Mid), 2u);
+    EXPECT_EQ(static_cast<std::size_t>(InsertPos::Mru), 3u);
+    EXPECT_EQ(kNumInsertPos, 4u);
+}
+
+} // namespace
+} // namespace fdp

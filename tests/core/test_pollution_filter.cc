@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the Bloom-filter pollution tracker (Figure 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pollution_filter.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(PollutionFilter, StartsClear)
+{
+    PollutionFilter f;
+    EXPECT_EQ(f.size(), 4096u);
+    EXPECT_EQ(f.popcount(), 0u);
+    EXPECT_FALSE(f.demandMissCausedByPrefetcher(123));
+}
+
+TEST(PollutionFilter, EvictionSetsBit)
+{
+    PollutionFilter f;
+    f.onDemandBlockEvictedByPrefetch(123);
+    EXPECT_TRUE(f.demandMissCausedByPrefetcher(123));
+    EXPECT_EQ(f.popcount(), 1u);
+}
+
+TEST(PollutionFilter, PrefetchFillClearsBit)
+{
+    PollutionFilter f;
+    f.onDemandBlockEvictedByPrefetch(123);
+    f.onPrefetchFill(123);
+    EXPECT_FALSE(f.demandMissCausedByPrefetcher(123));
+}
+
+TEST(PollutionFilter, PaperIndexFunction)
+{
+    // Figure 4: index = addr[11:0] XOR addr[23:12] for a 4096-bit filter.
+    PollutionFilter f(4096);
+    const BlockAddr block = (0xABCull << 12) | 0x123;
+    EXPECT_EQ(f.indexOf(block), (0xABCu ^ 0x123u));
+}
+
+TEST(PollutionFilter, AliasingIsByDesign)
+{
+    PollutionFilter f(4096);
+    // Two blocks that XOR-fold to the same index alias.
+    const BlockAddr a = 0x0000;           // index 0
+    const BlockAddr b = (1ull << 12) | 1; // 1 ^ 1 = 0 -> also index 0
+    ASSERT_EQ(f.indexOf(a), f.indexOf(b));
+    f.onDemandBlockEvictedByPrefetch(a);
+    EXPECT_TRUE(f.demandMissCausedByPrefetcher(b));
+}
+
+TEST(PollutionFilter, HighBitsBeyond24Ignored)
+{
+    // Only addr[23:0] participates in the 4096-bit index function.
+    PollutionFilter f(4096);
+    EXPECT_EQ(f.indexOf(0x5A5), f.indexOf(0x5A5 | (1ull << 24)));
+    EXPECT_EQ(f.indexOf(0x5A5), f.indexOf(0x5A5 | (1ull << 40)));
+}
+
+TEST(PollutionFilter, ClearResetsAll)
+{
+    PollutionFilter f;
+    for (BlockAddr b = 0; b < 100; ++b)
+        f.onDemandBlockEvictedByPrefetch(b * 7);
+    EXPECT_GT(f.popcount(), 0u);
+    f.clear();
+    EXPECT_EQ(f.popcount(), 0u);
+}
+
+TEST(PollutionFilter, NonPowerOfTwoSizeIsFatal)
+{
+    EXPECT_DEATH({ PollutionFilter f(1000); }, "power of two");
+}
+
+TEST(PollutionFilter, SmallerFilterStillWorks)
+{
+    PollutionFilter f(256);
+    f.onDemandBlockEvictedByPrefetch(0x12345);
+    EXPECT_TRUE(f.demandMissCausedByPrefetcher(0x12345));
+    EXPECT_LT(f.indexOf(0xFFFFFF), 256u);
+}
+
+TEST(PollutionFilter, SetClearSetSequence)
+{
+    PollutionFilter f;
+    f.onDemandBlockEvictedByPrefetch(9);
+    f.onPrefetchFill(9);
+    f.onDemandBlockEvictedByPrefetch(9);
+    EXPECT_TRUE(f.demandMissCausedByPrefetcher(9));
+}
+
+TEST(PollutionFilter, IndependentBitsStayIndependent)
+{
+    PollutionFilter f;
+    f.onDemandBlockEvictedByPrefetch(1);
+    f.onDemandBlockEvictedByPrefetch(2);
+    f.onPrefetchFill(1);
+    EXPECT_FALSE(f.demandMissCausedByPrefetcher(1));
+    EXPECT_TRUE(f.demandMissCausedByPrefetcher(2));
+}
+
+} // namespace
+} // namespace fdp

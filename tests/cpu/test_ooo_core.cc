@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the out-of-order core model: width, ROB limits,
+ * non-blocking stores, dependent-load serialization, and MLP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+
+namespace fdp
+{
+namespace
+{
+
+/** Scripted workload: replays a fixed vector, then Int ops forever. */
+class ScriptWorkload : public Workload
+{
+  public:
+    explicit ScriptWorkload(std::vector<MicroOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        if (pos_ < ops_.size())
+            return ops_[pos_++];
+        return MicroOp{};
+    }
+
+    void reset() override { pos_ = 0; }
+    const char *name() const override { return "script"; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+MicroOp
+loadOp(Addr addr, bool dep = false)
+{
+    MicroOp op;
+    op.kind = OpKind::Load;
+    op.addr = addr;
+    op.pc = 0x100;
+    op.depPrevLoad = dep;
+    return op;
+}
+
+MicroOp
+storeOp(Addr addr)
+{
+    MicroOp op;
+    op.kind = OpKind::Store;
+    op.addr = addr;
+    op.pc = 0x104;
+    return op;
+}
+
+struct CoreSystem
+{
+    EventQueue events;
+    StatGroup fdp_stats{"fdp"};
+    StatGroup mem_stats{"mem"};
+    StatGroup core_stats{"core"};
+    FdpController fdp{makeParams(), nullptr, fdp_stats};
+    MachineParams machine;
+    MemorySystem mem{machine, events, nullptr, fdp, mem_stats};
+
+    static FdpParams
+    makeParams()
+    {
+        FdpParams p;
+        p.dynamicAggressiveness = false;
+        p.dynamicInsertion = false;
+        return p;
+    }
+
+    OooCore
+    makeCore(Workload &w, CoreParams cp = {})
+    {
+        return OooCore(cp, mem, events, w, core_stats);
+    }
+};
+
+TEST(OooCore, PureComputeRetiresAtFullWidth)
+{
+    CoreSystem s;
+    ScriptWorkload w({});
+    auto core = s.makeCore(w);
+    core.run(80000);
+    EXPECT_EQ(core.retired(), 80000u);
+    // 8-wide: IPC approaches 8 (pipeline fill costs a few cycles).
+    EXPECT_GT(core.ipc(), 7.5);
+    EXPECT_LE(core.ipc(), 8.0);
+}
+
+TEST(OooCore, SingleColdLoadCostsMemoryLatency)
+{
+    CoreSystem s;
+    ScriptWorkload w({loadOp(0x100000)});
+    auto core = s.makeCore(w);
+    core.run(1);
+    // ~512 cycles of memory latency dominate.
+    EXPECT_GT(core.cycles(), 500u);
+}
+
+TEST(OooCore, IndependentMissesOverlap)
+{
+    // Two independent cold loads to different banks should cost barely
+    // more than one (memory-level parallelism).
+    CoreSystem s1;
+    ScriptWorkload w1({loadOp(0x100000)});
+    auto c1 = s1.makeCore(w1);
+    c1.run(1);
+
+    CoreSystem s2;
+    // 0x102000 sits in the DRAM bank after 0x100000's: no bank conflict.
+    ScriptWorkload w2({loadOp(0x100000), loadOp(0x102000)});
+    auto c2 = s2.makeCore(w2);
+    c2.run(2);
+
+    EXPECT_LT(c2.cycles(), c1.cycles() + 100);
+}
+
+TEST(OooCore, DependentLoadsSerialize)
+{
+    CoreSystem s;
+    ScriptWorkload w({loadOp(0x100000), loadOp(0x900000, true)});
+    auto core = s.makeCore(w);
+    core.run(2);
+    // Two full memory latencies back to back.
+    EXPECT_GT(core.cycles(), 1000u);
+}
+
+TEST(OooCore, StoresDoNotBlockRetirement)
+{
+    CoreSystem s;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 64; ++i)
+        ops.push_back(storeOp(0x100000ull + 0x10000ull * i));
+    ScriptWorkload w(std::move(ops));
+    auto core = s.makeCore(w);
+    core.run(64);
+    // All stores miss, but retirement never waits for them.
+    EXPECT_LT(core.cycles(), 200u);
+}
+
+TEST(OooCore, RobBoundsMlp)
+{
+    // 256 independent cold misses with a 4-entry ROB: at most 4 in
+    // flight, so the run takes at least (256/4) * ~60-cycle transfer
+    // spacing; with a 128-entry ROB it's far faster.
+    auto run_with_rob = [](unsigned rob_size) {
+        CoreSystem s;
+        std::vector<MicroOp> ops;
+        // One DRAM row apart: spreads the misses over all 32 banks.
+        for (int i = 0; i < 256; ++i)
+            ops.push_back(loadOp(0x1000000ull + 0x2000ull * i));
+        ScriptWorkload w(std::move(ops));
+        CoreParams cp;
+        cp.robSize = rob_size;
+        auto core = s.makeCore(w, cp);
+        core.run(256);
+        return core.cycles();
+    };
+    const Cycle small = run_with_rob(4);
+    const Cycle big = run_with_rob(128);
+    EXPECT_GT(static_cast<double>(small), static_cast<double>(big) * 1.7);
+}
+
+TEST(OooCore, RetiredMatchesRequest)
+{
+    CoreSystem s;
+    ScriptWorkload w({loadOp(0x100000), storeOp(0x200000)});
+    auto core = s.makeCore(w);
+    core.run(1000);
+    EXPECT_EQ(core.retired(), 1000u);
+}
+
+TEST(OooCore, LoadStatsCounted)
+{
+    CoreSystem s;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 10; ++i)
+        ops.push_back(loadOp(0x100000 + i * 8));
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(storeOp(0x200000 + i * 8));
+    ScriptWorkload w(std::move(ops));
+    auto core = s.makeCore(w);
+    core.run(100);
+    std::uint64_t loads = 0, stores = 0;
+    for (const auto *st : s.core_stats.scalars()) {
+        if (st->name() == "loads")
+            loads = st->value();
+        if (st->name() == "stores")
+            stores = st->value();
+    }
+    EXPECT_EQ(loads, 10u);
+    EXPECT_EQ(stores, 5u);
+}
+
+TEST(OooCore, ChainedDependentLoadsAllComplete)
+{
+    CoreSystem s;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 20; ++i)
+        ops.push_back(loadOp(0x1000000ull + 0x10000ull * i, i > 0));
+    ScriptWorkload w(std::move(ops));
+    auto core = s.makeCore(w);
+    core.run(20);
+    EXPECT_EQ(core.retired(), 20u);
+    // Fully serialized: ~20 memory latencies.
+    EXPECT_GT(core.cycles(), 20u * 400u);
+}
+
+TEST(OooCore, L1HitLoadsAreFast)
+{
+    CoreSystem s;
+    std::vector<MicroOp> ops;
+    ops.push_back(loadOp(0x100000));
+    for (int i = 0; i < 1000; ++i)
+        ops.push_back(loadOp(0x100000 + (i % 8) * 8));
+    ScriptWorkload w(std::move(ops));
+    auto core = s.makeCore(w);
+    core.run(1001);
+    // After the first miss, everything hits the same L1 block.
+    EXPECT_LT(core.cycles(), 1500u);
+}
+
+} // namespace
+} // namespace fdp

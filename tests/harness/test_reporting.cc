@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the reporting helpers (means, deltas, table assembly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/reporting.hh"
+
+namespace fdp
+{
+namespace
+{
+
+RunResult
+res(const std::string &bench, double ipc, double bpki)
+{
+    RunResult r;
+    r.benchmark = bench;
+    r.ipc = ipc;
+    r.bpki = bpki;
+    return r;
+}
+
+TEST(Reporting, MeanOfGeometric)
+{
+    const std::vector<RunResult> v = {res("a", 2.0, 0), res("b", 8.0, 0)};
+    EXPECT_NEAR(meanOf(v, metricIpc, MeanKind::Geometric), 4.0, 1e-12);
+}
+
+TEST(Reporting, MeanOfArithmetic)
+{
+    const std::vector<RunResult> v = {res("a", 0, 10.0),
+                                      res("b", 0, 30.0)};
+    EXPECT_DOUBLE_EQ(meanOf(v, metricBpki, MeanKind::Arithmetic), 20.0);
+}
+
+TEST(Reporting, MeanOfNoneIsZero)
+{
+    const std::vector<RunResult> v = {res("a", 1.0, 1.0)};
+    EXPECT_DOUBLE_EQ(meanOf(v, metricIpc, MeanKind::None), 0.0);
+}
+
+TEST(Reporting, MeanDeltaSignsAndMagnitude)
+{
+    const std::vector<RunResult> base = {res("a", 1.0, 10.0)};
+    const std::vector<RunResult> faster = {res("a", 1.1, 8.0)};
+    EXPECT_NEAR(meanDelta(base, faster, metricIpc, MeanKind::Geometric),
+                0.10, 1e-12);
+    EXPECT_NEAR(meanDelta(base, faster, metricBpki, MeanKind::Arithmetic),
+                -0.20, 1e-12);
+}
+
+TEST(Reporting, BuildMetricTableShape)
+{
+    const std::vector<std::string> benches = {"a", "b"};
+    std::vector<std::vector<RunResult>> results = {
+        {res("a", 1.0, 0), res("b", 2.0, 0)},
+        {res("a", 1.5, 0), res("b", 2.5, 0)},
+    };
+    Table t = buildMetricTable("x", benches, {"c1", "c2"}, results,
+                               metricIpc, 2, MeanKind::Geometric);
+    EXPECT_EQ(t.numRows(), 3u);  // 2 benchmarks + gmean
+}
+
+TEST(Reporting, BuildMetricTableWithoutMean)
+{
+    const std::vector<std::string> benches = {"a"};
+    std::vector<std::vector<RunResult>> results = {{res("a", 1.0, 0)}};
+    Table t = buildMetricTable("x", benches, {"c1"}, results, metricIpc,
+                               2, MeanKind::None);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(ReportingDeath, MismatchedConfigCountDies)
+{
+    const std::vector<std::string> benches = {"a"};
+    std::vector<std::vector<RunResult>> results = {{res("a", 1.0, 0)}};
+    EXPECT_DEATH(buildMetricTable("x", benches, {"c1", "c2"}, results,
+                                  metricIpc, 2, MeanKind::None),
+                 "config names");
+}
+
+TEST(ReportingDeath, MismatchedBenchmarkCountDies)
+{
+    const std::vector<std::string> benches = {"a", "b"};
+    std::vector<std::vector<RunResult>> results = {{res("a", 1.0, 0)}};
+    EXPECT_DEATH(buildMetricTable("x", benches, {"c1"}, results,
+                                  metricIpc, 2, MeanKind::None),
+                 "results for");
+}
+
+TEST(Reporting, ConvenienceMetrics)
+{
+    RunResult r;
+    r.ipc = 1.5;
+    r.bpki = 9.0;
+    r.accuracy = 0.8;
+    r.lateness = 0.1;
+    r.pollution = 0.05;
+    EXPECT_DOUBLE_EQ(metricIpc(r), 1.5);
+    EXPECT_DOUBLE_EQ(metricBpki(r), 9.0);
+    EXPECT_DOUBLE_EQ(metricAccuracy(r), 0.8);
+    EXPECT_DOUBLE_EQ(metricLateness(r), 0.1);
+    EXPECT_DOUBLE_EQ(metricPollution(r), 0.05);
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Directional "shape" properties from the paper's evaluation, checked on
+ * shortened runs: who wins, who loses, and why (accuracy / lateness /
+ * pollution classes). Absolute magnitudes are checked loosely; the
+ * bench binaries report the full-size numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace fdp
+{
+namespace
+{
+
+RunConfig
+quick(RunConfig c, std::uint64_t insts = 600'000)
+{
+    c.numInsts = insts;
+    // Scaled-down runs get proportionally shorter sampling intervals so
+    // FDP completes as many adaptation steps as a full-length run.
+    c.fdp.intervalEvictions = 1024;
+    return c;
+}
+
+RunResult
+run(const char *bench, RunConfig c, const char *label)
+{
+    return runBenchmark(bench, c, label);
+}
+
+TEST(PaperShape, AggressivePrefetchingHelpsStreamingCodes)
+{
+    for (const char *b : {"swim", "mgrid", "applu"}) {
+        const auto none = run(b, quick(RunConfig::noPrefetching()), "none");
+        const auto va = run(b, quick(RunConfig::staticLevelConfig(5)), "va");
+        EXPECT_GT(va.ipc, none.ipc * 1.3)
+            << b << ": aggressive prefetching must be a big win";
+    }
+}
+
+TEST(PaperShape, StreamingCodesHaveHighAccuracy)
+{
+    for (const char *b : {"swim", "lucas"}) {
+        const auto va = run(b, quick(RunConfig::staticLevelConfig(5)), "va");
+        EXPECT_GT(va.accuracy, 0.6) << b;
+    }
+}
+
+TEST(PaperShape, AggressivePrefetchingHurtsArtAndAmmp)
+{
+    for (const char *b : {"art", "ammp"}) {
+        const auto none = run(b, quick(RunConfig::noPrefetching()), "none");
+        const auto va = run(b, quick(RunConfig::staticLevelConfig(5)), "va");
+        EXPECT_LT(va.ipc, none.ipc * 0.95)
+            << b << ": very aggressive prefetching must lose";
+        EXPECT_LT(va.accuracy, 0.45) << b << ": accuracy class is Low";
+    }
+}
+
+TEST(PaperShape, McfIsAccurateButLate)
+{
+    const auto va = run("mcf", quick(RunConfig::staticLevelConfig(1)),
+                        "vc");
+    EXPECT_GT(va.accuracy, 0.7) << "mcf accuracy is near perfect";
+    EXPECT_GT(va.lateness, 0.5) << "most useful prefetches are late";
+}
+
+TEST(PaperShape, LatenessDropsWithAggressiveness)
+{
+    // Paper Section 2.2.2: aggressive prefetching issues earlier, so
+    // lateness falls as the configuration gets more aggressive.
+    const auto vc = run("swim", quick(RunConfig::staticLevelConfig(1)),
+                        "vc");
+    const auto va = run("swim", quick(RunConfig::staticLevelConfig(5)),
+                        "va");
+    EXPECT_LT(va.lateness, vc.lateness);
+}
+
+TEST(PaperShape, FdpRecoversArtLoss)
+{
+    const auto none = run("art", quick(RunConfig::noPrefetching()), "none");
+    const auto va = run("art", quick(RunConfig::staticLevelConfig(5)),
+                        "va");
+    const auto fdp = run("art", quick(RunConfig::fullFdp()), "fdp");
+    // FDP must close most of the gap the Very Aggressive config opened.
+    EXPECT_GT(fdp.ipc, va.ipc);
+    EXPECT_GT(fdp.ipc, none.ipc * 0.93)
+        << "FDP must not lose (much) vs no prefetching";
+}
+
+TEST(PaperShape, FdpKeepsStreamingWins)
+{
+    const auto va = run("swim", quick(RunConfig::staticLevelConfig(5)),
+                        "va");
+    const auto fdp = run("swim", quick(RunConfig::fullFdp()), "fdp");
+    EXPECT_GT(fdp.ipc, va.ipc * 0.9)
+        << "FDP must keep most of the aggressive-prefetching win";
+}
+
+TEST(PaperShape, FdpThrottlesDownOnArt)
+{
+    const auto fdp = run("art", quick(RunConfig::dynamicAggressiveness()),
+                         "dyn");
+    // Figure 6: art spends almost all intervals at Very Conservative.
+    EXPECT_GT(fdp.levelDist[0], 0.5);
+}
+
+TEST(PaperShape, FdpStaysAggressiveOnSwim)
+{
+    // Streaming codes touch fresh blocks, so the L2 only starts evicting
+    // (and FDP only starts sampling) after ~1.5M instructions; use a
+    // longer run than the other shape checks.
+    const auto fdp = run("swim",
+                         quick(RunConfig::dynamicAggressiveness(), 3'000'000),
+                         "dyn");
+    // Figure 6: streaming codes live at Aggressive/Very Aggressive.
+    EXPECT_GT(fdp.levelDist[3] + fdp.levelDist[4], 0.5);
+}
+
+TEST(PaperShape, FdpSavesBandwidthOnPollutingCodes)
+{
+    const auto va = run("art", quick(RunConfig::staticLevelConfig(5)),
+                        "va");
+    const auto fdp = run("art", quick(RunConfig::fullFdp()), "fdp");
+    EXPECT_LT(fdp.bpki, va.bpki * 0.9);
+}
+
+TEST(PaperShape, DynamicInsertionBeatsLruOnStreams)
+{
+    // Static LRU insertion evicts prefetched blocks before use on an
+    // aggressive stream (paper Section 5.2); MRU and Dynamic do not.
+    const auto lru = run(
+        "swim",
+        quick(RunConfig::staticLevelConfig(5, InsertPos::Lru), 3'000'000),
+        "lru");
+    const auto dyn = run(
+        "swim", quick(RunConfig::dynamicInsertion(), 3'000'000), "dyn-ins");
+    EXPECT_GT(dyn.ipc, lru.ipc);
+}
+
+TEST(PaperShape, ArtPrefersLowInsertionPositions)
+{
+    const auto dyn = run("art", quick(RunConfig::dynamicInsertion()),
+                         "dyn-ins");
+    // Figure 8: polluting codes insert at/near LRU most of the time.
+    EXPECT_GT(dyn.insertDist[0] + dyn.insertDist[1], 0.5);
+}
+
+TEST(PaperShape, QuietBenchmarksBarelyPrefetch)
+{
+    for (const char *b : {"eon", "crafty", "mesa"}) {
+        const auto va = run(b, quick(RunConfig::staticLevelConfig(5)),
+                            "va");
+        // Paper Table 4 scaling: quiet codes send orders of magnitude
+        // fewer prefetches than the memory-intensive ones.
+        EXPECT_LT(va.prefSent, 6000u) << b;
+    }
+}
+
+TEST(PaperShape, PrefetchingDoesNotChangeRetiredWork)
+{
+    const auto none = run("gap", quick(RunConfig::noPrefetching()), "none");
+    const auto fdp = run("gap", quick(RunConfig::fullFdp()), "fdp");
+    EXPECT_EQ(none.insts, fdp.insts);
+}
+
+} // namespace
+} // namespace fdp

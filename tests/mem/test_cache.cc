@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache with
+ * arbitrary-position LRU-stack insertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+
+namespace fdp
+{
+namespace
+{
+
+CacheParams
+smallCache(unsigned assoc = 4, std::size_t sets = 4)
+{
+    CacheParams p;
+    p.name = "test";
+    p.assoc = assoc;
+    p.sizeBytes = static_cast<std::size_t>(assoc) * sets * kBlockBytes;
+    return p;
+}
+
+/** Block address that maps to @p set in a cache with @p sets sets. */
+BlockAddr
+blockInSet(std::size_t set, std::size_t sets, std::uint64_t i)
+{
+    return set + i * sets;
+}
+
+TEST(Cache, MissOnEmpty)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.access(1, false).hit);
+    EXPECT_FALSE(c.probe(1));
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(Cache, HitAfterInsert)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.insert(1, false, InsertPos::Mru, false).valid);
+    EXPECT_TRUE(c.probe(1));
+    EXPECT_TRUE(c.access(1, false).hit);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    const auto p = smallCache(2, 1);
+    SetAssocCache c(p);
+    c.insert(10, false, InsertPos::Mru, false);
+    c.insert(20, false, InsertPos::Mru, false);
+    // 10 is LRU; inserting 30 must evict it.
+    const CacheVictim v = c.insert(30, false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.block, 10u);
+    EXPECT_TRUE(c.probe(20));
+    EXPECT_TRUE(c.probe(30));
+}
+
+TEST(Cache, AccessPromotesToMru)
+{
+    SetAssocCache c(smallCache(2, 1));
+    c.insert(10, false, InsertPos::Mru, false);
+    c.insert(20, false, InsertPos::Mru, false);
+    c.access(10, false);  // 20 becomes LRU
+    const CacheVictim v = c.insert(30, false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.block, 20u);
+}
+
+TEST(Cache, PrefBitSetAndClearedOnUse)
+{
+    SetAssocCache c(smallCache());
+    c.insert(5, true, InsertPos::Mru, false);
+    CacheAccessResult r = c.access(5, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.hitPrefetched);
+    // Second access: the bit was cleared by the first use.
+    r = c.access(5, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.hitPrefetched);
+}
+
+TEST(Cache, VictimReportsPrefBit)
+{
+    SetAssocCache c(smallCache(1, 1));
+    c.insert(5, true, InsertPos::Mru, false);
+    const CacheVictim v = c.insert(6, false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.prefBit);  // 5 was prefetched and never used
+}
+
+TEST(Cache, UsedPrefetchVictimHasClearPrefBit)
+{
+    SetAssocCache c(smallCache(1, 1));
+    c.insert(5, true, InsertPos::Mru, false);
+    c.access(5, false);  // use it
+    const CacheVictim v = c.insert(6, false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_FALSE(v.prefBit);
+}
+
+TEST(Cache, WriteMarksDirtyAndVictimReportsIt)
+{
+    SetAssocCache c(smallCache(1, 1));
+    c.insert(5, false, InsertPos::Mru, false);
+    c.access(5, true);
+    const CacheVictim v = c.insert(6, false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, MarkDirty)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.markDirty(5));
+    c.insert(5, false, InsertPos::Mru, false);
+    EXPECT_TRUE(c.markDirty(5));
+    const CacheVictim v = c.invalidate(5);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, InvalidateRemoves)
+{
+    SetAssocCache c(smallCache());
+    c.insert(5, true, InsertPos::Mru, false);
+    const CacheVictim v = c.invalidate(5);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.prefBit);
+    EXPECT_FALSE(c.probe(5));
+    EXPECT_FALSE(c.invalidate(5).valid);
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(Cache, InsertionPositionsInFullSet)
+{
+    // 8-way set filled with demand blocks 0..7 (7 is MRU). Insert at each
+    // position and verify the resulting stack depth.
+    const std::size_t sets = 2;
+    for (const auto [pos, want] :
+         {std::pair{InsertPos::Lru, 0u}, std::pair{InsertPos::Lru4, 2u},
+          std::pair{InsertPos::Mid, 4u}, std::pair{InsertPos::Mru, 7u}}) {
+        SetAssocCache c(smallCache(8, sets));
+        for (std::uint64_t i = 0; i < 8; ++i)
+            c.insert(blockInSet(0, sets, i), false, InsertPos::Mru, false);
+        const BlockAddr nb = blockInSet(0, sets, 100);
+        c.insert(nb, true, pos, false);
+        EXPECT_EQ(c.stackDepth(nb), static_cast<int>(want))
+            << "pos=" << insertPosName(pos);
+    }
+}
+
+TEST(Cache, LruInsertedBlockEvictedFirst)
+{
+    const std::size_t sets = 1;
+    SetAssocCache c(smallCache(4, sets));
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.insert(blockInSet(0, sets, i), false, InsertPos::Mru, false);
+    const BlockAddr lru_block = blockInSet(0, sets, 50);
+    c.insert(lru_block, true, InsertPos::Lru, false);  // evicts oldest
+    const CacheVictim v =
+        c.insert(blockInSet(0, sets, 60), false, InsertPos::Mru, false);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.block, lru_block);
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere)
+{
+    const std::size_t sets = 4;
+    SetAssocCache c(smallCache(2, sets));
+    // Fill set 0 far beyond capacity; set 1 must keep its blocks.
+    c.insert(blockInSet(1, sets, 0), false, InsertPos::Mru, false);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        c.insert(blockInSet(0, sets, i), false, InsertPos::Mru, false);
+    EXPECT_TRUE(c.probe(blockInSet(1, sets, 0)));
+}
+
+TEST(CacheDeath, DoubleInsertPanics)
+{
+    SetAssocCache c(smallCache());
+    c.insert(5, false, InsertPos::Mru, false);
+    EXPECT_DEATH(c.insert(5, false, InsertPos::Mru, false),
+                 "already present");
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheParams p;
+    p.sizeBytes = 1000;  // not divisible into 16-way 64B sets
+    p.assoc = 16;
+    EXPECT_DEATH({ SetAssocCache c(p); }, "");
+}
+
+// ---- Property tests over geometry ----
+
+class CacheProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>>
+{
+};
+
+TEST_P(CacheProperty, OccupancyNeverExceedsCapacity)
+{
+    const auto [assoc, sets] = GetParam();
+    SetAssocCache c(smallCache(assoc, sets));
+    Rng rng(assoc * 1000 + sets);
+    for (int i = 0; i < 5000; ++i) {
+        const BlockAddr b = rng.range(assoc * sets * 4);
+        if (!c.probe(b))
+            c.insert(b, rng.chance(0.5),
+                     static_cast<InsertPos>(rng.range(4)), rng.chance(0.3));
+        else
+            c.access(b, rng.chance(0.2));
+        ASSERT_LE(c.occupancy(), c.numBlocks());
+    }
+    EXPECT_EQ(c.occupancy(), c.numBlocks());  // saturated by now
+}
+
+TEST_P(CacheProperty, StackDepthsAreAPermutation)
+{
+    const auto [assoc, sets] = GetParam();
+    SetAssocCache c(smallCache(assoc, sets));
+    Rng rng(assoc * 77 + sets);
+    std::vector<BlockAddr> in_set0;
+    for (unsigned i = 0; i < assoc; ++i) {
+        const BlockAddr b = blockInSet(0, sets, i);
+        c.insert(b, false, static_cast<InsertPos>(rng.range(4)), false);
+        in_set0.push_back(b);
+    }
+    std::vector<bool> seen(assoc, false);
+    for (const BlockAddr b : in_set0) {
+        const int d = c.stackDepth(b);
+        ASSERT_GE(d, 0);
+        ASSERT_LT(d, static_cast<int>(assoc));
+        ASSERT_FALSE(seen[static_cast<std::size_t>(d)]);
+        seen[static_cast<std::size_t>(d)] = true;
+    }
+}
+
+TEST_P(CacheProperty, ProbeNeverMutates)
+{
+    const auto [assoc, sets] = GetParam();
+    SetAssocCache c(smallCache(assoc, sets));
+    for (unsigned i = 0; i < assoc; ++i)
+        c.insert(blockInSet(0, sets, i), false, InsertPos::Mru, false);
+    const int before = c.stackDepth(blockInSet(0, sets, 0));
+    for (int i = 0; i < 100; ++i)
+        c.probe(blockInSet(0, sets, 0));
+    EXPECT_EQ(c.stackDepth(blockInSet(0, sets, 0)), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(std::tuple{1u, std::size_t{8}},
+                      std::tuple{2u, std::size_t{4}},
+                      std::tuple{4u, std::size_t{4}},
+                      std::tuple{8u, std::size_t{2}},
+                      std::tuple{16u, std::size_t{16}}));
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(Mshr, AllocateAndFind)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.find(1), nullptr);
+    MshrEntry &e = m.allocate(1, false, 10);
+    EXPECT_EQ(e.block, 1u);
+    EXPECT_FALSE(e.prefBit);
+    EXPECT_EQ(e.allocCycle, 10u);
+    EXPECT_EQ(m.find(1), &e);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Mshr, PrefBitStored)
+{
+    MshrFile m(4);
+    m.allocate(2, true, 0);
+    EXPECT_TRUE(m.find(2)->prefBit);
+}
+
+TEST(Mshr, FullAtCapacity)
+{
+    MshrFile m(2);
+    m.allocate(1, false, 0);
+    EXPECT_FALSE(m.full());
+    m.allocate(2, false, 0);
+    EXPECT_TRUE(m.full());
+}
+
+TEST(Mshr, DeallocateFrees)
+{
+    MshrFile m(1);
+    m.allocate(1, false, 0);
+    EXPECT_TRUE(m.full());
+    m.deallocate(1);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.find(1), nullptr);
+    m.allocate(2, false, 0);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Mshr, WaitersAccumulate)
+{
+    MshrFile m(4);
+    MshrEntry &e = m.allocate(1, true, 0);
+    int calls = 0;
+    e.waiters.push_back([&](Cycle) { ++calls; });
+    e.waiters.push_back([&](Cycle) { ++calls; });
+    for (auto &w : e.waiters)
+        w(5);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(MshrDeath, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(1, false, 0);
+    EXPECT_DEATH(m.allocate(2, false, 0), "full");
+}
+
+TEST(MshrDeath, DuplicateAllocatePanics)
+{
+    MshrFile m(4);
+    m.allocate(1, false, 0);
+    EXPECT_DEATH(m.allocate(1, false, 0), "already in flight");
+}
+
+TEST(MshrDeath, DeallocateAbsentPanics)
+{
+    MshrFile m(4);
+    EXPECT_DEATH(m.deallocate(9), "absent");
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the separate prefetch buffer (Section 5.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetch_cache.hh"
+
+namespace fdp
+{
+namespace
+{
+
+PrefetchCacheParams
+cfg(std::size_t bytes, unsigned assoc)
+{
+    PrefetchCacheParams p;
+    p.enabled = true;
+    p.sizeBytes = bytes;
+    p.assoc = assoc;
+    return p;
+}
+
+TEST(PrefetchCache, InsertAndProbe)
+{
+    PrefetchCache pc(cfg(2048, 0));  // 2KB fully associative
+    EXPECT_FALSE(pc.probe(1));
+    pc.insert(1);
+    EXPECT_TRUE(pc.probe(1));
+}
+
+TEST(PrefetchCache, FullyAssociativeGeometry)
+{
+    PrefetchCache pc(cfg(2048, 0));
+    EXPECT_EQ(pc.numBlocks(), 2048u / kBlockBytes);
+    // Any set of distinct blocks fits until capacity, regardless of
+    // address bits (single set).
+    for (BlockAddr b = 0; b < pc.numBlocks(); ++b)
+        pc.insert(b * 12345);
+    EXPECT_EQ(pc.occupancy(), pc.numBlocks());
+    for (BlockAddr b = 0; b < pc.numBlocks(); ++b)
+        EXPECT_TRUE(pc.probe(b * 12345));
+}
+
+TEST(PrefetchCache, LruReplacementWhenFull)
+{
+    PrefetchCache pc(cfg(4 * kBlockBytes, 0));
+    for (BlockAddr b = 0; b < 4; ++b)
+        pc.insert(b);
+    pc.insert(100);  // evicts block 0
+    EXPECT_FALSE(pc.probe(0));
+    EXPECT_TRUE(pc.probe(100));
+    EXPECT_EQ(pc.occupancy(), 4u);
+}
+
+TEST(PrefetchCache, ExtractRemoves)
+{
+    PrefetchCache pc(cfg(32 * 1024, 16));
+    pc.insert(7);
+    EXPECT_TRUE(pc.extract(7));
+    EXPECT_FALSE(pc.probe(7));
+    EXPECT_FALSE(pc.extract(7));
+}
+
+TEST(PrefetchCache, DuplicateInsertIsIdempotent)
+{
+    PrefetchCache pc(cfg(32 * 1024, 16));
+    pc.insert(7);
+    pc.insert(7);
+    EXPECT_EQ(pc.occupancy(), 1u);
+}
+
+TEST(PrefetchCache, SetAssociativeConfiguration)
+{
+    PrefetchCache pc(cfg(32 * 1024, 16));
+    EXPECT_EQ(pc.numBlocks(), 512u);
+}
+
+} // namespace
+} // namespace fdp

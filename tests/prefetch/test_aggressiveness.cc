@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the aggressiveness configuration tables (paper Table 1 and
+ * the GHB/stride variants): values, monotonicity, and naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/aggressiveness.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(AggrTables, StreamTableMatchesPaperTable1)
+{
+    EXPECT_EQ(kStreamAggrTable[1].distance, 4u);
+    EXPECT_EQ(kStreamAggrTable[1].degree, 1u);
+    EXPECT_EQ(kStreamAggrTable[2].distance, 8u);
+    EXPECT_EQ(kStreamAggrTable[2].degree, 1u);
+    EXPECT_EQ(kStreamAggrTable[3].distance, 16u);
+    EXPECT_EQ(kStreamAggrTable[3].degree, 2u);
+    EXPECT_EQ(kStreamAggrTable[4].distance, 32u);
+    EXPECT_EQ(kStreamAggrTable[4].degree, 4u);
+    EXPECT_EQ(kStreamAggrTable[5].distance, 64u);
+    EXPECT_EQ(kStreamAggrTable[5].degree, 4u);
+}
+
+TEST(AggrTables, DistanceAndDegreeAreMonotone)
+{
+    for (const auto &table :
+         {kStreamAggrTable, kGhbAggrTable, kStrideAggrTable}) {
+        for (unsigned level = 2; level <= kMaxAggrLevel; ++level) {
+            EXPECT_GE(table[level].distance, table[level - 1].distance);
+            EXPECT_GE(table[level].degree, table[level - 1].degree);
+        }
+    }
+}
+
+TEST(AggrTables, GhbDistanceEqualsDegree)
+{
+    // Paper Section 5.7: for the GHB prefetcher, Prefetch Distance and
+    // Prefetch Degree are the same.
+    for (unsigned level = 1; level <= kMaxAggrLevel; ++level)
+        EXPECT_EQ(kGhbAggrTable[level].distance,
+                  kGhbAggrTable[level].degree);
+}
+
+TEST(AggrTables, DegreeNeverExceedsDistance)
+{
+    for (const auto &table :
+         {kStreamAggrTable, kGhbAggrTable, kStrideAggrTable})
+        for (unsigned level = 1; level <= kMaxAggrLevel; ++level)
+            EXPECT_LE(table[level].degree, table[level].distance);
+}
+
+TEST(AggrTables, LevelNames)
+{
+    EXPECT_STREQ(aggrLevelName(1), "Very Conservative");
+    EXPECT_STREQ(aggrLevelName(3), "Middle-of-the-Road");
+    EXPECT_STREQ(aggrLevelName(5), "Very Aggressive");
+    EXPECT_STREQ(aggrLevelName(0), "?");
+    EXPECT_STREQ(aggrLevelName(6), "?");
+}
+
+TEST(AggrTables, CounterBoundsAndInitialValue)
+{
+    // The Dynamic Configuration Counter is a 3-bit saturating counter
+    // clamped to [1, 5] that starts at Middle-of-the-Road.
+    EXPECT_EQ(kMinAggrLevel, 1u);
+    EXPECT_EQ(kMaxAggrLevel, 5u);
+    EXPECT_EQ(kInitialAggrLevel, 3u);
+}
+
+} // namespace
+} // namespace fdp

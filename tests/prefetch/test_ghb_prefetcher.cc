@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the GHB C/DC delta-correlation prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "prefetch/ghb_prefetcher.hh"
+
+namespace fdp
+{
+namespace
+{
+
+PrefetchObservation
+miss(BlockAddr block)
+{
+    return {blockBase(block), block, 0x2000, true};
+}
+
+/** Feed a miss and return the prefetch candidates it produced. */
+std::vector<BlockAddr>
+feed(GhbPrefetcher &pf, BlockAddr block)
+{
+    std::vector<BlockAddr> out;
+    pf.observe(miss(block), out);
+    return out;
+}
+
+TEST(GhbPrefetcher, IgnoresHits)
+{
+    GhbPrefetcher pf;
+    std::vector<BlockAddr> out;
+    pf.observe({blockBase(10), 10, 0, false}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(GhbPrefetcher, NeedsHistoryBeforePredicting)
+{
+    GhbPrefetcher pf;
+    EXPECT_TRUE(feed(pf, 10).empty());
+    EXPECT_TRUE(feed(pf, 11).empty());
+    EXPECT_TRUE(feed(pf, 12).empty());
+}
+
+TEST(GhbPrefetcher, DetectsConstantStride)
+{
+    GhbPrefetcher pf;
+    pf.setAggressiveness(3);  // degree 8
+    feed(pf, 100);
+    feed(pf, 102);
+    feed(pf, 104);
+    const auto out = feed(pf, 106);
+    ASSERT_EQ(out.size(), pf.degree());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 106 + 2 * (i + 1));
+}
+
+TEST(GhbPrefetcher, DetectsRepeatingDeltaPattern)
+{
+    // Delta pattern +1,+3 repeating: after two periods the correlated
+    // pair is found and the following deltas are replayed.
+    GhbPrefetcher pf;
+    pf.setAggressiveness(2);  // degree 4
+    BlockAddr a = 1000;
+    feed(pf, a);
+    a += 1;
+    feed(pf, a);
+    a += 3;
+    feed(pf, a);
+    a += 1;
+    feed(pf, a);
+    a += 3;
+    const auto out = feed(pf, a);  // history ...+1,+3,+1,+3
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], a + 1);
+    EXPECT_EQ(out[1], a + 1 + 3);
+    EXPECT_EQ(out[2], a + 1 + 3 + 1);
+    EXPECT_EQ(out[3], a + 1 + 3 + 1 + 3);
+}
+
+TEST(GhbPrefetcher, SeparateZonesTrainIndependently)
+{
+    GhbPrefetcherParams params;
+    GhbPrefetcher pf(params);
+    pf.setAggressiveness(1);
+    const BlockAddr zone_stride = BlockAddr{1} << params.czoneShift;
+    // Interleave two zones with different strides.
+    BlockAddr a = 0, b = 10 * zone_stride;
+    std::vector<BlockAddr> out_a, out_b;
+    for (int i = 0; i < 6; ++i) {
+        out_a.clear();
+        pf.observe(miss(a), out_a);
+        a += 1;
+        out_b.clear();
+        pf.observe(miss(b), out_b);
+        b += 4;
+    }
+    // Last predictions follow each zone's own stride.
+    ASSERT_FALSE(out_a.empty());
+    ASSERT_FALSE(out_b.empty());
+    EXPECT_EQ(out_a[0], (a - 1) + 1);
+    EXPECT_EQ(out_b[0], (b - 4) + 4);
+}
+
+TEST(GhbPrefetcher, DegreeTracksAggressiveness)
+{
+    for (unsigned level = 1; level <= 5; ++level) {
+        GhbPrefetcher pf;
+        pf.setAggressiveness(level);
+        BlockAddr a = 5000;
+        std::vector<BlockAddr> out;
+        for (int i = 0; i < 5; ++i) {
+            out.clear();
+            pf.observe(miss(a), out);
+            a += 1;
+        }
+        EXPECT_EQ(out.size(), kGhbAggrTable[level].degree)
+            << "level " << level;
+    }
+}
+
+TEST(GhbPrefetcher, RandomAddressesProduceFewPrefetches)
+{
+    GhbPrefetcher pf;
+    pf.setAggressiveness(5);
+    std::uint64_t x = 0x123456789ull;
+    std::size_t produced = 0;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        std::vector<BlockAddr> out;
+        pf.observe(miss((x >> 20) & 0xFFFFFFF), out);
+        produced += out.size();
+    }
+    // Uncorrelated deltas should almost never match.
+    EXPECT_LT(produced, 200u);
+}
+
+TEST(GhbPrefetcher, HistoryWrapsWithoutCrashing)
+{
+    GhbPrefetcherParams params;
+    params.ghbSize = 16;
+    params.indexSize = 4;
+    GhbPrefetcher pf(params);
+    BlockAddr a = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<BlockAddr> out;
+        pf.observe(miss(a), out);
+        a += 1;
+    }
+    SUCCEED();
+}
+
+TEST(GhbPrefetcher, ResetForgetsPatterns)
+{
+    GhbPrefetcher pf;
+    BlockAddr a = 100;
+    for (int i = 0; i < 5; ++i) {
+        feed(pf, a);
+        a += 2;
+    }
+    pf.reset();
+    EXPECT_TRUE(feed(pf, a).empty());
+}
+
+TEST(GhbPrefetcherDeath, BadLevelPanics)
+{
+    GhbPrefetcher pf;
+    EXPECT_DEATH(pf.setAggressiveness(0), "bad aggressiveness");
+}
+
+} // namespace
+} // namespace fdp

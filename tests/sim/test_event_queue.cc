@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextEventCycle(), kNoCycle);
+    EXPECT_EQ(q.horizon(), 0u);
+}
+
+TEST(EventQueue, FiresAtOrBeforeServiceTime)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.serviceUntil(9);
+    EXPECT_EQ(fired, 0);
+    q.serviceUntil(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.serviceUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.serviceUntil(5);
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(2, [&] { ++fired; });
+    });
+    q.serviceUntil(2);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ChainedEventsWithinOneService)
+{
+    // A chain of N events each scheduling the next must all run in a
+    // single serviceUntil call covering their times.
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 50)
+            q.schedule(q.horizon() + 1, chain);
+    };
+    q.schedule(0, chain);
+    q.serviceUntil(100);
+    EXPECT_EQ(depth, 50);
+}
+
+TEST(EventQueue, HorizonTracksServiceTime)
+{
+    EventQueue q;
+    q.schedule(7, [] {});
+    q.serviceUntil(50);
+    EXPECT_EQ(q.horizon(), 50u);
+    q.serviceUntil(49);  // going "back" leaves the horizon alone
+    EXPECT_EQ(q.horizon(), 50u);
+}
+
+TEST(EventQueue, HorizonDuringCallbackIsEventTime)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.schedule(13, [&] { seen = q.horizon(); });
+    q.serviceUntil(40);
+    EXPECT_EQ(seen, 13u);
+}
+
+TEST(EventQueue, ServicedCounter)
+{
+    EventQueue q;
+    for (Cycle c = 1; c <= 5; ++c)
+        q.schedule(c, [] {});
+    q.serviceUntil(3);
+    EXPECT_EQ(q.serviced(), 3u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, ResetDropsEverything)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.serviceUntil(10);
+    q.schedule(20, [&] { ++fired; });
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.horizon(), 0u);
+    q.serviceUntil(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.serviceUntil(10);
+    EXPECT_DEATH(q.schedule(9, [] {}), "before horizon");
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(Rng, SameSeedReplaysIdentically)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.range(17), 17u);
+}
+
+TEST(Rng, RangeOfOneIsZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(r.range(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.uniform();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeIsRoughlyUniform)
+{
+    Rng r(13);
+    const unsigned buckets = 8;
+    std::uint64_t hist[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[r.range(buckets)];
+    for (unsigned b = 0; b < buckets; ++b) {
+        EXPECT_GT(hist[b], static_cast<std::uint64_t>(n / buckets * 0.9));
+        EXPECT_LT(hist[b], static_cast<std::uint64_t>(n / buckets * 1.1));
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NoShortCycles)
+{
+    // 64-bit outputs over a modest draw count should all be distinct.
+    Rng r(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace fdp

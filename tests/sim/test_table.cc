@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for table formatting and mean helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/table.hh"
+
+namespace fdp
+{
+namespace
+{
+
+std::string
+render(Table &t)
+{
+    char buf[16384] = {};
+    std::FILE *f = fmemopen(buf, sizeof buf, "w");
+    t.print(f);
+    std::fclose(f);
+    return buf;
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"benchmark", "IPC"});
+    t.addRow({"swim", "1.23"});
+    t.addRow({"art", "0.45"});
+    const std::string out = render(t);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("benchmark"), std::string::npos);
+    EXPECT_NE(out.find("swim"), std::string::npos);
+    EXPECT_NE(out.find("0.45"), std::string::npos);
+}
+
+TEST(Table, MismatchedRowDies)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, RuleBeforeMeanRow)
+{
+    Table t("demo");
+    t.setHeader({"x", "y"});
+    t.addRow({"r1", "1"});
+    t.addRule();
+    t.addRow({"gmean", "1"});
+    const std::string out = render(t);
+    // header rule + top + bottom + the extra rule = 4 '+--' lines
+    std::size_t rules = 0;
+    for (std::size_t p = out.find("+-"); p != std::string::npos;
+         p = out.find("+-", p + 1))
+        ++rules;
+    EXPECT_GE(rules, 4u);
+}
+
+TEST(FmtDouble, Precision)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FmtPercent, Formats)
+{
+    EXPECT_EQ(fmtPercent(0.137, 1), "13.7%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Gmean, KnownValues)
+{
+    EXPECT_NEAR(gmean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(gmean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(gmean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Gmean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(gmean({}), 0.0);
+}
+
+TEST(Gmean, NonPositiveDies)
+{
+    EXPECT_DEATH(gmean({1.0, 0.0}), "non-positive");
+}
+
+TEST(Amean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(amean({}), 0.0);
+}
+
+TEST(GmeanVsAmean, GmeanNeverExceedsAmean)
+{
+    const std::vector<double> v = {0.3, 1.7, 2.2, 0.9, 5.0};
+    EXPECT_LE(gmean(v), amean(v));
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generators.hh"
+
+namespace fdp
+{
+namespace
+{
+
+SyntheticParams
+base()
+{
+    SyntheticParams p;
+    p.name = "test";
+    p.seed = 42;
+    return p;
+}
+
+TEST(Synthetic, PureIntWorkload)
+{
+    SyntheticWorkload w(base());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(w.next().kind, OpKind::Int);
+}
+
+TEST(Synthetic, Deterministic)
+{
+    auto p = base();
+    p.pStream = 0.2;
+    p.pHot = 0.2;
+    p.pRandom = 0.05;
+    SyntheticWorkload a(p), b(p);
+    for (int i = 0; i < 10000; ++i) {
+        const MicroOp x = a.next(), y = b.next();
+        ASSERT_EQ(x.kind, y.kind);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.pc, y.pc);
+    }
+}
+
+TEST(Synthetic, ResetReplays)
+{
+    auto p = base();
+    p.pStream = 0.3;
+    p.pHot = 0.2;
+    SyntheticWorkload w(p);
+    std::vector<Addr> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(w.next().addr);
+    w.reset();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(w.next().addr, first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Synthetic, MixFractionsRoughlyHonored)
+{
+    auto p = base();
+    p.pStream = 0.3;
+    p.pHot = 0.2;
+    p.storePercent = 0;
+    SyntheticWorkload w(p);
+    int mem = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        mem += w.next().kind != OpKind::Int;
+    EXPECT_NEAR(static_cast<double>(mem) / n, 0.5, 0.02);
+}
+
+TEST(Synthetic, StorePercentHonored)
+{
+    auto p = base();
+    p.pStream = 1.0;
+    p.storePercent = 40;
+    SyntheticWorkload w(p);
+    int stores = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        stores += w.next().kind == OpKind::Store;
+    EXPECT_NEAR(static_cast<double>(stores) / n, 0.4, 0.02);
+}
+
+TEST(Synthetic, StreamsAreSequentialWithinABlockRun)
+{
+    auto p = base();
+    p.pStream = 1.0;
+    p.numStreams = 1;
+    p.storePercent = 0;
+    p.streamLenBlocks = 1000;
+    SyntheticWorkload w(p);
+    Addr prev = w.next().addr;
+    for (int i = 0; i < 500; ++i) {
+        const Addr cur = w.next().addr;
+        ASSERT_EQ(cur, prev + p.accessStrideBytes);
+        prev = cur;
+    }
+}
+
+TEST(Synthetic, StreamsRespawnAfterConfiguredLength)
+{
+    auto p = base();
+    p.pStream = 1.0;
+    p.numStreams = 1;
+    p.streamLenBlocks = 4;
+    p.storePercent = 0;
+    SyntheticWorkload w(p);
+    std::set<BlockAddr> blocks;
+    // 4 blocks * 8 accesses each = 32 ops per stream instance.
+    for (int i = 0; i < 32 * 10; ++i)
+        blocks.insert(blockAddr(w.next().addr));
+    // ~10 disjoint spawn points of 4 blocks each.
+    EXPECT_GE(blocks.size(), 30u);
+}
+
+TEST(Synthetic, HotSetStaysInRegion)
+{
+    auto p = base();
+    p.pHot = 1.0;
+    p.hotBlocks = 64;
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = w.next().addr;
+        ASSERT_GE(a, kHotRegionBase);
+        ASSERT_LT(a, kHotRegionBase + 64 * kBlockBytes);
+    }
+}
+
+TEST(Synthetic, HotSetCoversAllBlocks)
+{
+    auto p = base();
+    p.pHot = 1.0;
+    p.hotBlocks = 32;
+    SyntheticWorkload w(p);
+    std::set<BlockAddr> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(blockAddr(w.next().addr));
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Synthetic, ChaseOpsAreDependentLoads)
+{
+    auto p = base();
+    p.pChase = 1.0;
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 100; ++i) {
+        const MicroOp op = w.next();
+        ASSERT_EQ(op.kind, OpKind::Load);
+        ASSERT_TRUE(op.depPrevLoad);
+    }
+}
+
+TEST(Synthetic, PermutedChaseVisitsWholeSet)
+{
+    auto p = base();
+    p.pChase = 1.0;
+    p.chaseBlocks = 256;
+    SyntheticWorkload w(p);
+    std::set<Addr> seen;
+    for (int i = 0; i < 256; ++i)
+        seen.insert(w.next().addr);
+    // The affine walk has full period over the power-of-two set.
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Synthetic, SequentialChaseWalksForward)
+{
+    auto p = base();
+    p.pChase = 1.0;
+    p.chaseSequential = true;
+    SyntheticWorkload w(p);
+    Addr prev = w.next().addr;
+    for (int i = 0; i < 100; ++i) {
+        const Addr cur = w.next().addr;
+        ASSERT_EQ(cur, prev + 8);
+        prev = cur;
+    }
+}
+
+TEST(Synthetic, RandomOpsStayInRandomRegion)
+{
+    auto p = base();
+    p.pRandom = 1.0;
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = w.next().addr;
+        ASSERT_GE(a, kRandomRegionBase);
+        ASSERT_LT(a, kRandomRegionBase + kRandomRegionSize);
+    }
+}
+
+TEST(Synthetic, RegionsAreDisjoint)
+{
+    EXPECT_LT(kHotRegionBase, kChaseRegionBase);
+    EXPECT_LT(kChaseRegionBase, kStreamRegionBase);
+    EXPECT_LT(kStreamRegionBase + kStreamRegionSize, kRandomRegionBase);
+}
+
+TEST(Synthetic, OverfullMixIsFatal)
+{
+    auto p = base();
+    p.pStream = 0.7;
+    p.pHot = 0.7;
+    EXPECT_DEATH({ SyntheticWorkload w(p); }, "sum");
+}
+
+TEST(Phased, AlternatesBetweenWorkloads)
+{
+    auto pa = base();
+    pa.pHot = 1.0;
+    auto pb = base();
+    pb.pStream = 1.0;
+    pb.numStreams = 1;
+    PhasedWorkload w(std::make_unique<SyntheticWorkload>(pa),
+                     std::make_unique<SyntheticWorkload>(pb), 100,
+                     "phased");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(w.currentPhase(), 0u);
+        ASSERT_LT(w.next().addr, kChaseRegionBase);  // hot region
+    }
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(w.currentPhase(), 1u);
+        ASSERT_GE(w.next().addr, kStreamRegionBase);
+    }
+    EXPECT_EQ(w.currentPhase(), 0u);
+}
+
+TEST(Phased, ResetRestartsPhase)
+{
+    auto pa = base();
+    pa.pHot = 1.0;
+    PhasedWorkload w(std::make_unique<SyntheticWorkload>(pa),
+                     std::make_unique<SyntheticWorkload>(pa), 10, "p");
+    for (int i = 0; i < 15; ++i)
+        w.next();
+    EXPECT_EQ(w.currentPhase(), 1u);
+    w.reset();
+    EXPECT_EQ(w.currentPhase(), 0u);
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the SPEC CPU2000 stand-in suite table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(SpecSuite, SeventeenMemoryIntensive)
+{
+    EXPECT_EQ(memoryIntensiveBenchmarks().size(), 17u);
+}
+
+TEST(SpecSuite, NineRemaining)
+{
+    EXPECT_EQ(remainingBenchmarks().size(), 9u);
+}
+
+TEST(SpecSuite, TwentySixTotalAllDistinct)
+{
+    const auto all = allBenchmarks();
+    EXPECT_EQ(all.size(), 26u);
+    std::set<std::string> uniq(all.begin(), all.end());
+    EXPECT_EQ(uniq.size(), 26u);
+}
+
+TEST(SpecSuite, EveryBenchmarkConstructs)
+{
+    for (const auto &name : allBenchmarks()) {
+        auto w = makeBenchmark(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_STREQ(w->name(), name.c_str());
+        for (int i = 0; i < 1000; ++i)
+            w->next();
+    }
+}
+
+TEST(SpecSuite, DistinctSeedsPerBenchmark)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &name : allBenchmarks())
+        seeds.insert(benchmarkParams(name).seed);
+    EXPECT_EQ(seeds.size(), allBenchmarks().size());
+}
+
+TEST(SpecSuite, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(benchmarkParams("nonexistent"), "unknown benchmark");
+}
+
+TEST(SpecSuite, PollutionVictimsHaveShortStreamsAndBigHotSets)
+{
+    for (const char *name : {"art", "ammp"}) {
+        const auto &p = benchmarkParams(name);
+        EXPECT_LE(p.streamLenBlocks, 16u) << name;
+        // Hot set sized against the 16384-block L2.
+        EXPECT_GE(p.hotBlocks, 12000u) << name;
+    }
+}
+
+TEST(SpecSuite, StreamingWinnersHaveLongStreams)
+{
+    for (const char *name : {"swim", "mgrid", "applu", "lucas"}) {
+        const auto &p = benchmarkParams(name);
+        EXPECT_GE(p.streamLenBlocks, 2048u) << name;
+        EXPECT_GE(p.pStream, 0.05) << name;
+        // Latency-bound: new-block demand rate well under the bus limit
+        // (pStream/8 blocks per op vs ~0.0175 blocks/cycle of bus).
+        EXPECT_LE(p.pStream / 8.0, 0.014) << name;
+    }
+}
+
+TEST(SpecSuite, McfIsBandwidthBoundStreaming)
+{
+    // mcf's demand rate exceeds what the bus can deliver, which is what
+    // makes its (accurate) prefetches late (paper Section 2.2.2).
+    const auto &p = benchmarkParams("mcf");
+    EXPECT_GE(p.pStream, 0.25);
+    EXPECT_GE(p.numStreams, 16u);
+}
+
+TEST(SpecSuite, QuietGroupHasLowMissPotential)
+{
+    for (const auto &name : remainingBenchmarks()) {
+        const auto &p = benchmarkParams(name);
+        // Little streaming and (except gcc) small reuse sets.
+        EXPECT_LE(p.pStream, 0.1) << name;
+    }
+}
+
+TEST(SpecSuite, MemIntensiveAndRemainingAreDisjoint)
+{
+    std::set<std::string> mem(memoryIntensiveBenchmarks().begin(),
+                              memoryIntensiveBenchmarks().end());
+    for (const auto &name : remainingBenchmarks())
+        EXPECT_EQ(mem.count(name), 0u) << name;
+}
+
+} // namespace
+} // namespace fdp

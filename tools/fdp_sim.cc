@@ -1,0 +1,208 @@
+/**
+ * @file
+ * fdp_sim - command-line driver for the FDP simulator.
+ *
+ * Run any benchmark stand-in (or all of them) under any prefetcher and
+ * throttling policy, with the machine knobs exposed:
+ *
+ *   fdp_sim --bench art --policy fdp --insts 8000000
+ *   fdp_sim --bench swim --prefetcher ghb --policy static --level 5
+ *   fdp_sim --all --policy fdp --l2-kb 512 --mem-latency 750 --stats
+ *
+ * Prints one row per run (IPC, BPKI, accuracy, lateness, pollution,
+ * level/insertion distributions) and optionally the full stats dump.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "sim/logging.hh"
+#include "workload/spec_suite.hh"
+
+namespace
+{
+
+using namespace fdp;
+
+struct Options
+{
+    std::vector<std::string> benches;
+    PrefetcherKind prefetcher = PrefetcherKind::Stream;
+    std::string policy = "fdp";  // none | static | dyn-aggr | dyn-ins |
+                                 // fdp | accuracy-only
+    unsigned level = 5;
+    std::uint64_t insts = 8'000'000;
+    std::size_t l2KB = 1024;
+    Cycle memLatency = 500;
+    double busGBps = 4.5;
+    std::size_t pcacheKB = 0;  // 0 = off
+    bool fullStats = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fdp_sim [options]\n"
+        "  --bench NAME        benchmark stand-in (repeatable); "
+        "--all for every one\n"
+        "  --list              list available benchmarks and exit\n"
+        "  --prefetcher KIND   none | stream | ghb | stride "
+        "(default stream)\n"
+        "  --policy P          none | static | dyn-aggr | dyn-ins | fdp |"
+        " accuracy-only (default fdp)\n"
+        "  --level N           static aggressiveness 1..5 (default 5)\n"
+        "  --insts N           micro-ops to retire (default 8000000)\n"
+        "  --l2-kb N           L2 size in KB (default 1024)\n"
+        "  --mem-latency N     unloaded DRAM latency in cycles "
+        "(default 500)\n"
+        "  --bus-gbps X        memory bus bandwidth (default 4.5)\n"
+        "  --pcache-kb N       add a separate prefetch cache of N KB\n"
+        "  --stats             dump the full statistics groups\n");
+    std::exit(1);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--bench")) {
+            o.benches.emplace_back(need(i));
+        } else if (!std::strcmp(a, "--all")) {
+            o.benches = allBenchmarks();
+        } else if (!std::strcmp(a, "--list")) {
+            for (const auto &b : allBenchmarks())
+                std::printf("%s\n", b.c_str());
+            std::exit(0);
+        } else if (!std::strcmp(a, "--prefetcher")) {
+            const std::string k = need(i);
+            if (k == "none")
+                o.prefetcher = PrefetcherKind::None;
+            else if (k == "stream")
+                o.prefetcher = PrefetcherKind::Stream;
+            else if (k == "ghb")
+                o.prefetcher = PrefetcherKind::GhbCdc;
+            else if (k == "stride")
+                o.prefetcher = PrefetcherKind::Stride;
+            else
+                usage();
+        } else if (!std::strcmp(a, "--policy")) {
+            o.policy = need(i);
+        } else if (!std::strcmp(a, "--level")) {
+            o.level = static_cast<unsigned>(std::stoul(need(i)));
+        } else if (!std::strcmp(a, "--insts")) {
+            o.insts = std::stoull(need(i));
+        } else if (!std::strcmp(a, "--l2-kb")) {
+            o.l2KB = std::stoull(need(i));
+        } else if (!std::strcmp(a, "--mem-latency")) {
+            o.memLatency = std::stoull(need(i));
+        } else if (!std::strcmp(a, "--bus-gbps")) {
+            o.busGBps = std::stod(need(i));
+        } else if (!std::strcmp(a, "--pcache-kb")) {
+            o.pcacheKB = std::stoull(need(i));
+        } else if (!std::strcmp(a, "--stats")) {
+            o.fullStats = true;
+        } else {
+            usage();
+        }
+    }
+    if (o.benches.empty())
+        o.benches.push_back("swim");
+    return o;
+}
+
+RunConfig
+buildConfig(const Options &o)
+{
+    RunConfig c;
+    if (o.policy == "none")
+        c = RunConfig::noPrefetching();
+    else if (o.policy == "static")
+        c = RunConfig::staticLevelConfig(o.level);
+    else if (o.policy == "dyn-aggr")
+        c = RunConfig::dynamicAggressiveness();
+    else if (o.policy == "dyn-ins")
+        c = RunConfig::dynamicInsertion(o.level);
+    else if (o.policy == "fdp")
+        c = RunConfig::fullFdp();
+    else if (o.policy == "accuracy-only")
+        c = RunConfig::accuracyOnlyFdp();
+    else
+        usage();
+
+    if (o.policy != "none")
+        c.prefetcher = o.prefetcher;
+    c.numInsts = o.insts;
+    c.machine.l2.sizeBytes = o.l2KB * 1024;
+    c.machine.dram = DramParams::withUnloadedLatency(o.memLatency);
+    c.machine.dram.busBytesPerCycle = o.busGBps / 4.0;  // 4 GHz core
+    if (o.pcacheKB > 0) {
+        c.machine.prefetchCache.enabled = true;
+        c.machine.prefetchCache.sizeBytes = o.pcacheKB * 1024;
+        c.machine.prefetchCache.assoc = o.pcacheKB <= 2 ? 0 : 16;
+    }
+    // Keep the paper's "half the L2 blocks" interval rule across sizes.
+    c.fdp.intervalEvictions = c.machine.l2.sizeBytes / kBlockBytes / 2;
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    const RunConfig config = buildConfig(o);
+
+    Table t("fdp_sim: " + o.policy + " policy, " +
+            std::to_string(o.insts) + " micro-ops");
+    t.setHeader({"benchmark", "IPC", "BPKI", "accuracy", "lateness",
+                 "pollution", "pref sent", "L2 misses"});
+
+    std::vector<RunResult> results;
+    for (const auto &bench : o.benches) {
+        const RunResult r = runBenchmark(bench, config, o.policy);
+        results.push_back(r);
+        t.addRow({bench, fmtDouble(r.ipc, 3), fmtDouble(r.bpki, 2),
+                  fmtDouble(r.accuracy, 2), fmtDouble(r.lateness, 2),
+                  fmtDouble(r.pollution, 3), std::to_string(r.prefSent),
+                  std::to_string(r.l2Misses)});
+    }
+    if (results.size() > 1) {
+        t.addRule();
+        t.addRow({"gmean/amean",
+                  fmtDouble(meanOf(results, metricIpc,
+                                   MeanKind::Geometric), 3),
+                  fmtDouble(meanOf(results, metricBpki,
+                                   MeanKind::Arithmetic), 2),
+                  "-", "-", "-", "-", "-"});
+    }
+    t.print();
+
+    if (o.fullStats) {
+        for (const auto &r : results) {
+            std::printf("\n-- %s: level distribution (1..5):",
+                        r.benchmark.c_str());
+            for (double f : r.levelDist)
+                std::printf(" %.2f", f);
+            std::printf("\n-- %s: insertion distribution (LRU..MRU):",
+                        r.benchmark.c_str());
+            for (double f : r.insertDist)
+                std::printf(" %.2f", f);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Calibration probe: per-benchmark metrics across configurations.
+#include <cstdio>
+#include <cstring>
+#include <cctype>
+#include "harness/experiment.hh"
+#include "workload/spec_suite.hh"
+using namespace fdp;
+
+int main(int argc, char **argv) {
+    std::uint64_t insts = instructionBudget(argc, argv, 600000);
+    std::vector<std::string> benches;
+    for (int i = 1; i < argc; ++i)
+        if (argv[i][0] != '-' && !isdigit(argv[i][0])) benches.push_back(argv[i]);
+    if (benches.empty()) benches = memoryIntensiveBenchmarks();
+    std::printf("%-8s %-5s %6s %6s %5s %5s %5s %8s %8s %7s %7s %7s %7s %6s\n",
+                "bench", "cfg", "IPC", "BPKI", "acc", "late", "poll",
+                "prefSent", "l2miss", "dGrant", "wbGr", "stall", "dropQ", "mLat");
+    for (const auto &b : benches) {
+        for (const auto &[label, cfg] : std::vector<std::pair<std::string, RunConfig>>{
+                 {"none", RunConfig::noPrefetching()},
+                 {"vc", RunConfig::staticLevelConfig(1)},
+                 {"mid", RunConfig::staticLevelConfig(3)},
+                 {"va", RunConfig::staticLevelConfig(5)},
+                 {"fdp", RunConfig::fullFdp()}}) {
+            RunConfig c = cfg;
+            c.numInsts = insts;
+            c.fdp.intervalEvictions = 2048;
+            const auto r = runBenchmark(b, c, label);
+            std::printf("%-8s %-5s %6.3f %6.2f %5.2f %5.2f %5.2f %8llu %8llu %7llu %7llu %7llu %7llu %6.0f\n",
+                        b.c_str(), label.c_str(), r.ipc, r.bpki, r.accuracy,
+                        r.lateness, r.pollution,
+                        (unsigned long long)r.prefSent,
+                        (unsigned long long)r.l2Misses,
+                        (unsigned long long)r.demandGrants,
+                        (unsigned long long)r.writebackGrants,
+                        (unsigned long long)r.mshrStallCount,
+                        (unsigned long long)r.prefDropQueueFull,
+                        r.avgMissLatency);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
