@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_sim_cli.dir/__/tools/fdp_sim.cc.o"
+  "CMakeFiles/fdp_sim_cli.dir/__/tools/fdp_sim.cc.o.d"
+  "fdp_sim"
+  "fdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

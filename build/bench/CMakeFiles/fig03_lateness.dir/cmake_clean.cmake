@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lateness.dir/fig03_lateness.cc.o"
+  "CMakeFiles/fig03_lateness.dir/fig03_lateness.cc.o.d"
+  "fig03_lateness"
+  "fig03_lateness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lateness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

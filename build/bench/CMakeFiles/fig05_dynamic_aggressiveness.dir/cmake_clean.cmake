@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dynamic_aggressiveness.dir/fig05_dynamic_aggressiveness.cc.o"
+  "CMakeFiles/fig05_dynamic_aggressiveness.dir/fig05_dynamic_aggressiveness.cc.o.d"
+  "fig05_dynamic_aggressiveness"
+  "fig05_dynamic_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dynamic_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

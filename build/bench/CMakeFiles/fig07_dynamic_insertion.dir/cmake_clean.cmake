@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dynamic_insertion.dir/fig07_dynamic_insertion.cc.o"
+  "CMakeFiles/fig07_dynamic_insertion.dir/fig07_dynamic_insertion.cc.o.d"
+  "fig07_dynamic_insertion"
+  "fig07_dynamic_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dynamic_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

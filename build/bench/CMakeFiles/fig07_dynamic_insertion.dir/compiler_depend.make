@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_dynamic_insertion.
+# This may be replaced when dependencies are built.

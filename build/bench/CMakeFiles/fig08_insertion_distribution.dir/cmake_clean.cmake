@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_insertion_distribution.dir/fig08_insertion_distribution.cc.o"
+  "CMakeFiles/fig08_insertion_distribution.dir/fig08_insertion_distribution.cc.o.d"
+  "fig08_insertion_distribution"
+  "fig08_insertion_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_insertion_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ghb.dir/fig13_ghb.cc.o"
+  "CMakeFiles/fig13_ghb.dir/fig13_ghb.cc.o.d"
+  "fig13_ghb"
+  "fig13_ghb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ghb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

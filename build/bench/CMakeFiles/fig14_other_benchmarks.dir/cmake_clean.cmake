@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_other_benchmarks.dir/fig14_other_benchmarks.cc.o"
+  "CMakeFiles/fig14_other_benchmarks.dir/fig14_other_benchmarks.cc.o.d"
+  "fig14_other_benchmarks"
+  "fig14_other_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_other_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

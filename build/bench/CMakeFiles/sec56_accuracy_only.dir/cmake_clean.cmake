@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_accuracy_only.dir/sec56_accuracy_only.cc.o"
+  "CMakeFiles/sec56_accuracy_only.dir/sec56_accuracy_only.cc.o.d"
+  "sec56_accuracy_only"
+  "sec56_accuracy_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_accuracy_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

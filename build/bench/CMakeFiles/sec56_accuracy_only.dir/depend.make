@@ -1,0 +1,2 @@
+# Empty dependencies file for sec56_accuracy_only.
+# This may be replaced when dependencies are built.

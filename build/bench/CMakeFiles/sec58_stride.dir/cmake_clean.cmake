@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec58_stride.dir/sec58_stride.cc.o"
+  "CMakeFiles/sec58_stride.dir/sec58_stride.cc.o.d"
+  "sec58_stride"
+  "sec58_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec58_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

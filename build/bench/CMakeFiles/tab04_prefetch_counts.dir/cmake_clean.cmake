@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_prefetch_counts.dir/tab04_prefetch_counts.cc.o"
+  "CMakeFiles/tab04_prefetch_counts.dir/tab04_prefetch_counts.cc.o.d"
+  "tab04_prefetch_counts"
+  "tab04_prefetch_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_prefetch_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_summary.dir/tab05_summary.cc.o"
+  "CMakeFiles/tab05_summary.dir/tab05_summary.cc.o.d"
+  "tab05_summary"
+  "tab05_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

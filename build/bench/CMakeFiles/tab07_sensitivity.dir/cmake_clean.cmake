@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_sensitivity.dir/tab07_sensitivity.cc.o"
+  "CMakeFiles/tab07_sensitivity.dir/tab07_sensitivity.cc.o.d"
+  "tab07_sensitivity"
+  "tab07_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_zoo.dir/prefetcher_zoo.cpp.o"
+  "CMakeFiles/prefetcher_zoo.dir/prefetcher_zoo.cpp.o.d"
+  "prefetcher_zoo"
+  "prefetcher_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

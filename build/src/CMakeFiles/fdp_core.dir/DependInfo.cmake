@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fdp_controller.cc" "src/CMakeFiles/fdp_core.dir/core/fdp_controller.cc.o" "gcc" "src/CMakeFiles/fdp_core.dir/core/fdp_controller.cc.o.d"
+  "/root/repo/src/core/feedback_counters.cc" "src/CMakeFiles/fdp_core.dir/core/feedback_counters.cc.o" "gcc" "src/CMakeFiles/fdp_core.dir/core/feedback_counters.cc.o.d"
+  "/root/repo/src/core/pollution_filter.cc" "src/CMakeFiles/fdp_core.dir/core/pollution_filter.cc.o" "gcc" "src/CMakeFiles/fdp_core.dir/core/pollution_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdp_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_core.dir/core/fdp_controller.cc.o"
+  "CMakeFiles/fdp_core.dir/core/fdp_controller.cc.o.d"
+  "CMakeFiles/fdp_core.dir/core/feedback_counters.cc.o"
+  "CMakeFiles/fdp_core.dir/core/feedback_counters.cc.o.d"
+  "CMakeFiles/fdp_core.dir/core/pollution_filter.cc.o"
+  "CMakeFiles/fdp_core.dir/core/pollution_filter.cc.o.d"
+  "libfdp_core.a"
+  "libfdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/fdp_cpu.dir/cpu/ooo_core.cc.o.d"
+  "libfdp_cpu.a"
+  "libfdp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/fdp_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/fdp_harness.dir/harness/reporting.cc.o"
+  "CMakeFiles/fdp_harness.dir/harness/reporting.cc.o.d"
+  "libfdp_harness.a"
+  "libfdp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/fdp_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/fdp_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/fdp_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/fdp_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/fdp_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/fdp_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/fdp_mem.dir/mem/mshr.cc.o.d"
+  "CMakeFiles/fdp_mem.dir/mem/prefetch_cache.cc.o"
+  "CMakeFiles/fdp_mem.dir/mem/prefetch_cache.cc.o.d"
+  "libfdp_mem.a"
+  "libfdp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

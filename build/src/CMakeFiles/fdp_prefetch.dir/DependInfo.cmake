@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ghb_prefetcher.cc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/ghb_prefetcher.cc.o" "gcc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/ghb_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/fdp_prefetch.dir/prefetch/stride_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_prefetch.dir/prefetch/ghb_prefetcher.cc.o"
+  "CMakeFiles/fdp_prefetch.dir/prefetch/ghb_prefetcher.cc.o.d"
+  "CMakeFiles/fdp_prefetch.dir/prefetch/stream_prefetcher.cc.o"
+  "CMakeFiles/fdp_prefetch.dir/prefetch/stream_prefetcher.cc.o.d"
+  "CMakeFiles/fdp_prefetch.dir/prefetch/stride_prefetcher.cc.o"
+  "CMakeFiles/fdp_prefetch.dir/prefetch/stride_prefetcher.cc.o.d"
+  "libfdp_prefetch.a"
+  "libfdp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/fdp_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/fdp_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/fdp_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/fdp_sim.dir/sim/table.cc.o"
+  "CMakeFiles/fdp_sim.dir/sim/table.cc.o.d"
+  "libfdp_sim.a"
+  "libfdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

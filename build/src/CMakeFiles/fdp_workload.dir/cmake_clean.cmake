@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdp_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/fdp_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/fdp_workload.dir/workload/spec_suite.cc.o"
+  "CMakeFiles/fdp_workload.dir/workload/spec_suite.cc.o.d"
+  "libfdp_workload.a"
+  "libfdp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdp.dir/core/test_fdp_controller.cc.o"
+  "CMakeFiles/test_fdp.dir/core/test_fdp_controller.cc.o.d"
+  "CMakeFiles/test_fdp.dir/core/test_feedback_counters.cc.o"
+  "CMakeFiles/test_fdp.dir/core/test_feedback_counters.cc.o.d"
+  "CMakeFiles/test_fdp.dir/core/test_insertion.cc.o"
+  "CMakeFiles/test_fdp.dir/core/test_insertion.cc.o.d"
+  "CMakeFiles/test_fdp.dir/core/test_pollution_filter.cc.o"
+  "CMakeFiles/test_fdp.dir/core/test_pollution_filter.cc.o.d"
+  "test_fdp"
+  "test_fdp.pdb"
+  "test_fdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_aggressiveness.cc.o"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_aggressiveness.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_ghb_prefetcher.cc.o"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_ghb_prefetcher.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_stream_prefetcher.cc.o"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_stream_prefetcher.cc.o.d"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_stride_prefetcher.cc.o"
+  "CMakeFiles/test_prefetchers.dir/prefetch/test_stride_prefetcher.cc.o.d"
+  "test_prefetchers"
+  "test_prefetchers.pdb"
+  "test_prefetchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
