@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "core/fdp_controller.hh"
 #include "cpu/ooo_core.hh"
@@ -72,8 +73,8 @@ main()
                 insertPosName(fdp.insertPos()));
 
     std::printf("\nFull statistics dump:\n");
-    core_stats.dump(stdout);
-    mem_stats.dump(stdout);
-    fdp_stats.dump(stdout);
+    core_stats.dump(std::cout);
+    mem_stats.dump(std::cout);
+    fdp_stats.dump(std::cout);
     return 0;
 }

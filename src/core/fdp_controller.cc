@@ -176,6 +176,46 @@ FdpController::endInterval()
 
     if (params_.dynamicInsertion)
         insertPos_ = decideInsertion(params_.thresholds, pollution);
+
+    if (endOfIntervalHook_)
+        endOfIntervalHook_();
+}
+
+void
+FdpController::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: dynamic configuration counter %u outside [%u, %u]",
+               auditName(), level_, kMinAggrLevel, kMaxAggrLevel);
+    FDP_ASSERT(static_cast<std::uint8_t>(insertPos_) < kNumInsertPos,
+               "%s: insertion policy %u is not a legal InsertPos",
+               auditName(), static_cast<unsigned>(insertPos_));
+    FDP_ASSERT(evictionCount_ < params_.intervalEvictions,
+               "%s: eviction count %llu reached interval length %llu "
+               "without closing the interval",
+               auditName(),
+               static_cast<unsigned long long>(evictionCount_),
+               static_cast<unsigned long long>(params_.intervalEvictions));
+    FDP_ASSERT(prefUsed_.value() <= prefSent_.value(),
+               "%s: %llu prefetches used but only %llu sent", auditName(),
+               static_cast<unsigned long long>(prefUsed_.value()),
+               static_cast<unsigned long long>(prefSent_.value()));
+    FDP_ASSERT(prefLate_.value() <= prefUsed_.value(),
+               "%s: %llu late prefetches but only %llu used", auditName(),
+               static_cast<unsigned long long>(prefLate_.value()),
+               static_cast<unsigned long long>(prefUsed_.value()));
+    FDP_ASSERT(pollutionMisses_.value() <= demandMisses_.value(),
+               "%s: %llu pollution misses but only %llu demand misses",
+               auditName(),
+               static_cast<unsigned long long>(pollutionMisses_.value()),
+               static_cast<unsigned long long>(demandMisses_.value()));
+    if (prefetcher_ && params_.dynamicAggressiveness)
+        FDP_ASSERT(prefetcher_->aggressiveness() == level_,
+                   "%s: prefetcher runs at level %u but controller is at "
+                   "%u",
+                   auditName(), prefetcher_->aggressiveness(), level_);
+    counters_.audit();
+    filter_.audit();
 }
 
 double

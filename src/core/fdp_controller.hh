@@ -19,11 +19,13 @@
 #define FDP_CORE_FDP_CONTROLLER_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "core/feedback_counters.hh"
 #include "core/insertion.hh"
 #include "core/pollution_filter.hh"
 #include "prefetch/aggressiveness.hh"
+#include "sim/check.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -64,7 +66,7 @@ struct FdpParams
 };
 
 /** The feedback controller of the paper. */
-class FdpController
+class FdpController : public Auditable
 {
   public:
     /** The three Table 2 update actions. */
@@ -136,6 +138,28 @@ class FdpController
     std::uint64_t intervalsCompleted() const { return intervals_.value(); }
 
     /**
+     * Install @p hook to run after every completed sampling interval;
+     * the experiment harness uses it to audit the whole machine at the
+     * paper's natural checkpoint cadence.
+     */
+    void
+    setEndOfIntervalHook(std::function<void()> hook)
+    {
+        endOfIntervalHook_ = std::move(hook);
+    }
+
+    /**
+     * Invariants: the Dynamic Configuration Counter stays in [1,5], the
+     * insertion policy is a legal enum value, the eviction count stays
+     * below the interval length, lifetime counters are ordered
+     * (used <= sent, late <= used, pollution <= demand misses), the
+     * throttled prefetcher agrees on the level, and the owned counters
+     * and pollution filter pass their own audits.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "fdp_controller"; }
+
+    /**
      * Pure policy function for Table 2: classify the metrics and return
      * the configured counter update. Exposed so tests can exercise all
      * 12 cases directly.
@@ -153,8 +177,11 @@ class FdpController
                                      double pollution);
 
   private:
+    friend struct AuditCorrupter;
+
     void endInterval();
 
+    std::function<void()> endOfIntervalHook_;
     FdpParams params_;
     Prefetcher *prefetcher_;
     FeedbackCounters counters_;

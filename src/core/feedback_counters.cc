@@ -1,5 +1,7 @@
 #include "core/feedback_counters.hh"
 
+#include <cmath>
+
 #include "sim/stats.hh"
 
 namespace fdp
@@ -31,6 +33,39 @@ double
 FeedbackCounters::pollution() const
 {
     return ratio(pollutionTotal_.value(), demandTotal_.value());
+}
+
+void
+FeedbackCounters::audit() const
+{
+    const IntervalCounter *all[] = {&prefTotal_, &usedTotal_, &lateTotal_,
+                                    &demandTotal_, &pollutionTotal_};
+    const char *names[] = {"pref", "used", "late", "demand", "pollution"};
+    for (std::size_t i = 0; i < 5; ++i) {
+        const double v = all[i]->value();
+        FDP_ASSERT(std::isfinite(v) && v >= 0.0,
+                   "%s: %s-total smoothed value %f is not a finite "
+                   "non-negative number",
+                   auditName(), names[i], v);
+    }
+    FDP_ASSERT(lateTotal_.intervalValue() <= usedTotal_.intervalValue(),
+               "%s: %llu late prefetches exceed %llu used this interval",
+               auditName(),
+               static_cast<unsigned long long>(lateTotal_.intervalValue()),
+               static_cast<unsigned long long>(usedTotal_.intervalValue()));
+    FDP_ASSERT(lateTotal_.value() <= usedTotal_.value(),
+               "%s: smoothed late-total %f exceeds smoothed used-total %f",
+               auditName(), lateTotal_.value(), usedTotal_.value());
+    FDP_ASSERT(
+        pollutionTotal_.intervalValue() <= demandTotal_.intervalValue(),
+        "%s: %llu pollution misses exceed %llu demand misses this interval",
+        auditName(),
+        static_cast<unsigned long long>(pollutionTotal_.intervalValue()),
+        static_cast<unsigned long long>(demandTotal_.intervalValue()));
+    FDP_ASSERT(pollutionTotal_.value() <= demandTotal_.value(),
+               "%s: smoothed pollution-total %f exceeds smoothed "
+               "demand-total %f",
+               auditName(), pollutionTotal_.value(), demandTotal_.value());
 }
 
 void

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "sim/check.hh"
+
 namespace fdp
 {
 
@@ -49,6 +51,8 @@ class IntervalCounter
     }
 
   private:
+    friend struct AuditCorrupter;
+
     std::uint64_t interval_ = 0;
     double smoothed_ = 0.0;
 };
@@ -57,7 +61,7 @@ class IntervalCounter
  * The full set of FDP feedback counters (paper Section 3.1) plus the
  * derived accuracy / lateness / pollution metrics.
  */
-class FeedbackCounters
+class FeedbackCounters : public Auditable
 {
   public:
     /** A prefetch request was sent to memory. */
@@ -95,7 +99,19 @@ class FeedbackCounters
     const IntervalCounter &demandTotal() const { return demandTotal_; }
     const IntervalCounter &pollutionTotal() const { return pollutionTotal_; }
 
+    /**
+     * Invariants: every smoothed value is finite and non-negative, and
+     * the coupled counters stay ordered the way the controller drives
+     * them — late <= used and pollution <= demand, both for the raw
+     * in-progress interval and for the smoothed values (Equation 1
+     * preserves the ordering inductively).
+     */
+    void audit() const override;
+    const char *auditName() const override { return "feedback_counters"; }
+
   private:
+    friend struct AuditCorrupter;
+
     IntervalCounter prefTotal_;
     IntervalCounter usedTotal_;
     IntervalCounter lateTotal_;

@@ -56,4 +56,20 @@ PollutionFilter::clear()
     std::fill(bits_.begin(), bits_.end(), false);
 }
 
+void
+PollutionFilter::audit() const
+{
+    const std::size_t bits = bits_.size();
+    FDP_ASSERT(bits != 0 && (bits & (bits - 1)) == 0,
+               "%s: size %zu is not a power of two", auditName(), bits);
+    FDP_ASSERT(mask_ == bits - 1,
+               "%s: index mask %zu does not match size %zu", auditName(),
+               mask_, bits);
+    FDP_ASSERT((std::size_t{1} << shift_) == bits,
+               "%s: index shift %u does not match size %zu", auditName(),
+               shift_, bits);
+    FDP_ASSERT(popcount() <= bits, "%s: %zu set bits in a %zu-bit filter",
+               auditName(), popcount(), bits);
+}
+
 } // namespace fdp

@@ -19,13 +19,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace fdp
 {
 
 /** XOR-indexed bit-vector estimating prefetcher-generated pollution. */
-class PollutionFilter
+class PollutionFilter : public Auditable
 {
   public:
     /** @param bits filter size; must be a power of two (paper: 4096). */
@@ -53,7 +54,16 @@ class PollutionFilter
     /** The paper's index function: low 12 bits XOR next 12 bits. */
     std::size_t indexOf(BlockAddr block) const;
 
+    /**
+     * Invariants: the filter size is a power of two, the index mask
+     * matches it, and the set-bit count is within the filter size.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "pollution_filter"; }
+
   private:
+    friend struct AuditCorrupter;
+
     std::vector<bool> bits_;
     std::size_t mask_;
     unsigned shift_ = 12;

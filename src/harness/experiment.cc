@@ -6,6 +6,7 @@
 #include "prefetch/ghb_prefetcher.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
 
@@ -116,7 +117,24 @@ runWorkload(Workload &workload, const RunConfig &config,
                      mem_stats);
     OooCore core(config.core, mem, events, workload, core_stats);
 
+    // Audit the assembled machine at every sampling-interval boundary in
+    // debug builds (and whenever FDP_AUDIT=1 asks for it), so structural
+    // corruption surfaces at the paper's natural checkpoint cadence
+    // instead of as silently wrong results.
+    AuditSet audits;
+    audits.add(&events);
+    audits.add(&fdp);
+    audits.add(&mem);
+    if (prefetcher)
+        audits.add(prefetcher.get());
+    const bool periodicAudit = debugBuild() || auditRequestedByEnv();
+    if (periodicAudit)
+        fdp.setEndOfIntervalHook([&audits] { audits.runAll(); });
+
     core.run(config.numInsts);
+
+    if (periodicAudit)
+        audits.runAll();
 
     RunResult r;
     r.benchmark = workload.name();

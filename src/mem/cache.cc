@@ -173,6 +173,68 @@ SetAssocCache::occupancy() const
 }
 
 void
+SetAssocCache::audit() const
+{
+    for (std::size_t s = 0; s < sets_.size(); ++s) {
+        const Set &set = sets_[s];
+        FDP_ASSERT(set.used <= params_.assoc,
+                   "%s: set %zu uses %u of %u ways", auditName(), s,
+                   set.used, params_.assoc);
+        FDP_ASSERT(set.stack.size() == set.used,
+                   "%s: set %zu recency stack holds %zu entries for %u "
+                   "valid ways",
+                   auditName(), s, set.stack.size(), set.used);
+
+        // The stack must be a permutation of the valid way indices.
+        std::vector<bool> on_stack(params_.assoc, false);
+        for (const std::uint8_t w : set.stack) {
+            FDP_ASSERT(w < params_.assoc,
+                       "%s: set %zu stack names way %u of %u", auditName(),
+                       s, w, params_.assoc);
+            FDP_ASSERT(!on_stack[w],
+                       "%s: set %zu stack lists way %u twice", auditName(),
+                       s, w);
+            on_stack[w] = true;
+            FDP_ASSERT(set.ways[w].valid,
+                       "%s: set %zu stack lists invalid way %u",
+                       auditName(), s, w);
+        }
+
+        unsigned valid_ways = 0;
+        for (std::size_t w = 0; w < set.ways.size(); ++w) {
+            const Way &way = set.ways[w];
+            if (!way.valid) {
+                FDP_ASSERT(!on_stack[w],
+                           "%s: set %zu invalid way %zu is on the stack",
+                           auditName(), s, w);
+                continue;
+            }
+            ++valid_ways;
+            FDP_ASSERT(on_stack[w],
+                       "%s: set %zu valid way %zu missing from the stack",
+                       auditName(), s, w);
+            for (std::size_t o = 0; o < w; ++o)
+                FDP_ASSERT(!set.ways[o].valid ||
+                               set.ways[o].block != way.block,
+                           "%s: set %zu holds block %llu in ways %zu and "
+                           "%zu",
+                           auditName(), s,
+                           static_cast<unsigned long long>(way.block), o,
+                           w);
+            FDP_ASSERT(setIndex(way.block) == s,
+                       "%s: block %llu stored in set %zu but maps to set "
+                       "%zu",
+                       auditName(),
+                       static_cast<unsigned long long>(way.block), s,
+                       setIndex(way.block));
+        }
+        FDP_ASSERT(valid_ways == set.used,
+                   "%s: set %zu has %u valid ways but used=%u",
+                   auditName(), s, valid_ways, set.used);
+    }
+}
+
+void
 SetAssocCache::clear()
 {
     for (auto &set : sets_) {

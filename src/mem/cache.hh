@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/insertion.hh"
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -47,7 +48,7 @@ struct CacheVictim
 };
 
 /** Set-associative, true-LRU, write-back cache model (tags only). */
-class SetAssocCache
+class SetAssocCache : public Auditable
 {
   public:
     explicit SetAssocCache(const CacheParams &params);
@@ -90,7 +91,17 @@ class SetAssocCache
 
     void clear();
 
+    /**
+     * Invariants: each set's recency stack is a permutation of its valid
+     * way indices, the valid-way count matches `used`, and every valid
+     * block maps to the set that holds it.
+     */
+    void audit() const override;
+    const char *auditName() const override { return params_.name.c_str(); }
+
   private:
+    friend struct AuditCorrupter;
+
     struct Way
     {
         bool valid = false;

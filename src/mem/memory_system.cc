@@ -286,6 +286,23 @@ MemorySystem::avgDemandMissLatency() const
                  static_cast<double>(demandMissFills_.value()));
 }
 
+void
+MemorySystem::audit() const
+{
+    FDP_ASSERT(prefetchQueue_.size() <= params_.prefetchQueueCap,
+               "%s: prefetch request queue holds %zu of %zu entries",
+               auditName(), prefetchQueue_.size(),
+               params_.prefetchQueueCap);
+    FDP_ASSERT(params_.mshrDemandReserve < mshrs_.capacity(),
+               "%s: demand reserve %zu swallows all %zu MSHRs",
+               auditName(), params_.mshrDemandReserve, mshrs_.capacity());
+    l1_.audit();
+    l2_.audit();
+    mshrs_.audit();
+    if (pcache_)
+        pcache_->audit();
+}
+
 bool
 MemorySystem::quiesced() const
 {

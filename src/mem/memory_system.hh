@@ -56,7 +56,7 @@ struct MachineParams
 };
 
 /** L1 + L2 + DRAM with prefetching and FDP instrumentation. */
-class MemorySystem
+class MemorySystem : public Auditable
 {
   public:
     using DoneFn = std::function<void(Cycle)>;
@@ -102,7 +102,18 @@ class MemorySystem
     double avgDemandMissLatency() const;
     /// @}
 
+    /**
+     * Invariants: the Prefetch Request Queue stays within its capacity
+     * and the demand-reserve configuration, plus the structural audits
+     * of both caches, the MSHR file, and the prefetch cache when
+     * configured.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "memory_system"; }
+
   private:
+    friend struct AuditCorrupter;
+
     struct PendingDemand
     {
         BlockAddr block;

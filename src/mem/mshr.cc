@@ -34,4 +34,31 @@ MshrFile::deallocate(BlockAddr block)
         panic("MSHR deallocate for absent block");
 }
 
+void
+MshrFile::audit() const
+{
+    FDP_ASSERT(entries_.size() <= capacity_,
+               "%s: %zu entries exceed capacity %zu", auditName(),
+               entries_.size(), capacity_);
+    for (const auto &[block, e] : entries_) {
+        FDP_ASSERT(e.block == block,
+                   "%s: entry keyed by block %llu records block %llu",
+                   auditName(), static_cast<unsigned long long>(block),
+                   static_cast<unsigned long long>(e.block));
+        if (e.prefBit) {
+            FDP_ASSERT(e.waiters.empty(),
+                       "%s: prefetch entry for block %llu has %zu demand "
+                       "waiters",
+                       auditName(),
+                       static_cast<unsigned long long>(block),
+                       e.waiters.size());
+            FDP_ASSERT(!e.writeIntent,
+                       "%s: prefetch entry for block %llu has write "
+                       "intent",
+                       auditName(),
+                       static_cast<unsigned long long>(block));
+        }
+    }
+}
+
 } // namespace fdp

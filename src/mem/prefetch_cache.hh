@@ -29,7 +29,7 @@ struct PrefetchCacheParams
 };
 
 /** Fully-managed prefetch-only buffer. */
-class PrefetchCache
+class PrefetchCache : public Auditable
 {
   public:
     explicit PrefetchCache(const PrefetchCacheParams &params);
@@ -46,7 +46,13 @@ class PrefetchCache
     std::size_t numBlocks() const { return cache_->numBlocks(); }
     std::size_t occupancy() const { return cache_->occupancy(); }
 
+    /** Delegates to the backing tag store's structural audit. */
+    void audit() const override { cache_->audit(); }
+    const char *auditName() const override { return "prefetch_cache"; }
+
   private:
+    friend struct AuditCorrupter;
+
     std::unique_ptr<SetAssocCache> cache_;
 };
 

@@ -73,6 +73,48 @@ GhbPrefetcher::allocateZone(std::uint64_t zone)
 }
 
 void
+GhbPrefetcher::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: aggressiveness level %u outside [%u, %u]", auditName(),
+               level_, kMinAggrLevel, kMaxAggrLevel);
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        const IndexEntry &e = index_[i];
+        if (!e.valid)
+            continue;
+        FDP_ASSERT(e.lastUse <= tick_,
+                   "%s: index entry %zu last used at tick %llu, after "
+                   "current tick %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(e.lastUse),
+                   static_cast<unsigned long long>(tick_));
+        FDP_ASSERT(e.headSeq < nextSeq_,
+                   "%s: index entry %zu heads at future sequence %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(e.headSeq));
+        for (std::size_t j = 0; j < i; ++j)
+            FDP_ASSERT(!index_[j].valid || index_[j].zone != e.zone,
+                       "%s: zone %llu indexed by entries %zu and %zu",
+                       auditName(),
+                       static_cast<unsigned long long>(e.zone), j, i);
+    }
+
+    // Link-pointer acyclicity: every live entry's predecessor link must
+    // point strictly backwards, so any walk monotonically decreases the
+    // sequence number and terminates.
+    const std::uint64_t lo =
+        nextSeq_ > ghb_.size() ? nextSeq_ - ghb_.size() : 1;
+    for (std::uint64_t seq = lo; seq < nextSeq_; ++seq) {
+        const GhbEntry &e = ghb_[seq % ghb_.size()];
+        if (e.hasPrev)
+            FDP_ASSERT(e.prevSeq != 0 && e.prevSeq < seq,
+                       "%s: GHB entry %llu links forward to %llu (cycle)",
+                       auditName(), static_cast<unsigned long long>(seq),
+                       static_cast<unsigned long long>(e.prevSeq));
+    }
+}
+
+void
 GhbPrefetcher::doObserve(const PrefetchObservation &obs,
                          std::vector<BlockAddr> &out, std::size_t budget)
 {

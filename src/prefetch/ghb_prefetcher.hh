@@ -51,7 +51,17 @@ class GhbPrefetcher : public Prefetcher
     /** Current prefetch degree (== distance for GHB, Section 5.7). */
     unsigned degree() const { return kGhbAggrTable[level_].degree; }
 
+    /**
+     * Invariants: aggressiveness level in range, index entries name
+     * distinct zones with live-or-null head pointers, and every live
+     * GHB link points strictly backwards in sequence order (the
+     * same-zone lists are acyclic).
+     */
+    void audit() const override;
+
   private:
+    friend struct AuditCorrupter;
+
     void doObserve(const PrefetchObservation &obs,
                    std::vector<BlockAddr> &out,
                    std::size_t budget) override;

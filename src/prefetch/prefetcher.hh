@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "prefetch/aggressiveness.hh"
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -32,10 +33,10 @@ struct PrefetchObservation
 };
 
 /** Base class for the stream / GHB / stride prefetchers. */
-class Prefetcher
+class Prefetcher : public Auditable
 {
   public:
-    virtual ~Prefetcher() = default;
+    ~Prefetcher() override = default;
 
     /** "No limit" budget for observe(). */
     static constexpr std::size_t kUnlimited = ~std::size_t{0};
@@ -67,6 +68,9 @@ class Prefetcher
 
     /** Drop all learned state (streams, history, strides). */
     virtual void reset() = 0;
+
+    /** Audit failures report the prefetcher under its short name. */
+    const char *auditName() const override { return name(); }
 
   protected:
     /** Implementation of observe(); see the public wrapper. */

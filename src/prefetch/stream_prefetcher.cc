@@ -219,6 +219,41 @@ StreamPrefetcher::doObserve(const PrefetchObservation &obs,
     e.lastUse = tick_;
 }
 
+void
+StreamPrefetcher::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: aggressiveness level %u outside [%u, %u]", auditName(),
+               level_, kMinAggrLevel, kMaxAggrLevel);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        FDP_ASSERT(static_cast<std::uint8_t>(e.state) <=
+                       static_cast<std::uint8_t>(State::MonitorRequest),
+                   "%s: entry %zu in illegal state %u", auditName(), i,
+                   static_cast<unsigned>(e.state));
+        if (e.state == State::Invalid)
+            continue;
+        FDP_ASSERT(e.lastUse <= tick_,
+                   "%s: entry %zu last used at tick %llu, after current "
+                   "tick %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(e.lastUse),
+                   static_cast<unsigned long long>(tick_));
+        if (e.state == State::Allocated)
+            continue;
+        FDP_ASSERT(e.dir == 1 || e.dir == -1,
+                   "%s: trained entry %zu has direction %d", auditName(),
+                   i, e.dir);
+        if (e.state == State::MonitorRequest)
+            FDP_ASSERT((e.endPtr - e.startPtr) * e.dir >= 0,
+                       "%s: entry %zu monitors [%lld, %lld] against its "
+                       "direction %d",
+                       auditName(), i,
+                       static_cast<long long>(e.startPtr),
+                       static_cast<long long>(e.endPtr), e.dir);
+    }
+}
+
 unsigned
 StreamPrefetcher::numActiveStreams() const
 {

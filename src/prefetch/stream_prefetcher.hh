@@ -84,7 +84,17 @@ class StreamPrefetcher : public Prefetcher
     /** State of tracking entry @p idx (for tests). */
     State entryState(unsigned idx) const { return entries_.at(idx).state; }
 
+    /**
+     * Invariants: aggressiveness level in range, every entry in a legal
+     * state, trained entries with a +/-1 direction, monitored regions
+     * oriented along their direction, and LRU timestamps not in the
+     * future.
+     */
+    void audit() const override;
+
   private:
+    friend struct AuditCorrupter;
+
     struct Entry
     {
         State state = State::Invalid;

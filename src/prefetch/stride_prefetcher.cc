@@ -46,6 +46,34 @@ StridePrefetcher::entryState(Addr pc) const
 }
 
 void
+StridePrefetcher::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: aggressiveness level %u outside [%u, %u]", auditName(),
+               level_, kMinAggrLevel, kMaxAggrLevel);
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        const Entry &e = table_[i];
+        if (!e.valid)
+            continue;
+        FDP_ASSERT(static_cast<std::uint8_t>(e.state) <=
+                       static_cast<std::uint8_t>(State::NoPred),
+                   "%s: entry %zu in illegal FSM state %u", auditName(), i,
+                   static_cast<unsigned>(e.state));
+        FDP_ASSERT(indexOf(e.tag) == i,
+                   "%s: entry for PC %llx stored in slot %zu but hashes "
+                   "to %zu",
+                   auditName(), static_cast<unsigned long long>(e.tag), i,
+                   indexOf(e.tag));
+        FDP_ASSERT(e.lastUse <= tick_,
+                   "%s: entry %zu last used at tick %llu, after current "
+                   "tick %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(e.lastUse),
+                   static_cast<unsigned long long>(tick_));
+    }
+}
+
+void
 StridePrefetcher::doObserve(const PrefetchObservation &obs,
                             std::vector<BlockAddr> &out,
                             std::size_t budget)

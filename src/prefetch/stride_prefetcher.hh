@@ -55,7 +55,16 @@ class StridePrefetcher : public Prefetcher
     /** FSM state of the entry holding @p pc, or NoPred if absent. */
     State entryState(Addr pc) const;
 
+    /**
+     * Invariants: aggressiveness level in range, every valid entry in a
+     * legal FSM state, stored in the slot its tag hashes to, with an LRU
+     * timestamp not in the future.
+     */
+    void audit() const override;
+
   private:
+    friend struct AuditCorrupter;
+
     void doObserve(const PrefetchObservation &obs,
                    std::vector<BlockAddr> &out,
                    std::size_t budget) override;

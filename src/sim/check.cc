@@ -1,0 +1,30 @@
+#include "sim/check.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fdp
+{
+
+void
+AuditSet::add(const Auditable *component)
+{
+    FDP_ASSERT(component != nullptr, "null component added to audit set");
+    components_.push_back(component);
+}
+
+void
+AuditSet::runAll() const
+{
+    for (const Auditable *c : components_)
+        c->audit();
+}
+
+bool
+auditRequestedByEnv()
+{
+    const char *v = std::getenv("FDP_AUDIT");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+} // namespace fdp

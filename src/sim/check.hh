@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Runtime invariant checking for the simulator.
+ *
+ * FDP_ASSERT(cond, ...)        - always-on structural invariant; a failure
+ *                                is a simulator bug and panics.
+ * FDP_DEBUG_ASSERT(cond, ...)  - compiled out under NDEBUG; for checks on
+ *                                hot paths.
+ *
+ * Components with machine-checkable structural invariants implement
+ * Auditable: audit() walks the component's state and panics (through
+ * FDP_ASSERT) on the first violated invariant. The experiment harness
+ * collects every Auditable of a run in an AuditSet and runs it at each
+ * FDP sampling-interval boundary in debug builds (or when FDP_AUDIT=1
+ * is set in the environment); tests call audit() on demand.
+ */
+
+#ifndef FDP_SIM_CHECK_HH
+#define FDP_SIM_CHECK_HH
+
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace detail
+{
+
+/** FDP_ASSERT failure without a user message. */
+[[noreturn]] inline void
+assertFail(const char *file, int line, const char *cond)
+{
+    panic("%s:%d: assertion `%s' failed", file, line, cond);
+}
+
+/** FDP_ASSERT failure with a formatted user message. */
+template <Printable... Args>
+[[noreturn]] void
+assertFail(const char *file, int line, const char *cond, const char *fmt,
+           Args &&...args)
+{
+    panic("%s:%d: assertion `%s' failed: %s", file, line, cond,
+          formatMessage(fmt, std::forward<Args>(args)...).c_str());
+}
+
+} // namespace detail
+
+/**
+ * Always-on invariant check: FDP_ASSERT(cond) or
+ * FDP_ASSERT(cond, "context %u", value). Failure panics.
+ */
+#define FDP_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            ::fdp::detail::assertFail(__FILE__, __LINE__,                   \
+                                      #cond __VA_OPT__(, ) __VA_ARGS__);    \
+    } while (0)
+
+/** Debug-build-only invariant check; compiled out under NDEBUG. */
+#ifdef NDEBUG
+#define FDP_DEBUG_ASSERT(cond, ...)                                         \
+    do {                                                                    \
+    } while (0)
+#else
+#define FDP_DEBUG_ASSERT(cond, ...) FDP_ASSERT(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif
+
+/**
+ * Test-only backdoor: tests declare this struct (a friend of every
+ * Auditable component) to corrupt private state and verify that audit()
+ * catches the corruption. Never defined in production code.
+ */
+struct AuditCorrupter;
+
+/** A component whose structural invariants can be checked on demand. */
+class Auditable
+{
+  public:
+    virtual ~Auditable() = default;
+
+    /** Check every structural invariant; panics on the first violation. */
+    virtual void audit() const = 0;
+
+    /** Component name used in audit failure messages. */
+    virtual const char *auditName() const = 0;
+};
+
+/** The set of auditable components of one assembled machine. */
+class AuditSet
+{
+  public:
+    void add(const Auditable *component);
+
+    /** audit() every registered component. */
+    void runAll() const;
+
+    std::size_t size() const { return components_.size(); }
+
+  private:
+    std::vector<const Auditable *> components_;
+};
+
+/** True when FDP_AUDIT is set (nonempty, not "0") in the environment. */
+bool auditRequestedByEnv();
+
+/** True in builds without NDEBUG (FDP_DEBUG_ASSERT active). */
+inline constexpr bool
+debugBuild()
+{
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace fdp
+
+#endif // FDP_SIM_CHECK_HH

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -46,6 +47,44 @@ EventQueue::reset()
     nextSeq_ = 0;
     serviced_ = 0;
     horizon_ = 0;
+}
+
+namespace
+{
+
+/** Expose the protected container of a std::priority_queue. */
+template <typename Pq>
+const typename Pq::container_type &
+heapContainer(const Pq &pq)
+{
+    struct Peek : Pq { using Pq::c; };
+    return static_cast<const Peek &>(pq).*(&Peek::c);
+}
+
+} // namespace
+
+void
+EventQueue::audit() const
+{
+    const auto &events = heapContainer(heap_);
+    FDP_ASSERT(std::is_heap(events.begin(), events.end(), Later{}),
+               "%s: pending events violate the heap ordering", auditName());
+    FDP_ASSERT(serviced_ + events.size() == nextSeq_,
+               "%s: %llu serviced + %zu pending != %llu scheduled",
+               auditName(), static_cast<unsigned long long>(serviced_),
+               events.size(), static_cast<unsigned long long>(nextSeq_));
+    for (const Event &ev : events) {
+        FDP_ASSERT(ev.when >= horizon_,
+                   "%s: event at cycle %llu is before horizon %llu",
+                   auditName(), static_cast<unsigned long long>(ev.when),
+                   static_cast<unsigned long long>(horizon_));
+        FDP_ASSERT(ev.seq < nextSeq_,
+                   "%s: event sequence %llu >= next sequence %llu",
+                   auditName(), static_cast<unsigned long long>(ev.seq),
+                   static_cast<unsigned long long>(nextSeq_));
+        FDP_ASSERT(ev.fn != nullptr, "%s: pending event with no callback",
+                   auditName());
+    }
 }
 
 } // namespace fdp

@@ -15,13 +15,14 @@
 #include <queue>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace fdp
 {
 
 /** Ordered queue of timed callbacks driving the simulation. */
-class EventQueue
+class EventQueue : public Auditable
 {
   public:
     using Callback = std::function<void()>;
@@ -53,7 +54,16 @@ class EventQueue
     /** Drop all pending events and reset the horizon. */
     void reset();
 
+    /**
+     * Invariants: the pending array is a valid heap, no pending event
+     * predates the horizon, sequence numbers are consistent, and
+     * serviced + pending == scheduled.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "event_queue"; }
+
   private:
+    friend struct AuditCorrupter;
     struct Event
     {
         Cycle when;

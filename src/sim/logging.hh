@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace fdp
@@ -22,7 +23,21 @@ namespace fdp
 namespace detail
 {
 
-template <typename... Args>
+/**
+ * Types that may be forwarded to the printf machinery. Passing anything
+ * else (a std::string, a struct, ...) through a C variadic call is
+ * undefined behavior, so the gate is enforced at compile time; callers
+ * must pass `.c_str()` / a scalar instead.
+ */
+template <typename T>
+concept Printable =
+    std::is_arithmetic_v<std::remove_cvref_t<T>> ||
+    std::is_enum_v<std::remove_cvref_t<T>> ||
+    std::is_pointer_v<std::remove_cvref_t<T>> ||
+    std::is_array_v<std::remove_cvref_t<T>> ||
+    std::is_null_pointer_v<std::remove_cvref_t<T>>;
+
+template <Printable... Args>
 std::string
 formatMessage(const char *fmt, Args &&...args)
 {
@@ -42,7 +57,7 @@ formatMessage(const char *fmt, Args &&...args)
 } // namespace detail
 
 /** Report an internal simulator bug and abort. */
-template <typename... Args>
+template <detail::Printable... Args>
 [[noreturn]] void
 panic(const char *fmt, Args &&...args)
 {
@@ -53,7 +68,7 @@ panic(const char *fmt, Args &&...args)
 }
 
 /** Report an unrecoverable user/configuration error and exit. */
-template <typename... Args>
+template <detail::Printable... Args>
 [[noreturn]] void
 fatal(const char *fmt, Args &&...args)
 {
@@ -64,7 +79,7 @@ fatal(const char *fmt, Args &&...args)
 }
 
 /** Report a suspicious-but-survivable condition. */
-template <typename... Args>
+template <detail::Printable... Args>
 void
 warn(const char *fmt, Args &&...args)
 {
@@ -74,7 +89,7 @@ warn(const char *fmt, Args &&...args)
 }
 
 /** Report plain status output. */
-template <typename... Args>
+template <detail::Printable... Args>
 void
 inform(const char *fmt, Args &&...args)
 {

@@ -1,6 +1,8 @@
 #include "sim/stats.hh"
 
+#include <iomanip>
 #include <numeric>
+#include <ostream>
 
 #include "sim/logging.hh"
 
@@ -53,20 +55,18 @@ DistributionStat::reset()
 }
 
 void
-StatGroup::dump(std::FILE *out) const
+StatGroup::dump(std::ostream &out) const
 {
     for (const auto *s : scalars_) {
-        std::fprintf(out, "%s.%-32s %12llu  # %s\n", name_.c_str(),
-                     s->name().c_str(),
-                     static_cast<unsigned long long>(s->value()),
-                     s->desc().c_str());
+        out << name_ << '.' << std::setw(32) << std::left << s->name()
+            << ' ' << std::setw(12) << std::right << s->value() << "  # "
+            << s->desc() << '\n';
     }
     for (const auto *d : distributions_) {
         for (std::size_t i = 0; i < d->numBuckets(); ++i) {
-            std::fprintf(out, "%s.%s[%zu] %12llu  # %s\n", name_.c_str(),
-                         d->name().c_str(), i,
-                         static_cast<unsigned long long>(d->bucket(i)),
-                         d->desc().c_str());
+            out << name_ << '.' << d->name() << '[' << i << "] "
+                << std::setw(12) << std::right << d->bucket(i) << "  # "
+                << d->desc() << '\n';
         }
     }
 }

@@ -12,7 +12,7 @@
 #define FDP_SIM_STATS_HH
 
 #include <cstdint>
-#include <cstdio>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -95,7 +95,7 @@ class StatGroup
     const std::string &name() const { return name_; }
 
     /** Dump "group.stat value # desc" lines for every registered stat. */
-    void dump(std::FILE *out) const;
+    void dump(std::ostream &out) const;
 
     /** Zero every registered statistic. */
     void resetAll();

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Death tests proving every audit() actually catches corruption.
+ *
+ * Each test builds a component in a healthy (and where needed, populated)
+ * state, verifies the clean audit passes, then flips exactly one private
+ * field through the AuditCorrupter backdoor and expects the audit to
+ * panic with the matching diagnostic. This is the negative half of the
+ * invariant layer: without it a vacuous audit() would pass silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/corrupt.hh"
+
+namespace fdp
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// SetAssocCache
+// ---------------------------------------------------------------------------
+
+SetAssocCache
+smallCache()
+{
+    CacheParams p;
+    p.name = "testcache";
+    p.sizeBytes = 4 * 1024;
+    p.assoc = 4;
+    SetAssocCache cache(p);
+    cache.insert(0x100, false, InsertPos::Mru, false);
+    cache.insert(0x200, true, InsertPos::Lru, false);
+    return cache;
+}
+
+TEST(CacheAudit, CleanCachePasses)
+{
+    SetAssocCache cache = smallCache();
+    cache.audit();
+}
+
+TEST(CacheAuditDeathTest, DuplicatedStackEntryCaught)
+{
+    SetAssocCache cache = smallCache();
+    AuditCorrupter::cacheDuplicateStackEntry(cache);
+    EXPECT_DEATH(cache.audit(), "recency stack holds");
+}
+
+TEST(CacheAuditDeathTest, DroppedStackEntryCaught)
+{
+    SetAssocCache cache = smallCache();
+    AuditCorrupter::cacheDropStackEntry(cache);
+    EXPECT_DEATH(cache.audit(), "recency stack holds");
+}
+
+// ---------------------------------------------------------------------------
+// MshrFile
+// ---------------------------------------------------------------------------
+
+TEST(MshrAudit, CleanFilePasses)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x40, false, 0);
+    mshrs.audit();
+}
+
+TEST(MshrAuditDeathTest, KeyBlockMismatchCaught)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x40, false, 0);
+    AuditCorrupter::mshrMismatchKey(mshrs);
+    EXPECT_DEATH(mshrs.audit(), "records block");
+}
+
+TEST(MshrAuditDeathTest, PrefetchEntryWithWaiterCaught)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x40, false, 0);
+    AuditCorrupter::mshrPrefetchWithWaiter(mshrs);
+    EXPECT_DEATH(mshrs.audit(), "demand waiters");
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueAudit, CleanQueuePasses)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.audit();
+}
+
+TEST(EventQueueAuditDeathTest, EventBeforeHorizonCaught)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    AuditCorrupter::eventQueuePastEvent(q);
+    EXPECT_DEATH(q.audit(), "is before horizon");
+}
+
+TEST(EventQueueAuditDeathTest, BrokenAccountingCaught)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    AuditCorrupter::eventQueueLoseEvent(q);
+    EXPECT_DEATH(q.audit(), "scheduled");
+}
+
+// ---------------------------------------------------------------------------
+// PollutionFilter
+// ---------------------------------------------------------------------------
+
+TEST(PollutionFilterAudit, CleanFilterPasses)
+{
+    PollutionFilter filter(64);
+    filter.onDemandBlockEvictedByPrefetch(0x123);
+    filter.audit();
+}
+
+TEST(PollutionFilterAuditDeathTest, BrokenMaskCaught)
+{
+    PollutionFilter filter(64);
+    AuditCorrupter::filterBreakMask(filter);
+    EXPECT_DEATH(filter.audit(), "index mask");
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackCounters
+// ---------------------------------------------------------------------------
+
+TEST(FeedbackCountersAudit, CleanCountersPass)
+{
+    FeedbackCounters c;
+    c.onPrefetchSent();
+    c.onPrefetchUsed();
+    c.onLatePrefetch();
+    c.endInterval();
+    c.audit();
+}
+
+TEST(FeedbackCountersAuditDeathTest, NegativeSmoothedValueCaught)
+{
+    FeedbackCounters c;
+    AuditCorrupter::countersNegativeSmoothed(c);
+    EXPECT_DEATH(c.audit(), "finite");
+}
+
+TEST(FeedbackCountersAuditDeathTest, LateExceedingUsedCaught)
+{
+    FeedbackCounters c;
+    AuditCorrupter::countersLateExceedsUsed(c);
+    EXPECT_DEATH(c.audit(), "used this interval");
+}
+
+// ---------------------------------------------------------------------------
+// FdpController
+// ---------------------------------------------------------------------------
+
+TEST(FdpControllerAudit, CleanControllerPasses)
+{
+    StatGroup stats("fdp");
+    FdpController fdp(FdpParams{}, nullptr, stats);
+    fdp.audit();
+}
+
+TEST(FdpControllerAuditDeathTest, LevelOutOfRangeCaught)
+{
+    StatGroup stats("fdp");
+    FdpController fdp(FdpParams{}, nullptr, stats);
+    AuditCorrupter::controllerBadLevel(fdp);
+    EXPECT_DEATH(fdp.audit(), "outside");
+}
+
+TEST(FdpControllerAuditDeathTest, IllegalInsertPosCaught)
+{
+    StatGroup stats("fdp");
+    FdpController fdp(FdpParams{}, nullptr, stats);
+    AuditCorrupter::controllerBadInsertPos(fdp);
+    EXPECT_DEATH(fdp.audit(), "not a legal InsertPos");
+}
+
+TEST(FdpControllerAuditDeathTest, UsedExceedingSentCaught)
+{
+    StatGroup stats("fdp");
+    FdpController fdp(FdpParams{}, nullptr, stats);
+    AuditCorrupter::controllerUsedExceedsSent(fdp);
+    EXPECT_DEATH(fdp.audit(), "used but only");
+}
+
+TEST(FdpControllerAuditDeathTest, PrefetcherLevelDisagreementCaught)
+{
+    StatGroup stats("fdp");
+    StreamPrefetcher pf;
+    FdpParams fp;
+    fp.dynamicAggressiveness = true;
+    FdpController fdp(fp, &pf, stats);
+    pf.setAggressiveness(fdp.level() == 5 ? 1 : 5);
+    EXPECT_DEATH(fdp.audit(), "prefetcher runs at level");
+}
+
+// ---------------------------------------------------------------------------
+// Prefetchers
+// ---------------------------------------------------------------------------
+
+TEST(StreamAudit, CleanPrefetcherPasses)
+{
+    StreamPrefetcher pf;
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x10400; a += 0x40)
+        pf.observe({a, a >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(StreamAuditDeathTest, ZeroDirectionCaught)
+{
+    StreamPrefetcher pf;
+    AuditCorrupter::streamZeroDirection(pf);
+    EXPECT_DEATH(pf.audit(), "has direction 0");
+}
+
+TEST(StreamAuditDeathTest, IllegalStateCaught)
+{
+    StreamPrefetcher pf;
+    AuditCorrupter::streamIllegalState(pf);
+    EXPECT_DEATH(pf.audit(), "illegal state");
+}
+
+TEST(GhbAudit, CleanPrefetcherPasses)
+{
+    GhbPrefetcher pf;
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x10400; a += 0x80)
+        pf.observe({a, a >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(GhbAuditDeathTest, LinkCycleCaught)
+{
+    GhbPrefetcher pf;
+    std::vector<BlockAddr> out;
+    pf.observe({0x10000, 0x10000 >> 6, 0x1000, true}, out);
+    AuditCorrupter::ghbLinkCycle(pf);
+    EXPECT_DEATH(pf.audit(), "links forward");
+}
+
+TEST(StrideAudit, CleanPrefetcherPasses)
+{
+    StridePrefetcher pf;
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x10400; a += 0x40)
+        pf.observe({a, a >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(StrideAuditDeathTest, EntryInWrongSlotCaught)
+{
+    StridePrefetcher pf;
+    AuditCorrupter::strideWrongSlot(pf);
+    EXPECT_DEATH(pf.audit(), "hashes");
+}
+
+// ---------------------------------------------------------------------------
+// MemorySystem (delegating audit over the whole hierarchy)
+// ---------------------------------------------------------------------------
+
+struct SystemUnderAudit
+{
+    EventQueue events;
+    StatGroup fdp_stats{"fdp"};
+    StatGroup mem_stats{"mem"};
+    std::unique_ptr<FdpController> fdp;
+    std::unique_ptr<MemorySystem> mem;
+
+    SystemUnderAudit()
+    {
+        FdpParams fp;
+        fp.dynamicAggressiveness = false;
+        fdp = std::make_unique<FdpController>(fp, nullptr, fdp_stats);
+        mem = std::make_unique<MemorySystem>(MachineParams{}, events,
+                                             nullptr, *fdp, mem_stats);
+        mem->demandAccess(0x100000, 0x1000, false, 0, [](Cycle) {});
+        events.serviceUntil(1000000);
+    }
+};
+
+TEST(MemorySystemAudit, CleanSystemPasses)
+{
+    SystemUnderAudit s;
+    s.mem->audit();
+}
+
+TEST(MemorySystemAuditDeathTest, OverfullPrefetchQueueCaught)
+{
+    SystemUnderAudit s;
+    AuditCorrupter::memorySystemOverfillQueue(*s.mem);
+    EXPECT_DEATH(s.mem->audit(), "prefetch request queue holds");
+}
+
+TEST(MemorySystemAuditDeathTest, NestedL2CorruptionCaught)
+{
+    SystemUnderAudit s;
+    AuditCorrupter::memorySystemCorruptL2(*s.mem);
+    EXPECT_DEATH(s.mem->audit(), "L2: set");
+}
+
+} // namespace
+} // namespace fdp

@@ -142,9 +142,11 @@ TEST(MemorySystem, LatePrefetchDetectedViaMshr)
     // Walk a stream with no think time: demands catch the prefetches
     // while they are still in flight -> late prefetches recorded.
     for (int i = 0; i < 64; ++i) {
-        Cycle done = kNoCycle;
+        // The completions fire during serviceUntil() below, long after
+        // this loop iteration's frame is gone: nothing may be captured
+        // by reference here.
         s.mem->demandAccess(0x600000 + i * 64, 0x30, false, t,
-                            [&](Cycle c) { done = c; });
+                            [](Cycle) {});
         t += 1;  // next demand issues almost immediately
     }
     s.events.serviceUntil(10000000);

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the invariant-checking layer: panic()/fatal() death behavior,
+ * the FDP_ASSERT / FDP_DEBUG_ASSERT macros, AuditSet, the FDP_AUDIT
+ * environment switch, and the compile-time Printable gate that keeps
+ * non-trivial types out of the printf machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/check.hh"
+#include "sim/logging.hh"
+
+namespace fdp
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Compile-time: the Printable gate (satellite fix for format-string UB).
+// ---------------------------------------------------------------------------
+
+static_assert(detail::Printable<int>);
+static_assert(detail::Printable<unsigned long>);
+static_assert(detail::Printable<double>);
+static_assert(detail::Printable<const char *>);
+static_assert(detail::Printable<char[8]>);  // string literals
+static_assert(detail::Printable<void *>);
+static_assert(detail::Printable<std::nullptr_t>);
+static_assert(!detail::Printable<std::string>);
+static_assert(!detail::Printable<std::vector<int>>);
+
+/** Whether panic() accepts a T argument (overload viability only). */
+template <typename T>
+concept PanicAccepts = requires(T v) { fdp::panic("%s", v); };
+
+static_assert(PanicAccepts<const char *>,
+              "C strings must remain printable");
+static_assert(!PanicAccepts<std::string>,
+              "passing std::string through printf varargs is UB and must "
+              "not compile");
+static_assert(!PanicAccepts<std::vector<int>>);
+
+TEST(Logging, FormatMessageFormats)
+{
+    EXPECT_EQ(detail::formatMessage("x=%d/%s", 3, "y"), "x=3/y");
+}
+
+TEST(Logging, FormatMessageWithoutArgsIsVerbatim)
+{
+    // The zero-arg branch must not interpret '%' conversions.
+    EXPECT_EQ(detail::formatMessage("100% done"), "100% done");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "knob"),
+                testing::ExitedWithCode(1), "fatal: bad config knob");
+}
+
+TEST(Logging, WarnAndInformReturn)
+{
+    // Must not terminate the process.
+    warn("suspicious value %d", 7);
+    inform("status %s", "ok");
+}
+
+// ---------------------------------------------------------------------------
+// FDP_ASSERT / FDP_DEBUG_ASSERT
+// ---------------------------------------------------------------------------
+
+TEST(CheckDeathTest, AssertPassesOnTrue)
+{
+    FDP_ASSERT(1 + 1 == 2);
+    FDP_ASSERT(true, "never printed %d", 0);
+}
+
+TEST(CheckDeathTest, AssertFailureWithoutMessage)
+{
+    EXPECT_DEATH(FDP_ASSERT(1 == 2), "assertion .1 == 2. failed");
+}
+
+TEST(CheckDeathTest, AssertFailureWithFormattedMessage)
+{
+    EXPECT_DEATH(FDP_ASSERT(false, "way %u of set %u", 3u, 17u),
+                 "failed: way 3 of set 17");
+}
+
+TEST(CheckDeathTest, DebugAssertFollowsBuildMode)
+{
+    if (debugBuild()) {
+        EXPECT_DEATH(FDP_DEBUG_ASSERT(false), "assertion");
+    } else {
+        FDP_DEBUG_ASSERT(false);  // compiled out under NDEBUG
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AuditSet
+// ---------------------------------------------------------------------------
+
+class CountingAuditable : public Auditable
+{
+  public:
+    void audit() const override { ++audits; }
+    const char *auditName() const override { return "counting"; }
+    mutable int audits = 0;
+};
+
+class FailingAuditable : public Auditable
+{
+  public:
+    void audit() const override { FDP_ASSERT(false, "corrupt component"); }
+    const char *auditName() const override { return "failing"; }
+};
+
+TEST(AuditSet, RunAllVisitsEveryComponent)
+{
+    CountingAuditable a, b;
+    AuditSet set;
+    set.add(&a);
+    set.add(&b);
+    EXPECT_EQ(set.size(), 2u);
+    set.runAll();
+    set.runAll();
+    EXPECT_EQ(a.audits, 2);
+    EXPECT_EQ(b.audits, 2);
+}
+
+TEST(AuditSetDeathTest, AddingNullPanics)
+{
+    AuditSet set;
+    EXPECT_DEATH(set.add(nullptr), "null component added to audit set");
+}
+
+TEST(AuditSetDeathTest, FailingComponentPanics)
+{
+    CountingAuditable ok;
+    FailingAuditable bad;
+    AuditSet set;
+    set.add(&ok);
+    set.add(&bad);
+    EXPECT_DEATH(set.runAll(), "corrupt component");
+}
+
+// ---------------------------------------------------------------------------
+// FDP_AUDIT environment switch
+// ---------------------------------------------------------------------------
+
+class AuditEnv : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *v = std::getenv("FDP_AUDIT");
+        if (v != nullptr)
+            saved_ = v;
+        had_ = v != nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        if (had_)
+            setenv("FDP_AUDIT", saved_.c_str(), 1);
+        else
+            unsetenv("FDP_AUDIT");
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST_F(AuditEnv, UnsetMeansOff)
+{
+    unsetenv("FDP_AUDIT");
+    EXPECT_FALSE(auditRequestedByEnv());
+}
+
+TEST_F(AuditEnv, ZeroAndEmptyMeanOff)
+{
+    setenv("FDP_AUDIT", "0", 1);
+    EXPECT_FALSE(auditRequestedByEnv());
+    setenv("FDP_AUDIT", "", 1);
+    EXPECT_FALSE(auditRequestedByEnv());
+}
+
+TEST_F(AuditEnv, AnyOtherValueMeansOn)
+{
+    setenv("FDP_AUDIT", "1", 1);
+    EXPECT_TRUE(auditRequestedByEnv());
+    setenv("FDP_AUDIT", "yes", 1);
+    EXPECT_TRUE(auditRequestedByEnv());
+}
+
+} // namespace
+} // namespace fdp

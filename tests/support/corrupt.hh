@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Test-only state corruption for audit death tests.
+ *
+ * fdp::AuditCorrupter is forward-declared in sim/check.hh and befriended
+ * by every Auditable component; this test-support header supplies its
+ * definition. Each hook violates exactly one structural invariant so a
+ * death test can verify that the matching audit() catches it. Production
+ * code never includes this header.
+ */
+
+#ifndef FDP_TESTS_SUPPORT_CORRUPT_HH
+#define FDP_TESTS_SUPPORT_CORRUPT_HH
+
+#include "core/fdp_controller.hh"
+#include "core/feedback_counters.hh"
+#include "core/pollution_filter.hh"
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/mshr.hh"
+#include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/stride_prefetcher.hh"
+#include "sim/event_queue.hh"
+
+namespace fdp
+{
+
+struct AuditCorrupter
+{
+    /** Duplicate a recency-stack entry in the first occupied set. */
+    static void
+    cacheDuplicateStackEntry(SetAssocCache &cache)
+    {
+        for (auto &set : cache.sets_) {
+            if (!set.stack.empty()) {
+                set.stack.push_back(set.stack.back());
+                return;
+            }
+        }
+    }
+
+    /** Drop a recency-stack entry while its way stays valid. */
+    static void
+    cacheDropStackEntry(SetAssocCache &cache)
+    {
+        for (auto &set : cache.sets_) {
+            if (!set.stack.empty()) {
+                set.stack.pop_back();
+                return;
+            }
+        }
+    }
+
+    /** Make an entry's recorded block disagree with its map key. */
+    static void
+    mshrMismatchKey(MshrFile &mshrs)
+    {
+        mshrs.entries_.begin()->second.block += 1;
+    }
+
+    /** Give a prefetch-tagged entry a demand waiter. */
+    static void
+    mshrPrefetchWithWaiter(MshrFile &mshrs)
+    {
+        MshrEntry &e = mshrs.entries_.begin()->second;
+        e.prefBit = true;
+        e.waiters.emplace_back([](Cycle) {});
+    }
+
+    /** Push the horizon past a still-pending event. */
+    static void
+    eventQueuePastEvent(EventQueue &q)
+    {
+        q.horizon_ = q.heap_.top().when + 1;
+    }
+
+    /** Break the serviced + pending == scheduled accounting. */
+    static void
+    eventQueueLoseEvent(EventQueue &q)
+    {
+        ++q.serviced_;
+    }
+
+    /** Desynchronize the index mask from the filter size. */
+    static void
+    filterBreakMask(PollutionFilter &filter)
+    {
+        filter.mask_ = filter.bits_.size();
+    }
+
+    /** Drive a smoothed counter value negative. */
+    static void
+    countersNegativeSmoothed(FeedbackCounters &counters)
+    {
+        counters.usedTotal_.smoothed_ = -1.0;
+    }
+
+    /** Count more late prefetches than used ones this interval. */
+    static void
+    countersLateExceedsUsed(FeedbackCounters &counters)
+    {
+        counters.lateTotal_.interval_ =
+            counters.usedTotal_.interval_ + 1;
+    }
+
+    /** Push the Dynamic Configuration Counter out of [1, 5]. */
+    static void
+    controllerBadLevel(FdpController &fdp)
+    {
+        fdp.level_ = kMaxAggrLevel + 2;
+    }
+
+    /** Make the insertion policy an illegal enum value. */
+    static void
+    controllerBadInsertPos(FdpController &fdp)
+    {
+        fdp.insertPos_ = static_cast<InsertPos>(kNumInsertPos + 3);
+    }
+
+    /** Record more used prefetches than were ever sent. */
+    static void
+    controllerUsedExceedsSent(FdpController &fdp)
+    {
+        fdp.prefUsed_ += fdp.prefSent_.value() + 1;
+    }
+
+    /** Zero the direction of a monitoring stream entry. */
+    static void
+    streamZeroDirection(StreamPrefetcher &pf)
+    {
+        pf.entries_.front().state = StreamPrefetcher::State::MonitorRequest;
+        pf.entries_.front().dir = 0;
+    }
+
+    /** Put a stream entry into a state outside the FSM. */
+    static void
+    streamIllegalState(StreamPrefetcher &pf)
+    {
+        pf.entries_.front().state = static_cast<StreamPrefetcher::State>(9);
+    }
+
+    /** Make the newest GHB entry's link point at itself (a cycle). */
+    static void
+    ghbLinkCycle(GhbPrefetcher &pf)
+    {
+        const std::uint64_t seq = pf.nextSeq_ - 1;
+        GhbPrefetcher::GhbEntry &e = pf.ghb_[seq % pf.ghb_.size()];
+        e.hasPrev = true;
+        e.prevSeq = seq;
+    }
+
+    /** Store a stride entry in a slot its tag does not hash to. */
+    static void
+    strideWrongSlot(StridePrefetcher &pf)
+    {
+        const Addr tag = 0x4000;
+        const std::size_t wrong =
+            (pf.indexOf(tag) + 1) % pf.table_.size();
+        StridePrefetcher::Entry &e = pf.table_[wrong];
+        e.valid = true;
+        e.tag = tag;
+        e.state = StridePrefetcher::State::Initial;
+    }
+
+    /** Overfill the Prefetch Request Queue past its capacity. */
+    static void
+    memorySystemOverfillQueue(MemorySystem &mem)
+    {
+        mem.prefetchQueue_.resize(mem.params_.prefetchQueueCap + 1, 0);
+    }
+
+    /** Corrupt the L2 recency stack beneath the memory system. */
+    static void
+    memorySystemCorruptL2(MemorySystem &mem)
+    {
+        cacheDuplicateStackEntry(mem.l2_);
+    }
+};
+
+} // namespace fdp
+
+#endif // FDP_TESTS_SUPPORT_CORRUPT_HH

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entrypoint: the full correctness gate for one change.
+#
+#   1. tier-1:  default (RelWithDebInfo) build + full ctest
+#   2. asan:    ASan+UBSan build + full ctest with FDP_AUDIT=1, so every
+#               run also audits structural invariants at each sampling
+#               interval boundary
+#   3. static analysis: tools/run_static_analysis.sh (repo lint always;
+#               clang-tidy/cppcheck when installed)
+#
+# Fails fast: any stage failing stops the pipeline with its exit status.
+
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== stage 1: tier-1 build + tests ===="
+cmake -B "$ROOT/build-ci" -S "$ROOT"
+cmake --build "$ROOT/build-ci" -j "$JOBS"
+ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
+
+echo "==== stage 2: ASan+UBSan build + tests (FDP_AUDIT=1) ===="
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DFDP_SANITIZE="address;undefined"
+cmake --build "$ROOT/build-asan" -j "$JOBS"
+FDP_AUDIT=1 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+    -j "$JOBS"
+
+echo "==== stage 3: static analysis ===="
+BUILD_DIR="$ROOT/build-ci" "$ROOT/tools/run_static_analysis.sh"
+
+echo "==== CI: all stages passed ===="

@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the FDP simulator.
+
+Enforces conventions a generic linter cannot know:
+
+  rng-only        all randomness goes through fdp::Rng: std::mt19937,
+                  std::random_device, rand()/srand()/time() are banned
+                  outside src/sim/rng.hh (determinism: a stray seed source
+                  breaks reproducible simulations).
+  no-raw-new      no raw new/delete; components own state via containers
+                  and std::unique_ptr (`= delete` declarations are fine).
+  logging-only    no printf-family calls in src/ outside sim/logging.hh
+                  and sim/table.cc; everything else reports through
+                  panic/fatal/warn/inform or writes to a std::ostream.
+  include-guard   src/<dir>/<file>.hh uses guard FDP_<DIR>_<FILE>_HH.
+  test-pairing    every src/<dir>/<file>.cc has tests/<dir>/test_<file>.cc.
+
+Comments and string literals are stripped before the regex rules run, so
+prose like "transfer time (bandwidth)" cannot trip the time() ban.
+
+Usage:
+  tools/fdp_lint.py [--root DIR]   lint the tree (exit 1 on findings)
+  tools/fdp_lint.py --self-test    verify each rule catches a seeded
+                                   violation (exit 1 on a vacuous rule)
+"""
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines
+    (and therefore line numbers) so findings point at real code."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+RNG_BAN = re.compile(
+    r"std::mt19937(?:_64)?\b|std::random_device\b|std::minstd_rand\b"
+    r"|\b(?:rand|srand|time)\s*\(")
+NEW_BAN = re.compile(r"\bnew\b")
+DELETED_DECL = re.compile(r"=\s*delete\b")
+PRINTF_BAN = re.compile(
+    r"\b(?:f|s|sn|v|vf|vs|vsn)?printf\s*\(|\bf?puts\s*\(|\bputchar\s*\(")
+GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
+DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
+
+
+def _regex_findings(path, rel, code, pattern, rule, message, findings):
+    for m in pattern.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        findings.append(Finding(rel, line, rule,
+                                f"{message} (matched `{m.group(0).strip()}')"))
+
+
+def lint_rng(root, findings):
+    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
+        if rel == Path("src/sim/rng.hh"):
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        _regex_findings(path, rel, code, RNG_BAN, "rng-only",
+                        "randomness outside fdp::Rng (use sim/rng.hh)",
+                        findings)
+
+
+def lint_new_delete(root, findings):
+    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
+        code = strip_comments_and_strings(path.read_text())
+        # `= delete`d declarations are idiomatic, not memory management;
+        # blank them out without disturbing line numbers.
+        code = DELETED_DECL.sub(
+            lambda m: re.sub(r"\S", " ", m.group(0)), code)
+        _regex_findings(path, rel, code, NEW_BAN, "no-raw-new",
+                        "raw new (own state in containers/unique_ptr)",
+                        findings)
+        for m in re.finditer(r"\bdelete\b", code):
+            line = code.count("\n", 0, m.start()) + 1
+            findings.append(Finding(rel, line, "no-raw-new",
+                                    "raw delete (use RAII ownership)"))
+
+
+PRINTF_OK = {Path("src/sim/logging.hh"), Path("src/sim/table.cc")}
+
+
+def lint_printf(root, findings):
+    for path, rel in _sources(root, ("src",), (".cc", ".hh")):
+        if rel in PRINTF_OK:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        _regex_findings(path, rel, code, PRINTF_BAN, "logging-only",
+                        "printf-family call (use panic/fatal/warn/inform "
+                        "or a std::ostream)", findings)
+
+
+def expected_guard(rel):
+    # src/mem/cache.hh -> FDP_MEM_CACHE_HH
+    parts = [p.upper() for p in rel.parts[1:-1]]
+    stem = re.sub(r"\W", "_", rel.stem).upper()
+    return "_".join(["FDP"] + parts + [stem, "HH"])
+
+
+def lint_include_guards(root, findings):
+    for path, rel in _sources(root, ("src",), (".hh",)):
+        text = path.read_text()
+        want = expected_guard(rel)
+        ifndef = GUARD_RE.search(text)
+        if not ifndef:
+            findings.append(Finding(rel, 1, "include-guard",
+                                    f"missing include guard {want}"))
+            continue
+        if ifndef.group(1) != want:
+            line = text.count("\n", 0, ifndef.start()) + 1
+            findings.append(Finding(
+                rel, line, "include-guard",
+                f"guard {ifndef.group(1)} should be {want}"))
+            continue
+        define = DEFINE_RE.search(text, ifndef.end())
+        if not define or define.group(1) != want:
+            findings.append(Finding(rel, 1, "include-guard",
+                                    f"#define does not match guard {want}"))
+
+
+def lint_test_pairing(root, findings):
+    for path, rel in _sources(root, ("src",), (".cc",)):
+        sub = rel.parts[1:-1]
+        test = root.joinpath("tests", *sub, f"test_{rel.stem}.cc")
+        if not test.exists():
+            findings.append(Finding(
+                rel, 1, "test-pairing",
+                f"no test file {test.relative_to(root)}"))
+
+
+def _sources(root, top_dirs, suffixes):
+    for top in top_dirs:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path, path.relative_to(root)
+
+
+RULES = [lint_rng, lint_new_delete, lint_printf, lint_include_guards,
+         lint_test_pairing]
+
+
+def run_lint(root):
+    findings = []
+    for rule in RULES:
+        rule(root, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one violation per rule in a scratch tree and check that
+# the rule flags it (and that a clean file stays clean).
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("rng-only", "src/sim/bad_rng.cc",
+     "#include <random>\nstd::mt19937 gen(42);\n"),
+    ("rng-only", "src/core/bad_time.cc",
+     "#include <ctime>\nlong seed() { return time(nullptr); }\n"),
+    ("no-raw-new", "src/mem/bad_new.cc",
+     "int *leak() { return new int(7); }\n"),
+    ("no-raw-new", "src/mem/bad_delete.cc",
+     "void drop(int *p) { delete p; }\n"),
+    ("logging-only", "src/cpu/bad_printf.cc",
+     "#include <cstdio>\nvoid f() { std::printf(\"hi\\n\"); }\n"),
+    ("include-guard", "src/mem/bad_guard.hh",
+     "#ifndef WRONG_GUARD_HH\n#define WRONG_GUARD_HH\n#endif\n"),
+    ("test-pairing", "src/sim/orphan.cc",
+     "int orphan() { return 1; }\n"),
+]
+
+CLEAN_FILE = (
+    "src/sim/clean.hh",
+    "#ifndef FDP_SIM_CLEAN_HH\n"
+    "#define FDP_SIM_CLEAN_HH\n"
+    "// a comment saying rand( and new and printf( changes nothing\n"
+    "const char *s = \"delete this std::mt19937 string\";\n"
+    "struct NoCopy { NoCopy(const NoCopy &) = delete; };\n"
+    "#endif  // FDP_SIM_CLEAN_HH\n",
+)
+
+
+def self_test():
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for _, rel, content in [(r, Path(p), c)
+                                for r, p, c in SELF_TEST_CASES]:
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)
+        clean_rel, clean_content = CLEAN_FILE
+        clean = root / clean_rel
+        clean.parent.mkdir(parents=True, exist_ok=True)
+        clean.write_text(clean_content)
+
+        findings = run_lint(root)
+        for rule, rel, _ in SELF_TEST_CASES:
+            hits = [f for f in findings
+                    if f.rule == rule and str(f.path) == rel]
+            if hits:
+                print(f"self-test ok: {rule} flags {rel}")
+            else:
+                print(f"self-test FAIL: {rule} missed the violation "
+                      f"seeded in {rel}")
+                failures += 1
+        stray = [f for f in findings if str(f.path) == clean_rel]
+        if stray:
+            print("self-test FAIL: clean file flagged:")
+            for f in stray:
+                print(f"  {f}")
+            failures += 1
+        else:
+            print("self-test ok: clean file produces no findings")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: this script's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule catches a seeded violation")
+    args = ap.parse_args()
+
+    if args.self_test:
+        failures = self_test()
+        return 1 if failures else 0
+
+    if not (args.root / "src").is_dir():
+        print(f"fdp_lint: no src/ directory under {args.root}",
+              file=sys.stderr)
+        return 2
+
+    findings = run_lint(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"fdp_lint: {len(findings)} finding(s)")
+        return 1
+    print("fdp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run every static-analysis pass available on this machine.
+#
+# Always runs: fdp_lint.py (plus its self-test, so a vacuous rule is
+# itself a failure). clang-tidy and cppcheck run when installed and are
+# skipped with a notice otherwise — the container toolchain has neither,
+# and their absence must not break the pipeline.
+#
+# Exit status is nonzero if any pass that ran found a problem.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+status=0
+
+echo "== fdp_lint: repo conventions =="
+python3 "$ROOT/tools/fdp_lint.py" --root "$ROOT" || status=1
+
+echo "== fdp_lint: self-test =="
+python3 "$ROOT/tools/fdp_lint.py" --self-test || status=1
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy =="
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || status=1
+    fi
+    # shellcheck disable=SC2046
+    clang-tidy -p "$BUILD_DIR" --quiet \
+        $(find "$ROOT/src" "$ROOT/tools" -name '*.cc') || status=1
+else
+    echo "== clang-tidy not installed: skipped =="
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+    echo "== cppcheck =="
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || status=1
+    fi
+    cppcheck --project="$BUILD_DIR/compile_commands.json" \
+        --enable=warning,performance,portability \
+        --suppress=missingIncludeSystem --inline-suppr \
+        --error-exitcode=2 --quiet || status=1
+else
+    echo "== cppcheck not installed: skipped =="
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "static analysis: all passes clean"
+else
+    echo "static analysis: FAILURES (see above)"
+fi
+exit "$status"
