@@ -10,6 +10,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
 #include "workload/spec_suite.hh"
 
 using namespace fdp;
@@ -18,24 +19,23 @@ int
 main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 8'000'000);
+    const unsigned jobs = sweepJobs(argc, argv);
     const auto &benches = memoryIntensiveBenchmarks();
 
-    const std::vector<std::pair<std::string, RunConfig>> configs = {
+    std::vector<LabeledConfig> configs = {
         {"No Prefetching", RunConfig::noPrefetching()},
         {"Very Aggressive", RunConfig::staticLevelConfig(5)},
         {"VA + Dyn. Insertion", RunConfig::dynamicInsertion()},
         {"Dynamic Aggr.", RunConfig::dynamicAggressiveness()},
         {"Dyn. Aggr. + Dyn. Ins.", RunConfig::fullFdp()},
     };
-
     std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> results;
-    for (const auto &[label, base] : configs) {
-        RunConfig c = base;
+    for (auto &[label, c] : configs) {
         c.numInsts = insts;
         names.push_back(label);
-        results.push_back(runSuite(benches, c, label));
     }
+
+    const auto results = runSweep(benches, configs, jobs);
 
     buildMetricTable("Figure 9: overall performance of FDP (IPC)", benches,
                      names, results, metricIpc, 3, MeanKind::Geometric)

@@ -9,6 +9,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
 #include "workload/spec_suite.hh"
 
 using namespace fdp;
@@ -17,27 +18,25 @@ int
 main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 6'000'000);
+    const unsigned jobs = sweepJobs(argc, argv);
     const auto &benches = memoryIntensiveBenchmarks();
 
-    std::vector<std::pair<std::string, RunConfig>> configs = {
+    std::vector<LabeledConfig> configs = {
         {"No Prefetching", RunConfig::noPrefetching()},
         {"Very Conservative", RunConfig::staticLevelConfig(1)},
         {"Middle-of-the-Road", RunConfig::staticLevelConfig(3)},
         {"Very Aggressive", RunConfig::staticLevelConfig(5)},
         {"FDP", RunConfig::fullFdp()},
     };
-    for (auto &[label, c] : configs)
+    std::vector<std::string> names;
+    for (auto &[label, c] : configs) {
         if (c.prefetcher != PrefetcherKind::None)
             c.prefetcher = PrefetcherKind::GhbCdc;
-
-    std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> results;
-    for (const auto &[label, base] : configs) {
-        RunConfig c = base;
         c.numInsts = insts;
         names.push_back(label);
-        results.push_back(runSuite(benches, c, label));
     }
+
+    const auto results = runSweep(benches, configs, jobs);
 
     buildMetricTable("Figure 13 (top): GHB C/DC prefetcher (IPC)", benches,
                      names, results, metricIpc, 3, MeanKind::Geometric)

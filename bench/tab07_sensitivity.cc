@@ -10,6 +10,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
 #include "workload/spec_suite.hh"
 
 using namespace fdp;
@@ -24,7 +25,7 @@ struct Point
 };
 
 void
-runPoint(const Point &pt, std::uint64_t insts, Table &t)
+runPoint(const Point &pt, std::uint64_t insts, unsigned jobs, Table &t)
 {
     RunConfig va = RunConfig::staticLevelConfig(5);
     RunConfig fdp = RunConfig::fullFdp();
@@ -38,8 +39,11 @@ runPoint(const Point &pt, std::uint64_t insts, Table &t)
         pt.machine.l2.sizeBytes / kBlockBytes / 2;
 
     const auto &benches = memoryIntensiveBenchmarks();
-    const auto rva = runSuite(benches, va, "va");
-    const auto rfdp = runSuite(benches, fdp, "fdp");
+    const std::vector<LabeledConfig> configs = {{"va", va},
+                                                {"fdp", fdp}};
+    const auto results = runSweep(benches, configs, jobs);
+    const auto &rva = results[0];
+    const auto &rfdp = results[1];
     t.addRow({pt.label,
               fmtPercent(meanDelta(rva, rfdp, metricIpc,
                                    MeanKind::Geometric)),
@@ -53,6 +57,7 @@ int
 main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 4'000'000);
+    const unsigned jobs = sweepJobs(argc, argv);
 
     Table t("Table 7: FDP vs Very Aggressive across L2 sizes and memory "
             "latencies (delta IPC / delta BPKI)");
@@ -62,13 +67,13 @@ main(int argc, char **argv)
         Point pt;
         pt.label = "L2 " + std::to_string(kb) + "KB, 500-cycle memory";
         pt.machine.l2.sizeBytes = kb * 1024;
-        runPoint(pt, insts, t);
+        runPoint(pt, insts, jobs, t);
     }
     for (const Cycle lat : {250u, 500u, 750u, 1000u}) {
         Point pt;
         pt.label = "1MB L2, " + std::to_string(lat) + "-cycle memory";
         pt.machine.dram = DramParams::withUnloadedLatency(lat);
-        runPoint(pt, insts, t);
+        runPoint(pt, insts, jobs, t);
     }
     t.print();
     std::printf("\nPaper: FDP wins on IPC and saves significant bandwidth "

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <charconv>
 #include <cstring>
 #include <string>
 
@@ -178,12 +179,39 @@ runWorkload(Workload &workload, const RunConfig &config,
     return r;
 }
 
+std::uint64_t
+deriveRunSeed(const std::string &benchmark, const std::string &configLabel)
+{
+    // FNV-1a over both identity strings (with a separator so that
+    // ("ab","c") and ("a","bc") differ), then a splitmix64-style
+    // finalizer to spread the avalanche over all 64 bits.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto absorb = [&h](const std::string &s) {
+        for (const unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0xff;
+        h *= 0x100000001b3ull;
+    };
+    absorb(benchmark);
+    absorb(configLabel);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
 RunResult
 runBenchmark(const std::string &benchmark, const RunConfig &config,
              const std::string &configLabel)
 {
-    auto workload = makeBenchmark(benchmark);
-    return runWorkload(*workload, config, configLabel);
+    SyntheticParams params = benchmarkParams(benchmark);
+    params.seed = deriveRunSeed(benchmark, configLabel);
+    SyntheticWorkload workload(params);
+    return runWorkload(workload, config, configLabel);
 }
 
 std::vector<RunResult>
@@ -198,13 +226,37 @@ runSuite(const std::vector<std::string> &benchmarks,
 }
 
 std::uint64_t
+parseCountArg(const char *flag, const char *text, std::uint64_t maxValue)
+{
+    if (text == nullptr || *text == '\0')
+        fatal("%s: empty value (expected a positive integer)", flag);
+    std::uint64_t value = 0;
+    const char *end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, value);
+    if (ec == std::errc::result_out_of_range)
+        fatal("%s: value `%s' does not fit in 64 bits", flag, text);
+    if (ec != std::errc() || ptr != end)
+        fatal("%s: `%s' is not a positive integer", flag, text);
+    if (value == 0)
+        fatal("%s: must be at least 1", flag);
+    if (value > maxValue)
+        fatal("%s: %llu is implausibly large (max %llu)", flag,
+              static_cast<unsigned long long>(value),
+              static_cast<unsigned long long>(maxValue));
+    return value;
+}
+
+std::uint64_t
 instructionBudget(int argc, char **argv, std::uint64_t fallback)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             return 1'000'000;
-        if (std::strcmp(argv[i], "--insts") == 0 && i + 1 < argc)
-            return std::stoull(argv[i + 1]);
+        if (std::strcmp(argv[i], "--insts") == 0) {
+            if (i + 1 >= argc)
+                fatal("--insts requires a value (instruction count)");
+            return parseCountArg("--insts", argv[i + 1]);
+        }
     }
     return fallback;
 }

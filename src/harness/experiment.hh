@@ -102,6 +102,16 @@ struct RunResult
 std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
                                            unsigned level);
 
+/**
+ * Workload seed for one sweep cell: a pure function of the cell's
+ * identity (benchmark, configLabel) and nothing else, so a run's
+ * results can never depend on thread count, scheduling, or the
+ * completion order of other runs (DESIGN.md Section 10). runBenchmark
+ * applies it; runWorkload leaves caller-built workloads untouched.
+ */
+std::uint64_t deriveRunSeed(const std::string &benchmark,
+                            const std::string &configLabel);
+
 /** Run one named SPEC stand-in under @p config. */
 RunResult runBenchmark(const std::string &benchmark,
                        const RunConfig &config,
@@ -118,10 +128,19 @@ std::vector<RunResult> runSuite(const std::vector<std::string> &benchmarks,
 
 /**
  * Instruction-count override for bench binaries: honors
- * "--insts N" and "--quick" (1M) command-line flags.
+ * "--insts N" and "--quick" (1M) command-line flags. Fatal with a
+ * clear diagnostic when --insts is trailing or not a number.
  */
 std::uint64_t instructionBudget(int argc, char **argv,
                                 std::uint64_t fallback = 5'000'000);
+
+/**
+ * Parse the value of a numeric command-line flag defensively: fatal
+ * (with the offending flag and text in the message) unless @p text is
+ * a plain positive decimal integer no larger than @p maxValue.
+ */
+std::uint64_t parseCountArg(const char *flag, const char *text,
+                            std::uint64_t maxValue = ~0ull);
 
 } // namespace fdp
 

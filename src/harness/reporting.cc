@@ -1,5 +1,8 @@
 #include "harness/reporting.hh"
 
+#include <iomanip>
+#include <iostream>
+
 #include "sim/logging.hh"
 
 namespace fdp
@@ -61,6 +64,33 @@ buildMetricTable(const std::string &title,
         table.addRow(std::move(row));
     }
     return table;
+}
+
+double
+SweepStats::runsPerSecond() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(runs) / wallSeconds
+               : 0.0;
+}
+
+void
+printSweepThroughput(const SweepStats &stats, std::ostream &os)
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << "sweep-throughput: runs=" << stats.runs
+       << " jobs=" << stats.jobs << std::fixed << " wall_s="
+       << std::setprecision(3) << stats.wallSeconds << " runs_per_s="
+       << std::setprecision(2) << stats.runsPerSecond() << '\n';
+    os.flags(flags);
+    os.precision(precision);
+}
+
+void
+printSweepThroughput(const SweepStats &stats)
+{
+    printSweepThroughput(stats, std::cerr);
 }
 
 double

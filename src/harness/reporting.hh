@@ -8,7 +8,9 @@
 #ifndef FDP_HARNESS_REPORTING_HH
 #define FDP_HARNESS_REPORTING_HH
 
+#include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,26 @@ inline double metricPollution(const RunResult &r) { return r.pollution; }
 double meanDelta(const std::vector<RunResult> &base,
                  const std::vector<RunResult> &test, const Metric &metric,
                  MeanKind mean);
+
+/** Wall-clock accounting for one sweep (see printSweepThroughput). */
+struct SweepStats
+{
+    std::size_t runs = 0;     ///< (benchmark, config) cells executed
+    unsigned jobs = 1;        ///< worker threads used
+    double wallSeconds = 0.0;
+
+    double runsPerSecond() const;
+};
+
+/**
+ * Emit the machine-readable sweep throughput line
+ * ("sweep-throughput: runs=N jobs=N wall_s=X runs_per_s=Y") BENCH
+ * tooling tracks sweep speed with. Goes to @p os — std::cerr in the
+ * one-argument form, so stdout result tables stay bit-identical across
+ * thread counts.
+ */
+void printSweepThroughput(const SweepStats &stats, std::ostream &os);
+void printSweepThroughput(const SweepStats &stats);
 
 } // namespace fdp
 

@@ -1,0 +1,177 @@
+#include "harness/sweep_pool.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/reporting.hh"
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+// More workers than this is a configuration typo, not a machine.
+constexpr std::uint64_t kMaxSweepJobs = 4096;
+
+} // namespace
+
+SweepPool::SweepPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepPool::~SweepPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        pending_.clear();
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+SweepPool::submit(std::function<void()> job)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        pending_.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+}
+
+void
+SweepPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock,
+                  [this] { return pending_.empty() && running_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+SweepPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !pending_.empty();
+            });
+            if (stopping_)
+                return;
+            job = std::move(pending_.front());
+            pending_.pop_front();
+            ++running_;
+        }
+        try {
+            job();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (pending_.empty() && running_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+std::vector<std::vector<RunResult>>
+runSweep(const std::vector<std::string> &benchmarks,
+         const std::vector<LabeledConfig> &configs, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultSweepJobs();
+    const std::size_t cells = benchmarks.size() * configs.size();
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::vector<RunResult>> results(configs.size());
+    for (auto &row : results)
+        row.resize(benchmarks.size());
+
+    if (jobs == 1 || cells <= 1) {
+        // The pre-pool sequential path, byte for byte.
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            for (std::size_t b = 0; b < benchmarks.size(); ++b)
+                results[c][b] = runBenchmark(benchmarks[b],
+                                             configs[c].second,
+                                             configs[c].first);
+    } else {
+        if (static_cast<std::size_t>(jobs) > cells)
+            jobs = static_cast<unsigned>(cells);
+        SweepPool pool(jobs);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+                RunResult *slot = &results[c][b];
+                const std::string *bench = &benchmarks[b];
+                const LabeledConfig *cfg = &configs[c];
+                pool.submit([slot, bench, cfg] {
+                    *slot = runBenchmark(*bench, cfg->second, cfg->first);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    SweepStats stats;
+    stats.runs = cells;
+    stats.jobs = jobs;
+    stats.wallSeconds = wall.count();
+    printSweepThroughput(stats);
+    return results;
+}
+
+std::vector<RunResult>
+runSuiteParallel(const std::vector<std::string> &benchmarks,
+                 const RunConfig &config, const std::string &configLabel,
+                 unsigned jobs)
+{
+    std::vector<LabeledConfig> configs = {{configLabel, config}};
+    return std::move(runSweep(benchmarks, configs, jobs).front());
+}
+
+unsigned
+defaultSweepJobs()
+{
+    if (const char *env = std::getenv("FDP_JOBS"))
+        return static_cast<unsigned>(
+            parseCountArg("FDP_JOBS", env, kMaxSweepJobs));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+sweepJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs requires a value (worker thread count)");
+            return static_cast<unsigned>(
+                parseCountArg("--jobs", argv[i + 1], kMaxSweepJobs));
+        }
+    }
+    return defaultSweepJobs();
+}
+
+} // namespace fdp

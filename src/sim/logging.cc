@@ -1,0 +1,31 @@
+#include "sim/logging.hh"
+
+#include <mutex>
+
+namespace fdp::detail
+{
+
+namespace
+{
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+emitLine(std::FILE *stream, const char *prefix, const std::string &message)
+{
+    // One lock per line: concurrent sweep runs (harness/sweep_pool.hh)
+    // may report warnings at the same time, and a torn line in a CI log
+    // is indistinguishable from a real corruption.
+    const std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fprintf(stream, "%s%s\n", prefix, message.c_str());
+    std::fflush(stream);
+}
+
+} // namespace fdp::detail

@@ -6,6 +6,10 @@
  * fatal()  - a user/configuration error; exits with status 1.
  * warn()   - something works but is suspicious.
  * inform() - plain status output.
+ *
+ * All four drain through the mutex-guarded sink in logging.cc, so
+ * messages from concurrent sweep runs (harness/sweep_pool.hh) come out
+ * as whole lines instead of interleaved fragments.
  */
 
 #ifndef FDP_SIM_LOGGING_HH
@@ -54,6 +58,13 @@ formatMessage(const char *fmt, Args &&...args)
     }
 }
 
+/**
+ * Serialized line writer behind every helper below (logging.cc): one
+ * "<prefix><message>\n" per call, under a process-wide mutex.
+ */
+void emitLine(std::FILE *stream, const char *prefix,
+              const std::string &message);
+
 } // namespace detail
 
 /** Report an internal simulator bug and abort. */
@@ -61,9 +72,9 @@ template <detail::Printable... Args>
 [[noreturn]] void
 panic(const char *fmt, Args &&...args)
 {
-    std::fprintf(stderr, "panic: %s\n",
-                 detail::formatMessage(fmt, std::forward<Args>(args)...)
-                     .c_str());
+    detail::emitLine(stderr, "panic: ",
+                     detail::formatMessage(fmt,
+                                           std::forward<Args>(args)...));
     std::abort();
 }
 
@@ -72,9 +83,9 @@ template <detail::Printable... Args>
 [[noreturn]] void
 fatal(const char *fmt, Args &&...args)
 {
-    std::fprintf(stderr, "fatal: %s\n",
-                 detail::formatMessage(fmt, std::forward<Args>(args)...)
-                     .c_str());
+    detail::emitLine(stderr, "fatal: ",
+                     detail::formatMessage(fmt,
+                                           std::forward<Args>(args)...));
     std::exit(1);
 }
 
@@ -83,9 +94,9 @@ template <detail::Printable... Args>
 void
 warn(const char *fmt, Args &&...args)
 {
-    std::fprintf(stderr, "warn: %s\n",
-                 detail::formatMessage(fmt, std::forward<Args>(args)...)
-                     .c_str());
+    detail::emitLine(stderr, "warn: ",
+                     detail::formatMessage(fmt,
+                                           std::forward<Args>(args)...));
 }
 
 /** Report plain status output. */
@@ -93,9 +104,9 @@ template <detail::Printable... Args>
 void
 inform(const char *fmt, Args &&...args)
 {
-    std::fprintf(stdout, "info: %s\n",
-                 detail::formatMessage(fmt, std::forward<Args>(args)...)
-                     .c_str());
+    detail::emitLine(stdout, "info: ",
+                     detail::formatMessage(fmt,
+                                           std::forward<Args>(args)...));
 }
 
 } // namespace fdp

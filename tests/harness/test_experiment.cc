@@ -108,6 +108,85 @@ TEST(RunWorkload, StaticLevelReachesThePrefetcher)
     EXPECT_NE(r1.cycles, r5.cycles);
 }
 
+TEST(DeriveRunSeed, StableForSameCell)
+{
+    EXPECT_EQ(deriveRunSeed("swim", "fdp"), deriveRunSeed("swim", "fdp"));
+}
+
+TEST(DeriveRunSeed, SensitiveToBenchmarkAndLabel)
+{
+    const std::uint64_t base = deriveRunSeed("swim", "fdp");
+    EXPECT_NE(deriveRunSeed("art", "fdp"), base);
+    EXPECT_NE(deriveRunSeed("swim", "va"), base);
+}
+
+TEST(DeriveRunSeed, FieldBoundaryIsUnambiguous)
+{
+    // Without a separator, ("ab","c") and ("a","bc") would absorb the
+    // same byte stream and collide.
+    EXPECT_NE(deriveRunSeed("ab", "c"), deriveRunSeed("a", "bc"));
+}
+
+TEST(DeriveRunSeed, RunBenchmarkIsReproducible)
+{
+    RunConfig c = RunConfig::staticLevelConfig(3);
+    c.numInsts = 150'000;
+    const auto a = runBenchmark("art", c, "mid");
+    const auto b = runBenchmark("art", c, "mid");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.busAccesses, b.busAccesses);
+    EXPECT_EQ(a.prefSent, b.prefSent);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+}
+
+TEST(InstructionBudget, ParsesExplicitInsts)
+{
+    const char *argv[] = {"bench", "--insts", "123456"};
+    EXPECT_EQ(instructionBudget(3, const_cast<char **>(argv), 999),
+              123456u);
+}
+
+TEST(InstructionBudget, QuickAndDefaultStillWork)
+{
+    const char *quick[] = {"bench", "--quick"};
+    EXPECT_EQ(instructionBudget(2, const_cast<char **>(quick), 999),
+              1'000'000u);
+    const char *none[] = {"bench"};
+    EXPECT_EQ(instructionBudget(1, const_cast<char **>(none), 999), 999u);
+}
+
+TEST(InstructionBudgetDeath, TrailingInstsFlagIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const char *argv[] = {"bench", "--insts"};
+    EXPECT_EXIT(instructionBudget(2, const_cast<char **>(argv), 999),
+                testing::ExitedWithCode(1), "--insts requires a value");
+}
+
+TEST(InstructionBudgetDeath, NonNumericInstsIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const char *argv[] = {"bench", "--insts", "lots"};
+    EXPECT_EXIT(instructionBudget(3, const_cast<char **>(argv), 999),
+                testing::ExitedWithCode(1), "not a positive integer");
+}
+
+TEST(InstructionBudgetDeath, ZeroInstsIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const char *argv[] = {"bench", "--insts", "0"};
+    EXPECT_EXIT(instructionBudget(3, const_cast<char **>(argv), 999),
+                testing::ExitedWithCode(1), "at least 1");
+}
+
+TEST(InstructionBudgetDeath, TrailingDigitsGarbageIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const char *argv[] = {"bench", "--insts", "100k"};
+    EXPECT_EXIT(instructionBudget(3, const_cast<char **>(argv), 999),
+                testing::ExitedWithCode(1), "not a positive integer");
+}
+
 TEST(RunWorkload, ResultFieldsConsistent)
 {
     RunConfig c = RunConfig::staticLevelConfig(3);

@@ -1,32 +1,101 @@
 #!/usr/bin/env bash
 # CI entrypoint: the full correctness gate for one change.
 #
-#   1. tier-1:  default (RelWithDebInfo) build + full ctest
-#   2. asan:    ASan+UBSan build + full ctest with FDP_AUDIT=1, so every
-#               run also audits structural invariants at each sampling
-#               interval boundary
-#   3. static analysis: tools/run_static_analysis.sh (repo lint always;
-#               clang-tidy/cppcheck when installed)
+# Stages (run all by default, or select one with --stage so local runs
+# and the GitHub Actions jobs share this single entrypoint):
+#
+#   tier1   default (RelWithDebInfo) build + full ctest
+#   asan    ASan+UBSan build + full ctest with FDP_AUDIT=1, so every
+#           run also audits structural invariants at each sampling
+#           interval boundary
+#   tsan    ThreadSanitizer build; runs the harness/sim tests (the ones
+#           that exercise the parallel sweep scheduler and the logging
+#           sink) plus one quick multi-threaded paper sweep
+#   static  tools/run_static_analysis.sh (repo lint always;
+#           clang-tidy/cppcheck when installed)
 #
 # Fails fast: any stage failing stops the pipeline with its exit status.
+# ccache is used automatically when installed.
 
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==== stage 1: tier-1 build + tests ===="
-cmake -B "$ROOT/build-ci" -S "$ROOT"
-cmake --build "$ROOT/build-ci" -j "$JOBS"
-ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+    CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-echo "==== stage 2: ASan+UBSan build + tests (FDP_AUDIT=1) ===="
-cmake -B "$ROOT/build-asan" -S "$ROOT" -DFDP_SANITIZE="address;undefined"
-cmake --build "$ROOT/build-asan" -j "$JOBS"
-FDP_AUDIT=1 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-    -j "$JOBS"
+usage() {
+    echo "usage: tools/ci.sh [--stage tier1|asan|tsan|static|all]" >&2
+    exit 2
+}
 
-echo "==== stage 3: static analysis ===="
-BUILD_DIR="$ROOT/build-ci" "$ROOT/tools/run_static_analysis.sh"
+STAGE=all
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --stage)
+        [ $# -ge 2 ] || usage
+        STAGE="$2"
+        shift 2
+        ;;
+      *)
+        usage
+        ;;
+    esac
+done
 
-echo "==== CI: all stages passed ===="
+stage_tier1() {
+    echo "==== stage tier1: build + tests ===="
+    cmake -B "$ROOT/build-ci" -S "$ROOT" "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
+    cmake --build "$ROOT/build-ci" -j "$JOBS"
+    ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
+}
+
+stage_asan() {
+    echo "==== stage asan: ASan+UBSan build + tests (FDP_AUDIT=1) ===="
+    cmake -B "$ROOT/build-asan" -S "$ROOT" \
+        -DFDP_SANITIZE="address;undefined" \
+        "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
+    cmake --build "$ROOT/build-asan" -j "$JOBS"
+    FDP_AUDIT=1 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+        -j "$JOBS"
+}
+
+stage_tsan() {
+    echo "==== stage tsan: ThreadSanitizer build + parallel-harness ===="
+    cmake -B "$ROOT/build-tsan" -S "$ROOT" -DFDP_SANITIZE=thread \
+        "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
+    cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+        --target test_harness test_sim fig09_overall
+    # The threaded surface: pool + scheduler + logging sink tests, then
+    # one real multi-threaded sweep. halt_on_error so a race fails CI.
+    TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_harness"
+    TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_sim"
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/bench/fig09_overall" --quick --jobs 4 \
+        > /dev/null
+    echo "tsan stage: zero data races reported"
+}
+
+stage_static() {
+    echo "==== stage static: static analysis ===="
+    BUILD_DIR="$ROOT/build-ci" "$ROOT/tools/run_static_analysis.sh"
+}
+
+case "$STAGE" in
+  tier1)  stage_tier1 ;;
+  asan)   stage_asan ;;
+  tsan)   stage_tsan ;;
+  static) stage_static ;;
+  all)
+    stage_tier1
+    stage_asan
+    stage_tsan
+    stage_static
+    ;;
+  *) usage ;;
+esac
+
+echo "==== CI: stage(s) '$STAGE' passed ===="

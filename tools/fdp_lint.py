@@ -14,6 +14,11 @@ Enforces conventions a generic linter cannot know:
                   panic/fatal/warn/inform or writes to a std::ostream.
   include-guard   src/<dir>/<file>.hh uses guard FDP_<DIR>_<FILE>_HH.
   test-pairing    every src/<dir>/<file>.cc has tests/<dir>/test_<file>.cc.
+  pool-only-threading
+                  no raw std::thread/std::jthread/std::async or
+                  pthread_create outside src/harness/sweep_pool.* — all
+                  threading goes through the sweep pool so there is one
+                  audited place where concurrency enters the simulator.
 
 Comments and string literals are stripped before the regex rules run, so
 prose like "transfer time (bandwidth)" cannot trip the time() ban.
@@ -85,6 +90,8 @@ NEW_BAN = re.compile(r"\bnew\b")
 DELETED_DECL = re.compile(r"=\s*delete\b")
 PRINTF_BAN = re.compile(
     r"\b(?:f|s|sn|v|vf|vs|vsn)?printf\s*\(|\bf?puts\s*\(|\bputchar\s*\(")
+THREAD_BAN = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
 DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
 
@@ -122,7 +129,8 @@ def lint_new_delete(root, findings):
                                     "raw delete (use RAII ownership)"))
 
 
-PRINTF_OK = {Path("src/sim/logging.hh"), Path("src/sim/table.cc")}
+PRINTF_OK = {Path("src/sim/logging.hh"), Path("src/sim/logging.cc"),
+             Path("src/sim/table.cc")}
 
 
 def lint_printf(root, findings):
@@ -133,6 +141,20 @@ def lint_printf(root, findings):
         _regex_findings(path, rel, code, PRINTF_BAN, "logging-only",
                         "printf-family call (use panic/fatal/warn/inform "
                         "or a std::ostream)", findings)
+
+
+THREAD_OK = {Path("src/harness/sweep_pool.hh"),
+             Path("src/harness/sweep_pool.cc")}
+
+
+def lint_threading(root, findings):
+    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
+        if rel in THREAD_OK:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        _regex_findings(path, rel, code, THREAD_BAN, "pool-only-threading",
+                        "raw threading primitive (go through "
+                        "harness/sweep_pool.hh)", findings)
 
 
 def expected_guard(rel):
@@ -183,8 +205,8 @@ def _sources(root, top_dirs, suffixes):
                 yield path, path.relative_to(root)
 
 
-RULES = [lint_rng, lint_new_delete, lint_printf, lint_include_guards,
-         lint_test_pairing]
+RULES = [lint_rng, lint_new_delete, lint_printf, lint_threading,
+         lint_include_guards, lint_test_pairing]
 
 
 def run_lint(root):
@@ -210,6 +232,8 @@ SELF_TEST_CASES = [
      "void drop(int *p) { delete p; }\n"),
     ("logging-only", "src/cpu/bad_printf.cc",
      "#include <cstdio>\nvoid f() { std::printf(\"hi\\n\"); }\n"),
+    ("pool-only-threading", "src/mem/bad_thread.cc",
+     "#include <thread>\nvoid f() { std::thread t([] {}); t.join(); }\n"),
     ("include-guard", "src/mem/bad_guard.hh",
      "#ifndef WRONG_GUARD_HH\n#define WRONG_GUARD_HH\n#endif\n"),
     ("test-pairing", "src/sim/orphan.cc",
@@ -220,7 +244,8 @@ CLEAN_FILE = (
     "src/sim/clean.hh",
     "#ifndef FDP_SIM_CLEAN_HH\n"
     "#define FDP_SIM_CLEAN_HH\n"
-    "// a comment saying rand( and new and printf( changes nothing\n"
+    "// a comment saying rand( and new and printf( and std::thread\n"
+    "// changes nothing\n"
     "const char *s = \"delete this std::mt19937 string\";\n"
     "struct NoCopy { NoCopy(const NoCopy &) = delete; };\n"
     "#endif  // FDP_SIM_CLEAN_HH\n",

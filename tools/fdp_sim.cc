@@ -20,6 +20,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
 
@@ -41,6 +42,7 @@ struct Options
     double busGBps = 4.5;
     std::size_t pcacheKB = 0;  // 0 = off
     bool fullStats = false;
+    unsigned jobs = 0;  // 0 = defaultSweepJobs()
 };
 
 [[noreturn]] void
@@ -63,6 +65,9 @@ usage()
         "(default 500)\n"
         "  --bus-gbps X        memory bus bandwidth (default 4.5)\n"
         "  --pcache-kb N       add a separate prefetch cache of N KB\n"
+        "  --jobs N            worker threads for multi-benchmark runs\n"
+        "                      (default: FDP_JOBS or all hardware "
+        "threads)\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -101,17 +106,21 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(a, "--policy")) {
             o.policy = need(i);
         } else if (!std::strcmp(a, "--level")) {
-            o.level = static_cast<unsigned>(std::stoul(need(i)));
+            o.level = static_cast<unsigned>(
+                parseCountArg("--level", need(i), 5));
         } else if (!std::strcmp(a, "--insts")) {
-            o.insts = std::stoull(need(i));
+            o.insts = parseCountArg("--insts", need(i));
         } else if (!std::strcmp(a, "--l2-kb")) {
-            o.l2KB = std::stoull(need(i));
+            o.l2KB = parseCountArg("--l2-kb", need(i));
         } else if (!std::strcmp(a, "--mem-latency")) {
-            o.memLatency = std::stoull(need(i));
+            o.memLatency = parseCountArg("--mem-latency", need(i));
         } else if (!std::strcmp(a, "--bus-gbps")) {
             o.busGBps = std::stod(need(i));
         } else if (!std::strcmp(a, "--pcache-kb")) {
-            o.pcacheKB = std::stoull(need(i));
+            o.pcacheKB = parseCountArg("--pcache-kb", need(i));
+        } else if (!std::strcmp(a, "--jobs")) {
+            o.jobs = static_cast<unsigned>(
+                parseCountArg("--jobs", need(i), 4096));
         } else if (!std::strcmp(a, "--stats")) {
             o.fullStats = true;
         } else {
@@ -171,11 +180,10 @@ main(int argc, char **argv)
     t.setHeader({"benchmark", "IPC", "BPKI", "accuracy", "lateness",
                  "pollution", "pref sent", "L2 misses"});
 
-    std::vector<RunResult> results;
-    for (const auto &bench : o.benches) {
-        const RunResult r = runBenchmark(bench, config, o.policy);
-        results.push_back(r);
-        t.addRow({bench, fmtDouble(r.ipc, 3), fmtDouble(r.bpki, 2),
+    const std::vector<RunResult> results =
+        runSuiteParallel(o.benches, config, o.policy, o.jobs);
+    for (const RunResult &r : results) {
+        t.addRow({r.benchmark, fmtDouble(r.ipc, 3), fmtDouble(r.bpki, 2),
                   fmtDouble(r.accuracy, 2), fmtDouble(r.lateness, 2),
                   fmtDouble(r.pollution, 3), std::to_string(r.prefSent),
                   std::to_string(r.l2Misses)});
