@@ -179,38 +179,17 @@ runWorkload(Workload &workload, const RunConfig &config,
     return r;
 }
 
-std::uint64_t
-deriveRunSeed(const std::string &benchmark, const std::string &configLabel)
-{
-    // FNV-1a over both identity strings (with a separator so that
-    // ("ab","c") and ("a","bc") differ), then a splitmix64-style
-    // finalizer to spread the avalanche over all 64 bits.
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    auto absorb = [&h](const std::string &s) {
-        for (const unsigned char c : s) {
-            h ^= c;
-            h *= 0x100000001b3ull;
-        }
-        h ^= 0xff;
-        h *= 0x100000001b3ull;
-    };
-    absorb(benchmark);
-    absorb(configLabel);
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ull;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebull;
-    h ^= h >> 31;
-    return h;
-}
-
 RunResult
 runBenchmark(const std::string &benchmark, const RunConfig &config,
              const std::string &configLabel)
 {
-    SyntheticParams params = benchmarkParams(benchmark);
-    params.seed = deriveRunSeed(benchmark, configLabel);
-    SyntheticWorkload workload(params);
+    // The workload seed is the benchmark's hand-calibrated one from
+    // spec_suite.cc — a pure function of the benchmark name and nothing
+    // else. Every configuration therefore simulates the identical
+    // trace, so cross-config deltas isolate the config effect, and
+    // results stay bit-identical for any thread count or completion
+    // order (DESIGN.md Section 10).
+    SyntheticWorkload workload(benchmarkParams(benchmark));
     return runWorkload(workload, config, configLabel);
 }
 

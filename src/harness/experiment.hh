@@ -103,16 +103,14 @@ std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
                                            unsigned level);
 
 /**
- * Workload seed for one sweep cell: a pure function of the cell's
- * identity (benchmark, configLabel) and nothing else, so a run's
- * results can never depend on thread count, scheduling, or the
- * completion order of other runs (DESIGN.md Section 10). runBenchmark
- * applies it; runWorkload leaves caller-built workloads untouched.
+ * Run one named SPEC stand-in under @p config.
+ *
+ * The workload seed is the benchmark's calibrated one from
+ * spec_suite.cc — a pure function of the benchmark name alone, never of
+ * the configuration, scheduling, or completion order of other runs. All
+ * configurations therefore see the identical trace (DESIGN.md Section
+ * 10); runWorkload leaves caller-built workloads untouched.
  */
-std::uint64_t deriveRunSeed(const std::string &benchmark,
-                            const std::string &configLabel);
-
-/** Run one named SPEC stand-in under @p config. */
 RunResult runBenchmark(const std::string &benchmark,
                        const RunConfig &config,
                        const std::string &configLabel);

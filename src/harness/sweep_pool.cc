@@ -6,6 +6,7 @@
 
 #include "harness/reporting.hh"
 #include "sim/logging.hh"
+#include "workload/spec_suite.hh"
 
 namespace fdp
 {
@@ -65,6 +66,11 @@ SweepPool::wait()
 void
 SweepPool::workerLoop()
 {
+    // A fatal() inside a job must not std::exit(1) from a worker:
+    // sibling workers would still be running while static destructors
+    // tear the process down. The guard turns it into a FatalError that
+    // the catch below stores and wait() rethrows on the main thread.
+    const detail::FatalThrowsGuard fatalThrows;
     for (;;) {
         std::function<void()> job;
         {
@@ -101,13 +107,22 @@ runSweep(const std::vector<std::string> &benchmarks,
     if (jobs == 0)
         jobs = defaultSweepJobs();
     const std::size_t cells = benchmarks.size() * configs.size();
+    // Clamp before branching so the throughput line reports the worker
+    // count that actually ran: never more than one per cell, and the
+    // cells <= 1 fallback below is single-threaded by construction.
+    if (static_cast<std::size_t>(jobs) > cells)
+        jobs = cells == 0 ? 1 : static_cast<unsigned>(cells);
+    // A bad benchmark name is a user error: report it from the main
+    // thread, before any worker exists, instead of from inside a job.
+    for (const auto &b : benchmarks)
+        benchmarkParams(b);
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<std::vector<RunResult>> results(configs.size());
     for (auto &row : results)
         row.resize(benchmarks.size());
 
-    if (jobs == 1 || cells <= 1) {
+    if (jobs == 1) {
         // The pre-pool sequential path, byte for byte.
         for (std::size_t c = 0; c < configs.size(); ++c)
             for (std::size_t b = 0; b < benchmarks.size(); ++b)
@@ -115,20 +130,33 @@ runSweep(const std::vector<std::string> &benchmarks,
                                              configs[c].second,
                                              configs[c].first);
     } else {
-        if (static_cast<std::size_t>(jobs) > cells)
-            jobs = static_cast<unsigned>(cells);
-        SweepPool pool(jobs);
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-                RunResult *slot = &results[c][b];
-                const std::string *bench = &benchmarks[b];
-                const LabeledConfig *cfg = &configs[c];
-                pool.submit([slot, bench, cfg] {
-                    *slot = runBenchmark(*bench, cfg->second, cfg->first);
-                });
+        // A worker fatal is deferred (FatalThrowsGuard) and re-raised
+        // here on the main thread — but only after the pool has left
+        // scope and joined every worker, so the exit cannot race them.
+        std::string workerFatal;
+        bool sawWorkerFatal = false;
+        {
+            SweepPool pool(jobs);
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+                    RunResult *slot = &results[c][b];
+                    const std::string *bench = &benchmarks[b];
+                    const LabeledConfig *cfg = &configs[c];
+                    pool.submit([slot, bench, cfg] {
+                        *slot = runBenchmark(*bench, cfg->second,
+                                             cfg->first);
+                    });
+                }
+            }
+            try {
+                pool.wait();
+            } catch (const FatalError &e) {
+                sawWorkerFatal = true;
+                workerFatal = e.what();
             }
         }
-        pool.wait();
+        if (sawWorkerFatal)
+            fatal("%s", workerFatal.c_str());
     }
 
     const std::chrono::duration<double> wall =

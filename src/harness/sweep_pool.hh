@@ -5,10 +5,11 @@
  * Every paper artifact is a benchmark x configuration sweep of fully
  * independent simulated machines, so the harness fans each (benchmark,
  * config) cell out to a fixed-size thread pool. Determinism contract
- * (DESIGN.md Section 10): each run's workload seed is a pure function
- * of its cell identity — deriveRunSeed(benchmark, configLabel) — and a
- * run shares no mutable state with any other run, so result tables are
- * bit-identical regardless of thread count or completion order.
+ * (DESIGN.md Section 10): each run's workload seed is the benchmark's
+ * calibrated one from spec_suite.cc — a pure function of the benchmark
+ * name, so every config sees the identical trace — and a run shares no
+ * mutable state with any other run, so result tables are bit-identical
+ * regardless of thread count or completion order.
  *
  * This is the only file in src/ or tools/ allowed to touch std::thread
  * (enforced by tools/fdp_lint.py rule pool-only-threading).

@@ -15,7 +15,28 @@ sinkMutex()
     return m;
 }
 
+thread_local bool fatalThrowsOnThisThread = false;
+
 } // namespace
+
+FatalThrowsGuard::FatalThrowsGuard()
+{
+    fatalThrowsOnThisThread = true;
+}
+
+FatalThrowsGuard::~FatalThrowsGuard()
+{
+    fatalThrowsOnThisThread = false;
+}
+
+void
+fatalExit(const std::string &message)
+{
+    if (fatalThrowsOnThisThread)
+        throw FatalError(message);
+    emitLine(stderr, "fatal: ", message);
+    std::exit(1);
+}
 
 void
 emitLine(std::FILE *stream, const char *prefix, const std::string &message)

@@ -17,12 +17,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 
 namespace fdp
 {
+
+/**
+ * A fatal() raised on a thread where exiting is not allowed (a sweep
+ * pool worker — see detail::FatalThrowsGuard). Carries the formatted
+ * message; SweepPool::wait() rethrows it on the main thread, where it
+ * becomes a normal fatal exit.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 namespace detail
 {
@@ -65,6 +78,31 @@ formatMessage(const char *fmt, Args &&...args)
 void emitLine(std::FILE *stream, const char *prefix,
               const std::string &message);
 
+/**
+ * Terminate on a fatal(): print "fatal: <message>" and exit(1) — or, on
+ * a thread holding a FatalThrowsGuard, throw FatalError(message)
+ * instead, deferring both the diagnostic and the exit to whichever
+ * thread catches it. std::exit from a worker thread while siblings run
+ * is undefined behavior (static destructors race live workers), so the
+ * sweep pool routes every worker fatal through this escape hatch.
+ */
+[[noreturn]] void fatalExit(const std::string &message);
+
+/**
+ * RAII guard: while alive, fatal() on this thread throws FatalError
+ * instead of exiting the process. Held for the lifetime of each sweep
+ * pool worker (src/harness/sweep_pool.cc) and nothing else.
+ */
+class FatalThrowsGuard
+{
+  public:
+    FatalThrowsGuard();
+    ~FatalThrowsGuard();
+
+    FatalThrowsGuard(const FatalThrowsGuard &) = delete;
+    FatalThrowsGuard &operator=(const FatalThrowsGuard &) = delete;
+};
+
 } // namespace detail
 
 /** Report an internal simulator bug and abort. */
@@ -78,15 +116,17 @@ panic(const char *fmt, Args &&...args)
     std::abort();
 }
 
-/** Report an unrecoverable user/configuration error and exit. */
+/**
+ * Report an unrecoverable user/configuration error and exit — except on
+ * a sweep pool worker thread, where it throws FatalError for the main
+ * thread to report (see detail::FatalThrowsGuard).
+ */
 template <detail::Printable... Args>
 [[noreturn]] void
 fatal(const char *fmt, Args &&...args)
 {
-    detail::emitLine(stderr, "fatal: ",
-                     detail::formatMessage(fmt,
-                                           std::forward<Args>(args)...));
-    std::exit(1);
+    detail::fatalExit(detail::formatMessage(fmt,
+                                            std::forward<Args>(args)...));
 }
 
 /** Report a suspicious-but-survivable condition. */

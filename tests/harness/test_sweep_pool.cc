@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/sweep_pool.hh"
+#include "sim/logging.hh"
 
 namespace fdp
 {
@@ -86,6 +87,21 @@ TEST(SweepPool, TeardownUnderEarlyExitDropsPendingJobs)
     EXPECT_GE(ran.load(), 1);
     EXPECT_LT(ran.load(), 11) << "destructor drained the whole queue";
     EXPECT_LT(wall.count(), 1.0) << "teardown waited on pending jobs";
+}
+
+TEST(SweepPool, FatalInsideAJobThrowsInsteadOfExiting)
+{
+    // fatal() on a worker thread must not std::exit(1) while sibling
+    // workers run; the pool's FatalThrowsGuard defers it as a
+    // FatalError that wait() rethrows on the calling thread.
+    SweepPool pool(2);
+    pool.submit([] { fatal("bad cell: %d", 7); });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow the worker fatal";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad cell: 7");
+    }
 }
 
 RunConfig
@@ -171,6 +187,43 @@ TEST(SweepOrdering, RunSuiteParallelMatchesRunSuite)
         EXPECT_EQ(seq[i].busAccesses, par[i].busAccesses);
         EXPECT_EQ(seq[i].prefSent, par[i].prefSent);
     }
+}
+
+TEST(SweepDeterminism, ConfigColumnsShareOneTracePerBenchmark)
+{
+    // The seed is a function of the benchmark alone, so every config
+    // column of a sweep executes the identical trace; with the same
+    // RunConfig under different labels the whole rows must match.
+    const RunConfig c = smallConfig(RunConfig::staticLevelConfig(5));
+    const auto res =
+        runSweep(kSweepBenches, {{"label-a", c}, {"label-b", c}}, 4);
+    ASSERT_EQ(res.size(), 2u);
+    for (std::size_t b = 0; b < kSweepBenches.size(); ++b) {
+        EXPECT_EQ(res[0][b].cycles, res[1][b].cycles);
+        EXPECT_EQ(res[0][b].busAccesses, res[1][b].busAccesses);
+        EXPECT_EQ(res[0][b].demandAccesses, res[1][b].demandAccesses);
+    }
+}
+
+TEST(SweepDeath, UnknownBenchmarkIsACleanMainThreadFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Names are validated before any job is submitted, so even a
+    // parallel sweep dies with the normal single-line diagnostic
+    // instead of exiting from inside a worker.
+    EXPECT_EXIT(runSweep({"nosuch"}, smallSweepConfigs(), 4),
+                testing::ExitedWithCode(1), "unknown benchmark 'nosuch'");
+}
+
+TEST(SweepReporting, SequentialFallbackReportsOneJob)
+{
+    // A single-cell sweep runs sequentially whatever --jobs says; the
+    // throughput line must report the worker count that actually ran.
+    const RunConfig c = smallConfig(RunConfig::staticLevelConfig(3));
+    testing::internal::CaptureStderr();
+    runSweep({"gap"}, {{"mid", c}}, 8);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("runs=1 jobs=1 "), std::string::npos) << err;
 }
 
 TEST(SweepJobs, CommandLineOverridesEverything)
