@@ -36,6 +36,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "fig09_overall", benches,
+                      names, results);
 
     buildMetricTable("Figure 9: overall performance of FDP (IPC)", benches,
                      names, results, metricIpc, 3, MeanKind::Geometric)

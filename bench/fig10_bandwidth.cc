@@ -35,6 +35,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "fig10_bandwidth",
+                      benches, names, results);
 
     buildMetricTable("Figure 10: memory bus accesses per kilo "
                      "instructions (BPKI)",

@@ -37,6 +37,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "fig13_ghb", benches,
+                      names, results);
 
     buildMetricTable("Figure 13 (top): GHB C/DC prefetcher (IPC)", benches,
                      names, results, metricIpc, 3, MeanKind::Geometric)

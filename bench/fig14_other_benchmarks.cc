@@ -36,6 +36,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "fig14_other_benchmarks",
+                      benches, names, results);
 
     buildMetricTable("Figure 14 (top): remaining 9 benchmarks (IPC)",
                      benches, names, results, metricIpc, 3,

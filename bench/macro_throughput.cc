@@ -1,0 +1,53 @@
+/**
+ * @file
+ * End-to-end simulator throughput macro-benchmark: wall-clock insts/s
+ * of complete machines (core + caches + MSHRs + DRAM + FDP) over three
+ * representative stand-ins — a streaming winner (swim), the
+ * high-lateness pointer chaser (mcf), and a pollution victim (art).
+ *
+ * Emits one fdp-results-v1 JSON document on stdout so tools/bench.sh
+ * can merge it with the micro_structures numbers into BENCH_<rev>.json.
+ * The simulated output is deterministic; only the wall-clock varies.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+
+using namespace fdp;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t insts = instructionBudget(argc, argv, 2'000'000);
+    const std::vector<std::string> benches = {"swim", "mcf", "art"};
+
+    RunConfig config = RunConfig::fullFdp();
+    config.numInsts = insts;
+
+    // One untimed warm-up run so page faults and lazy init don't bill
+    // the first timed benchmark.
+    runBenchmark(benches.front(), config, "warmup");
+
+    ResultsJson json("macro_throughput");
+    std::uint64_t total_insts = 0;
+    double total_wall = 0.0;
+    for (const auto &b : benches) {
+        const auto start = std::chrono::steady_clock::now();
+        const RunResult r = runBenchmark(b, config, "full-fdp");
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        total_insts += r.insts;
+        total_wall += wall.count();
+        json.add("macro/" + b + "/insts_per_s", "insts/s",
+                 static_cast<double>(r.insts) / wall.count(), "higher");
+    }
+    json.add("macro/insts_per_s", "insts/s",
+             static_cast<double>(total_insts) / total_wall, "higher");
+    json.write(std::cout);
+    return 0;
+}

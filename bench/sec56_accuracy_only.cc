@@ -32,6 +32,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "sec56_accuracy_only",
+                      benches, names, results);
 
     buildMetricTable("Section 5.6: accuracy-only throttling vs full FDP "
                      "(IPC)",

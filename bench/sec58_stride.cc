@@ -37,6 +37,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "sec58_stride", benches,
+                      names, results);
 
     buildMetricTable("Section 5.8: PC-based stride prefetcher (IPC)",
                      benches, names, results, metricIpc, 3,

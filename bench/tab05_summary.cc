@@ -39,6 +39,8 @@ main(int argc, char **argv)
     }
 
     const auto results = runSweep(benches, configs, jobs);
+    writeSweepResults(resultsOutPath(argc, argv), "tab05_summary", benches,
+                      names, results);
 
     Table t("Table 5: average IPC and BPKI, conventional configurations "
             "vs FDP");

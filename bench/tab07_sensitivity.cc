@@ -25,7 +25,8 @@ struct Point
 };
 
 void
-runPoint(const Point &pt, std::uint64_t insts, unsigned jobs, Table &t)
+runPoint(const Point &pt, std::uint64_t insts, unsigned jobs, Table &t,
+         ResultsJson &out)
 {
     RunConfig va = RunConfig::staticLevelConfig(5);
     RunConfig fdp = RunConfig::fullFdp();
@@ -44,6 +45,10 @@ runPoint(const Point &pt, std::uint64_t insts, unsigned jobs, Table &t)
     const auto results = runSweep(benches, configs, jobs);
     const auto &rva = results[0];
     const auto &rfdp = results[1];
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        out.addRunResult(pt.label + "/" + benches[b] + "/va", rva[b]);
+        out.addRunResult(pt.label + "/" + benches[b] + "/fdp", rfdp[b]);
+    }
     t.addRow({pt.label,
               fmtPercent(meanDelta(rva, rfdp, metricIpc,
                                    MeanKind::Geometric)),
@@ -58,6 +63,8 @@ main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 4'000'000);
     const unsigned jobs = sweepJobs(argc, argv);
+    const std::string outPath = resultsOutPath(argc, argv);
+    ResultsJson out("tab07_sensitivity");
 
     Table t("Table 7: FDP vs Very Aggressive across L2 sizes and memory "
             "latencies (delta IPC / delta BPKI)");
@@ -67,14 +74,16 @@ main(int argc, char **argv)
         Point pt;
         pt.label = "L2 " + std::to_string(kb) + "KB, 500-cycle memory";
         pt.machine.l2.sizeBytes = kb * 1024;
-        runPoint(pt, insts, jobs, t);
+        runPoint(pt, insts, jobs, t, out);
     }
     for (const Cycle lat : {250u, 500u, 750u, 1000u}) {
         Point pt;
         pt.label = "1MB L2, " + std::to_string(lat) + "-cycle memory";
         pt.machine.dram = DramParams::withUnloadedLatency(lat);
-        runPoint(pt, insts, jobs, t);
+        runPoint(pt, insts, jobs, t, out);
     }
+    if (!outPath.empty())
+        out.writeFile(outPath);
     t.print();
     std::printf("\nPaper: FDP wins on IPC and saves significant bandwidth "
                 "at every cache size and memory latency, with the IPC "

@@ -1,7 +1,11 @@
 #include "harness/reporting.hh"
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -91,6 +95,147 @@ void
 printSweepThroughput(const SweepStats &stats)
 {
     printSweepThroughput(stats, std::cerr);
+}
+
+namespace
+{
+
+/** Escape a string for a JSON string literal (ASCII metric names). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+    return os.str();
+}
+
+} // namespace
+
+ResultsJson::ResultsJson(std::string source) : source_(std::move(source)) {}
+
+void
+ResultsJson::add(const std::string &name, const std::string &unit,
+                 double value, const std::string &better)
+{
+    if (better != "higher" && better != "lower")
+        panic("results entry %s: better must be higher|lower, got %s",
+              name.c_str(), better.c_str());
+    entries_.push_back(Entry{name, unit, better, value});
+}
+
+void
+ResultsJson::addRunResult(const std::string &prefix, const RunResult &r)
+{
+    add(prefix + "/ipc", "insts/cycle", r.ipc, "higher");
+    add(prefix + "/bpki", "bus-accesses/kilo-inst", r.bpki, "lower");
+    add(prefix + "/accuracy", "ratio", r.accuracy, "higher");
+    add(prefix + "/lateness", "ratio", r.lateness, "lower");
+    add(prefix + "/pollution", "ratio", r.pollution, "lower");
+    add(prefix + "/avg_miss_latency", "cycles", r.avgMissLatency, "lower");
+    add(prefix + "/bus_accesses", "count",
+        static_cast<double>(r.busAccesses), "lower");
+}
+
+void
+ResultsJson::write(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"schema\": \"fdp-results-v1\",\n";
+    os << "  \"source\": \"" << jsonEscape(source_) << "\",\n";
+    os << "  \"entries\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"unit\": \"" << jsonEscape(e.unit)
+           << "\", \"better\": \"" << e.better
+           << "\", \"value\": " << jsonNumber(e.value) << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+ResultsJson::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        panic("cannot open results file %s for writing", path.c_str());
+    write(os);
+    os.flush();
+    if (!os)
+        panic("failed writing results file %s", path.c_str());
+}
+
+std::string
+resultsOutPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") != 0)
+            continue;
+        if (i + 1 >= argc)
+            panic("--out requires a file path argument");
+        return argv[i + 1];
+    }
+    return "";
+}
+
+void
+writeSweepResults(const std::string &path, const std::string &source,
+                  const std::vector<std::string> &benchmarks,
+                  const std::vector<std::string> &configNames,
+                  const std::vector<std::vector<RunResult>> &results)
+{
+    if (path.empty())
+        return;
+    if (results.size() != configNames.size())
+        panic("sweep results %s: %zu result sets but %zu config names",
+              source.c_str(), results.size(), configNames.size());
+
+    ResultsJson json(source);
+    for (std::size_t c = 0; c < results.size(); ++c) {
+        if (results[c].size() != benchmarks.size())
+            panic("sweep results %s: config %s has %zu results for %zu "
+                  "benchmarks", source.c_str(), configNames[c].c_str(),
+                  results[c].size(), benchmarks.size());
+        for (std::size_t b = 0; b < benchmarks.size(); ++b)
+            json.addRunResult(benchmarks[b] + "/" + configNames[c],
+                              results[c][b]);
+    }
+    json.writeFile(path);
 }
 
 double

@@ -82,6 +82,68 @@ struct SweepStats
 void printSweepThroughput(const SweepStats &stats, std::ostream &os);
 void printSweepThroughput(const SweepStats &stats);
 
+/**
+ * Builder for the "fdp-results-v1" JSON document shared by the sweep
+ * binaries' --out files, the macro benchmark, and tools/bench.sh's
+ * BENCH_<rev>.json. One flat list of named scalar metrics:
+ *
+ *   {"schema": "fdp-results-v1", "source": "...",
+ *    "entries": [{"name": ..., "unit": ..., "better": ..., "value": ...}]}
+ *
+ * Values round-trip exactly (printed with max_digits10), so diffing two
+ * files compares the actual doubles, not a formatting of them.
+ */
+class ResultsJson
+{
+  public:
+    explicit ResultsJson(std::string source);
+
+    /** @p better is "higher" or "lower" (which direction is good). */
+    void add(const std::string &name, const std::string &unit, double value,
+             const std::string &better);
+
+    /** Append every headline metric of one run under name prefix @p prefix. */
+    void addRunResult(const std::string &prefix, const RunResult &r);
+
+    void write(std::ostream &os) const;
+
+    /** Write to @p path; fatal on I/O failure (a sweep's results are
+     *  too expensive to lose silently). */
+    void writeFile(const std::string &path) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string unit;
+        std::string better;
+        double value;
+    };
+
+    std::string source_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Value of a "--out PATH" flag, or "" when absent. Fatal when --out is
+ * trailing. Scans argv like instructionBudget so every sweep binary can
+ * adopt it without reworking its CLI parsing.
+ */
+std::string resultsOutPath(int argc, char **argv);
+
+/**
+ * Persist one sweep (the same results[c][b] matrix buildMetricTable
+ * consumes) to @p path as fdp-results-v1, one entry per
+ * (benchmark, config, metric). No-op when @p path is empty, so callers
+ * can pass resultsOutPath() straight through.
+ */
+void writeSweepResults(const std::string &path, const std::string &source,
+                       const std::vector<std::string> &benchmarks,
+                       const std::vector<std::string> &configNames,
+                       const std::vector<std::vector<RunResult>> &results);
+
 } // namespace fdp
 
 #endif // FDP_HARNESS_REPORTING_HH

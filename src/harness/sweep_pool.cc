@@ -1,5 +1,6 @@
 #include "harness/sweep_pool.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -135,18 +136,35 @@ runSweep(const std::vector<std::string> &benchmarks,
         // scope and joined every worker, so the exit cannot race them.
         std::string workerFatal;
         bool sawWorkerFatal = false;
+        // LPT scheduling: submit the longest cells (most simulated
+        // instructions) first so the pool tail does not idle behind one
+        // long run picked up last. Ties keep the c-major submission
+        // order, and every result still lands in its pre-sized slot, so
+        // the output tables are unaffected by the ordering.
+        std::vector<std::size_t> order(cells);
+        for (std::size_t i = 0; i < cells; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t lhs, std::size_t rhs) {
+                             const std::uint64_t li =
+                                 configs[lhs / benchmarks.size()]
+                                     .second.numInsts;
+                             const std::uint64_t ri =
+                                 configs[rhs / benchmarks.size()]
+                                     .second.numInsts;
+                             return li > ri;
+                         });
         {
             SweepPool pool(jobs);
-            for (std::size_t c = 0; c < configs.size(); ++c) {
-                for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-                    RunResult *slot = &results[c][b];
-                    const std::string *bench = &benchmarks[b];
-                    const LabeledConfig *cfg = &configs[c];
-                    pool.submit([slot, bench, cfg] {
-                        *slot = runBenchmark(*bench, cfg->second,
-                                             cfg->first);
-                    });
-                }
+            for (const std::size_t cell : order) {
+                const std::size_t c = cell / benchmarks.size();
+                const std::size_t b = cell % benchmarks.size();
+                RunResult *slot = &results[c][b];
+                const std::string *bench = &benchmarks[b];
+                const LabeledConfig *cfg = &configs[c];
+                pool.submit([slot, bench, cfg] {
+                    *slot = runBenchmark(*bench, cfg->second, cfg->first);
+                });
             }
             try {
                 pool.wait();

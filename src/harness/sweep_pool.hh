@@ -91,8 +91,11 @@ using LabeledConfig = std::pair<std::string, RunConfig>;
  * over @p jobs worker threads (0 = defaultSweepJobs(); 1 = the plain
  * sequential path with no threads created). results[c][b] is benchmark
  * b under configs[c], in the argument order, regardless of completion
- * order. Prints one sweep-throughput line to stderr (stdout tables
- * stay bit-identical across thread counts).
+ * order. Cells are handed to the pool longest-first (LPT by the
+ * config's instruction count) so a long run picked up last cannot
+ * leave the tail of the sweep running on one thread; the ordering only
+ * affects wall-clock, never results. Prints one sweep-throughput line
+ * to stderr (stdout tables stay bit-identical across thread counts).
  */
 std::vector<std::vector<RunResult>>
 runSweep(const std::vector<std::string> &benchmarks,

@@ -9,7 +9,7 @@ namespace fdp
 
 SetAssocCache::SetAssocCache(const CacheParams &params) : params_(params)
 {
-    if (params_.assoc == 0 || params_.assoc > 255)
+    if (params_.assoc == 0 || params_.assoc > 254)
         fatal("%s: associativity %u unsupported", params_.name.c_str(),
               params_.assoc);
     const std::size_t blocks = params_.sizeBytes / kBlockBytes;
@@ -21,11 +21,8 @@ SetAssocCache::SetAssocCache(const CacheParams &params) : params_(params)
         fatal("%s: number of sets %zu must be a power of two",
               params_.name.c_str(), num_sets);
 
+    lines_.resize(blocks);
     sets_.resize(num_sets);
-    for (auto &set : sets_) {
-        set.ways.resize(params_.assoc);
-        set.stack.reserve(params_.assoc);
-    }
 }
 
 std::size_t
@@ -35,117 +32,172 @@ SetAssocCache::setIndex(BlockAddr block) const
 }
 
 int
-SetAssocCache::findWay(const Set &set, BlockAddr block) const
+SetAssocCache::findWay(std::size_t base, BlockAddr block) const
 {
-    for (std::size_t w = 0; w < set.ways.size(); ++w)
-        if (set.ways[w].valid && set.ways[w].block == block)
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &l = lines_[base + w];
+        if ((l.flags & kValid) != 0 && l.tag == block)
             return static_cast<int>(w);
+    }
     return -1;
 }
 
 void
-SetAssocCache::promoteToMru(Set &set, std::uint8_t way)
+SetAssocCache::unlink(SetLinks &set, std::size_t base, std::uint8_t way)
 {
-    auto it = std::find(set.stack.begin(), set.stack.end(), way);
-    set.stack.erase(it);
-    set.stack.push_back(way);
+    Line &l = lines_[base + way];
+    if (l.prev != kNoWay)
+        lines_[base + l.prev].next = l.next;
+    else
+        set.lru = l.next;
+    if (l.next != kNoWay)
+        lines_[base + l.next].prev = l.prev;
+    else
+        set.mru = l.prev;
+}
+
+void
+SetAssocCache::appendMru(SetLinks &set, std::size_t base, std::uint8_t way)
+{
+    Line &l = lines_[base + way];
+    l.prev = set.mru;
+    l.next = kNoWay;
+    if (set.mru != kNoWay)
+        lines_[base + set.mru].next = way;
+    else
+        set.lru = way;
+    set.mru = way;
+}
+
+void
+SetAssocCache::linkAtDepth(SetLinks &set, std::size_t base,
+                           std::uint8_t way, unsigned depth,
+                           unsigned chainLen)
+{
+    if (depth >= chainLen) {
+        appendMru(set, base, way);
+        return;
+    }
+    Line &l = lines_[base + way];
+    if (depth == 0) {
+        l.prev = kNoWay;
+        l.next = set.lru;
+        lines_[base + set.lru].prev = way;
+        set.lru = way;
+        return;
+    }
+    // Splice in after the node currently at depth-1: the new line then
+    // has `depth` less-recent predecessors, matching a vector insert at
+    // index `depth` in the old recency-stack representation.
+    std::uint8_t before = set.lru;
+    for (unsigned i = 1; i < depth; ++i)
+        before = lines_[base + before].next;
+    l.prev = before;
+    l.next = lines_[base + before].next;
+    lines_[base + before].next = way;
+    lines_[base + l.next].prev = way;
 }
 
 CacheAccessResult
 SetAssocCache::access(BlockAddr block, bool isWrite)
 {
-    Set &set = sets_[setIndex(block)];
-    const int w = findWay(set, block);
+    const std::size_t s = setIndex(block);
+    const std::size_t base = s * params_.assoc;
+    const int w = findWay(base, block);
     if (w < 0)
         return {};
 
-    Way &way = set.ways[static_cast<std::size_t>(w)];
+    Line &l = lines_[base + static_cast<std::size_t>(w)];
     CacheAccessResult result;
     result.hit = true;
-    result.hitPrefetched = way.prefBit;
-    way.prefBit = false;
+    result.hitPrefetched = (l.flags & kPref) != 0;
+    l.flags &= static_cast<std::uint8_t>(~kPref);
     if (isWrite)
-        way.dirty = true;
-    promoteToMru(set, static_cast<std::uint8_t>(w));
+        l.flags |= kDirty;
+    SetLinks &set = sets_[s];
+    if (set.mru != w) {
+        unlink(set, base, static_cast<std::uint8_t>(w));
+        appendMru(set, base, static_cast<std::uint8_t>(w));
+    }
     return result;
 }
 
 bool
 SetAssocCache::probe(BlockAddr block) const
 {
-    const Set &set = sets_[setIndex(block)];
-    return findWay(set, block) >= 0;
+    return findWay(setIndex(block) * params_.assoc, block) >= 0;
 }
 
 CacheVictim
 SetAssocCache::insert(BlockAddr block, bool prefBit, InsertPos pos,
                       bool dirty)
 {
-    Set &set = sets_[setIndex(block)];
-    if (findWay(set, block) >= 0)
+    const std::size_t s = setIndex(block);
+    const std::size_t base = s * params_.assoc;
+    if (findWay(base, block) >= 0)
         panic("%s: inserting block already present", params_.name.c_str());
 
+    SetLinks &set = sets_[s];
     CacheVictim victim;
-    std::uint8_t way_idx;
+    std::uint8_t way;
     if (set.used == params_.assoc) {
         // Set full: evict the LRU way and reuse it.
-        way_idx = set.stack.front();
-        set.stack.erase(set.stack.begin());
-        Way &v = set.ways[way_idx];
+        way = set.lru;
+        unlink(set, base, way);
+        const Line &v = lines_[base + way];
         victim.valid = true;
-        victim.block = v.block;
-        victim.prefBit = v.prefBit;
-        victim.dirty = v.dirty;
+        victim.block = v.tag;
+        victim.prefBit = (v.flags & kPref) != 0;
+        victim.dirty = (v.flags & kDirty) != 0;
     } else {
-        way_idx = 0;
-        while (set.ways[way_idx].valid)
-            ++way_idx;
+        way = 0;
+        while ((lines_[base + way].flags & kValid) != 0)
+            ++way;
         ++set.used;
     }
 
-    Way &way = set.ways[way_idx];
-    way.valid = true;
-    way.block = block;
-    way.prefBit = prefBit;
-    way.dirty = dirty;
+    Line &l = lines_[base + way];
+    l.tag = block;
+    l.flags = static_cast<std::uint8_t>(
+        kValid | (prefBit ? kPref : 0) | (dirty ? kDirty : 0));
 
-    const unsigned stack_pos =
-        std::min<unsigned>(insertStackIndex(pos, params_.assoc),
-                           static_cast<unsigned>(set.stack.size()));
-    set.stack.insert(set.stack.begin() + stack_pos, way_idx);
+    const unsigned chain_len = set.used - 1u;
+    const unsigned depth =
+        std::min(insertStackIndex(pos, params_.assoc), chain_len);
+    linkAtDepth(set, base, way, depth, chain_len);
     return victim;
 }
 
 bool
 SetAssocCache::markDirty(BlockAddr block)
 {
-    Set &set = sets_[setIndex(block)];
-    const int w = findWay(set, block);
+    const std::size_t base = setIndex(block) * params_.assoc;
+    const int w = findWay(base, block);
     if (w < 0)
         return false;
-    set.ways[static_cast<std::size_t>(w)].dirty = true;
+    lines_[base + static_cast<std::size_t>(w)].flags |= kDirty;
     return true;
 }
 
 CacheVictim
 SetAssocCache::invalidate(BlockAddr block)
 {
-    Set &set = sets_[setIndex(block)];
-    const int w = findWay(set, block);
+    const std::size_t s = setIndex(block);
+    const std::size_t base = s * params_.assoc;
+    const int w = findWay(base, block);
     if (w < 0)
         return {};
 
-    Way &way = set.ways[static_cast<std::size_t>(w)];
+    Line &l = lines_[base + static_cast<std::size_t>(w)];
     CacheVictim victim;
     victim.valid = true;
-    victim.block = way.block;
-    victim.prefBit = way.prefBit;
-    victim.dirty = way.dirty;
+    victim.block = l.tag;
+    victim.prefBit = (l.flags & kPref) != 0;
+    victim.dirty = (l.flags & kDirty) != 0;
 
-    way = Way{};
-    auto it = std::find(set.stack.begin(), set.stack.end(),
-                        static_cast<std::uint8_t>(w));
-    set.stack.erase(it);
+    SetLinks &set = sets_[s];
+    unlink(set, base, static_cast<std::uint8_t>(w));
+    l = Line{};
     --set.used;
     return victim;
 }
@@ -153,13 +205,18 @@ SetAssocCache::invalidate(BlockAddr block)
 int
 SetAssocCache::stackDepth(BlockAddr block) const
 {
-    const Set &set = sets_[setIndex(block)];
-    const int w = findWay(set, block);
+    const std::size_t s = setIndex(block);
+    const std::size_t base = s * params_.assoc;
+    const int w = findWay(base, block);
     if (w < 0)
         return -1;
-    for (std::size_t i = 0; i < set.stack.size(); ++i)
-        if (set.stack[i] == static_cast<std::uint8_t>(w))
-            return static_cast<int>(i);
+    int depth = 0;
+    for (std::uint8_t cur = sets_[s].lru; cur != kNoWay;
+         cur = lines_[base + cur].next) {
+        if (cur == w)
+            return depth;
+        ++depth;
+    }
     panic("%s: valid way missing from recency stack", params_.name.c_str());
 }
 
@@ -176,34 +233,55 @@ void
 SetAssocCache::audit() const
 {
     for (std::size_t s = 0; s < sets_.size(); ++s) {
-        const Set &set = sets_[s];
+        const SetLinks &set = sets_[s];
+        const std::size_t base = s * params_.assoc;
         FDP_ASSERT(set.used <= params_.assoc,
                    "%s: set %zu uses %u of %u ways", auditName(), s,
                    set.used, params_.assoc);
-        FDP_ASSERT(set.stack.size() == set.used,
+
+        // Walk the recency chain LRU -> MRU, capped one past the
+        // associativity so a cyclic chain still terminates and reports
+        // a length mismatch instead of hanging the audit.
+        std::vector<std::uint8_t> order;
+        std::uint8_t cur = set.lru;
+        while (cur != kNoWay && order.size() <= params_.assoc) {
+            FDP_ASSERT(cur < params_.assoc,
+                       "%s: set %zu stack names way %u of %u", auditName(),
+                       s, cur, params_.assoc);
+            order.push_back(cur);
+            cur = lines_[base + cur].next;
+        }
+        FDP_ASSERT(order.size() == set.used,
                    "%s: set %zu recency stack holds %zu entries for %u "
                    "valid ways",
-                   auditName(), s, set.stack.size(), set.used);
+                   auditName(), s, order.size(), set.used);
 
-        // The stack must be a permutation of the valid way indices.
+        // The chain must be a permutation of the valid way indices with
+        // consistent back links and endpoints.
         std::vector<bool> on_stack(params_.assoc, false);
-        for (const std::uint8_t w : set.stack) {
-            FDP_ASSERT(w < params_.assoc,
-                       "%s: set %zu stack names way %u of %u", auditName(),
-                       s, w, params_.assoc);
+        std::uint8_t expect_prev = kNoWay;
+        for (const std::uint8_t w : order) {
             FDP_ASSERT(!on_stack[w],
                        "%s: set %zu stack lists way %u twice", auditName(),
                        s, w);
             on_stack[w] = true;
-            FDP_ASSERT(set.ways[w].valid,
+            const Line &l = lines_[base + w];
+            FDP_ASSERT((l.flags & kValid) != 0,
                        "%s: set %zu stack lists invalid way %u",
                        auditName(), s, w);
+            FDP_ASSERT(l.prev == expect_prev,
+                       "%s: set %zu way %u back link names way %u",
+                       auditName(), s, w, l.prev);
+            expect_prev = w;
         }
+        FDP_ASSERT(set.mru == expect_prev,
+                   "%s: set %zu MRU endpoint names way %u", auditName(), s,
+                   set.mru);
 
         unsigned valid_ways = 0;
-        for (std::size_t w = 0; w < set.ways.size(); ++w) {
-            const Way &way = set.ways[w];
-            if (!way.valid) {
+        for (std::size_t w = 0; w < params_.assoc; ++w) {
+            const Line &l = lines_[base + w];
+            if ((l.flags & kValid) == 0) {
                 FDP_ASSERT(!on_stack[w],
                            "%s: set %zu invalid way %zu is on the stack",
                            auditName(), s, w);
@@ -213,20 +291,21 @@ SetAssocCache::audit() const
             FDP_ASSERT(on_stack[w],
                        "%s: set %zu valid way %zu missing from the stack",
                        auditName(), s, w);
-            for (std::size_t o = 0; o < w; ++o)
-                FDP_ASSERT(!set.ways[o].valid ||
-                               set.ways[o].block != way.block,
+            for (std::size_t o = 0; o < w; ++o) {
+                const Line &other = lines_[base + o];
+                FDP_ASSERT((other.flags & kValid) == 0 ||
+                               other.tag != l.tag,
                            "%s: set %zu holds block %llu in ways %zu and "
                            "%zu",
                            auditName(), s,
-                           static_cast<unsigned long long>(way.block), o,
-                           w);
-            FDP_ASSERT(setIndex(way.block) == s,
+                           static_cast<unsigned long long>(l.tag), o, w);
+            }
+            FDP_ASSERT(setIndex(l.tag) == s,
                        "%s: block %llu stored in set %zu but maps to set "
                        "%zu",
                        auditName(),
-                       static_cast<unsigned long long>(way.block), s,
-                       setIndex(way.block));
+                       static_cast<unsigned long long>(l.tag), s,
+                       setIndex(l.tag));
         }
         FDP_ASSERT(valid_ways == set.used,
                    "%s: set %zu has %u valid ways but used=%u",
@@ -237,12 +316,10 @@ SetAssocCache::audit() const
 void
 SetAssocCache::clear()
 {
-    for (auto &set : sets_) {
-        for (auto &way : set.ways)
-            way = Way{};
-        set.stack.clear();
-        set.used = 0;
-    }
+    for (Line &l : lines_)
+        l = Line{};
+    for (SetLinks &set : sets_)
+        set = SetLinks{};
 }
 
 } // namespace fdp

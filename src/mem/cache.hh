@@ -6,6 +6,14 @@
  * Each tag-store entry carries the pref-bit of paper Section 3.1.1: set
  * when a prefetch fill installs the block, cleared (and reported) when a
  * demand access touches the block.
+ *
+ * Layout: all ways of all sets live in one contiguous arena allocated at
+ * construction (lines_[set * assoc + way]), and each set's recency order
+ * is an intrusive doubly-linked chain threaded through its lines via
+ * one-byte prev/next way indices (LRU head, MRU tail). Hit promotion,
+ * LRU eviction, and arbitrary-position insertion are pointer splices —
+ * no std::find over a recency vector and no mid-vector erase/insert —
+ * and a demand access touches only the 16-way line span it maps to.
  */
 
 #ifndef FDP_MEM_CACHE_HH
@@ -92,9 +100,9 @@ class SetAssocCache : public Auditable
     void clear();
 
     /**
-     * Invariants: each set's recency stack is a permutation of its valid
-     * way indices, the valid-way count matches `used`, and every valid
-     * block maps to the set that holds it.
+     * Invariants: each set's recency chain visits exactly its valid ways
+     * once with consistent prev/next links, the valid-way count matches
+     * `used`, and every valid block maps to the set that holds it.
      */
     void audit() const override;
     const char *auditName() const override { return params_.name.c_str(); }
@@ -102,28 +110,38 @@ class SetAssocCache : public Auditable
   private:
     friend struct AuditCorrupter;
 
-    struct Way
+    static constexpr std::uint8_t kNoWay = 0xFF;
+    static constexpr std::uint8_t kValid = 1 << 0;
+    static constexpr std::uint8_t kPref = 1 << 1;
+    static constexpr std::uint8_t kDirty = 1 << 2;
+
+    /** One way of one set, in the flat arena. */
+    struct Line
     {
-        bool valid = false;
-        BlockAddr block = 0;
-        bool prefBit = false;
-        bool dirty = false;
+        BlockAddr tag = 0;
+        std::uint8_t flags = 0;
+        std::uint8_t prev = kNoWay;  ///< toward LRU
+        std::uint8_t next = kNoWay;  ///< toward MRU
     };
 
-    struct Set
+    /** Per-set chain endpoints and occupancy. */
+    struct SetLinks
     {
-        std::vector<Way> ways;
-        /** stack[0] = LRU way index .. stack[assoc-1] = MRU way index. */
-        std::vector<std::uint8_t> stack;
-        std::uint8_t used = 0;  ///< valid ways (== stack prefix length)
+        std::uint8_t lru = kNoWay;
+        std::uint8_t mru = kNoWay;
+        std::uint8_t used = 0;
     };
 
     std::size_t setIndex(BlockAddr block) const;
-    int findWay(const Set &set, BlockAddr block) const;
-    static void promoteToMru(Set &set, std::uint8_t way);
+    int findWay(std::size_t base, BlockAddr block) const;
+    void unlink(SetLinks &set, std::size_t base, std::uint8_t way);
+    void appendMru(SetLinks &set, std::size_t base, std::uint8_t way);
+    void linkAtDepth(SetLinks &set, std::size_t base, std::uint8_t way,
+                     unsigned depth, unsigned chainLen);
 
     CacheParams params_;
-    std::vector<Set> sets_;
+    std::vector<Line> lines_;     ///< the arena: lines_[set * assoc + way]
+    std::vector<SetLinks> sets_;
 };
 
 } // namespace fdp

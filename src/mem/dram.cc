@@ -176,12 +176,58 @@ DramModel::pump()
 
     if (req.done) {
         const Cycle fill = data_end + params_.returnCycles;
-        events_.schedule(fill,
-                         [fn = std::move(req.done), fill] { fn(fill); });
+        events_.schedule(fill, [fn = std::move(req.done),
+                                fill]() mutable { fn(fill); });
     }
 
     if (queued() > 0)
         schedulePump(busFree_);
+}
+
+void
+DramModel::auditQueue(const std::deque<Request> &q, BusPriority prio,
+                      const char *label) const
+{
+    for (const Request &r : q) {
+        FDP_ASSERT(r.prio == prio,
+                   "%s: %s bus queue holds a request with priority %u",
+                   auditName(), label, static_cast<unsigned>(r.prio));
+        if (prio == BusPriority::Writeback)
+            FDP_ASSERT(!r.done,
+                       "%s: queued writeback for block %llu has a "
+                       "completion callback",
+                       auditName(),
+                       static_cast<unsigned long long>(r.block));
+        else
+            FDP_ASSERT(static_cast<bool>(r.done),
+                       "%s: queued %s request for block %llu has no "
+                       "completion callback",
+                       auditName(), label,
+                       static_cast<unsigned long long>(r.block));
+    }
+}
+
+void
+DramModel::audit() const
+{
+    FDP_ASSERT(demandQ_.size() <= params_.queueCapacity,
+               "%s: demand bus queue holds %zu of %zu entries",
+               auditName(), demandQ_.size(), params_.queueCapacity);
+    FDP_ASSERT(prefQ_.size() <= params_.queueCapacity,
+               "%s: prefetch bus queue holds %zu of %zu entries",
+               auditName(), prefQ_.size(), params_.queueCapacity);
+    FDP_ASSERT(bankReady_.size() == params_.banks &&
+                   openRow_.size() == params_.banks,
+               "%s: bank state sized %zu/%zu for %u banks", auditName(),
+               bankReady_.size(), openRow_.size(), params_.banks);
+    // Between event dispatches, queued work always has a pump pending:
+    // enqueue() schedules one and pump() re-schedules while work remains.
+    FDP_ASSERT(queued() == 0 || pumpScheduled_,
+               "%s: %zu queued requests but no pump scheduled",
+               auditName(), queued());
+    auditQueue(demandQ_, BusPriority::Demand, "demand");
+    auditQueue(prefQ_, BusPriority::Prefetch, "prefetch");
+    auditQueue(wbQ_, BusPriority::Writeback, "writeback");
 }
 
 } // namespace fdp

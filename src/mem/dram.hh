@@ -16,10 +16,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -64,10 +65,10 @@ struct DramParams
 enum class BusPriority : std::uint8_t { Demand, Prefetch, Writeback };
 
 /** Event-driven DRAM/bus engine. */
-class DramModel
+class DramModel : public Auditable
 {
   public:
-    using DoneFn = std::function<void(Cycle)>;
+    using DoneFn = fdp::DoneFn;
 
     DramModel(const DramParams &params, EventQueue &events,
               StatGroup &stats);
@@ -99,14 +100,29 @@ class DramModel
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
     /// @}
 
+    /**
+     * Invariants: the demand/prefetch queues stay within capacity, each
+     * request sits in the queue matching its priority with a completion
+     * callback iff it is not a writeback, the per-bank state arrays
+     * match the configured bank count, and a pump event is scheduled
+     * whenever work is queued.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "dram"; }
+
   private:
+    friend struct AuditCorrupter;
+
     struct Request
     {
-        BlockAddr block;
-        BusPriority prio;
-        Cycle enqueueCycle;
+        BlockAddr block = 0;
+        BusPriority prio = BusPriority::Demand;
+        Cycle enqueueCycle = 0;
         DoneFn done;
     };
+
+    void auditQueue(const std::deque<Request> &q, BusPriority prio,
+                    const char *label) const;
 
     void schedulePump(Cycle now);
     void pump();

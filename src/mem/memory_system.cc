@@ -184,7 +184,12 @@ MemorySystem::onFill(BlockAddr block, Cycle fillCycle)
 
     const bool was_prefetch = e->prefBit;
     const bool write_intent = e->writeIntent;
-    auto waiters = std::move(e->waiters);
+    // Swap rather than move the waiters out: the entry slot inherits the
+    // scratch vector's (empty) warm storage and the scratch vector keeps
+    // its capacity across fills, so neither side reallocates in steady
+    // state.
+    fillWaiters_.clear();
+    fillWaiters_.swap(e->waiters);
     if (!was_prefetch) {
         ++demandMissFills_;
         demandMissCycles_ += fillCycle - e->allocCycle;
@@ -203,7 +208,7 @@ MemorySystem::onFill(BlockAddr block, Cycle fillCycle)
         fillL1(block, write_intent, fillCycle);
     }
 
-    for (auto &w : waiters)
+    for (auto &w : fillWaiters_)
         w(fillCycle);
     admitPending(fillCycle);
     drainPrefetchQueue(fillCycle);
@@ -299,6 +304,7 @@ MemorySystem::audit() const
     l1_.audit();
     l2_.audit();
     mshrs_.audit();
+    dram_.audit();
     if (pcache_)
         pcache_->audit();
 }

@@ -21,7 +21,6 @@
 #define FDP_MEM_MEMORY_SYSTEM_HH
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +31,7 @@
 #include "mem/prefetch_cache.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -59,7 +59,7 @@ struct MachineParams
 class MemorySystem : public Auditable
 {
   public:
-    using DoneFn = std::function<void(Cycle)>;
+    using DoneFn = fdp::DoneFn;
 
     /**
      * @param params  machine configuration
@@ -105,8 +105,8 @@ class MemorySystem : public Auditable
     /**
      * Invariants: the Prefetch Request Queue stays within its capacity
      * and the demand-reserve configuration, plus the structural audits
-     * of both caches, the MSHR file, and the prefetch cache when
-     * configured.
+     * of both caches, the MSHR file, the DRAM model, and the prefetch
+     * cache when configured.
      */
     void audit() const override;
     const char *auditName() const override { return "memory_system"; }
@@ -161,6 +161,7 @@ class MemorySystem : public Auditable
     std::deque<PendingDemand> mshrWaitQ_;
     std::deque<BlockAddr> prefetchQueue_;  ///< the Prefetch Request Queue
     std::vector<BlockAddr> pfCandidates_;  ///< scratch, reused per access
+    std::vector<DoneFn> fillWaiters_;      ///< scratch, reused per fill
 
     ScalarStat demandAccesses_;
     ScalarStat l1Hits_;

@@ -5,27 +5,40 @@
  * The CPU model steps cycle by cycle; memory-system components schedule
  * completion callbacks on this queue. Events scheduled for the same cycle
  * fire in scheduling order (FIFO), which keeps the simulation deterministic.
+ *
+ * Layout: the ordering heap holds only 24-byte {when, seq, node} records
+ * (hand-maintained binary min-heap in a flat vector), while the callbacks
+ * live in a slab of fixed-capacity InplaceFunction slots recycled through
+ * a freelist. Steady-state schedule/service cycles therefore touch only
+ * pre-allocated memory: no per-event heap allocation, and sifting moves
+ * small PODs instead of type-erased callables.
  */
 
 #ifndef FDP_SIM_EVENT_QUEUE_HH
 #define FDP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/check.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace fdp
 {
 
+/**
+ * Inline capacity of an event callback. The largest production capture
+ * is the DRAM fill wrapper (a DoneFn plus the fill cycle); test and
+ * bench callbacks carrying a std::function or a small payload also fit.
+ */
+inline constexpr std::size_t kEventCallbackBytes = 80;
+
 /** Ordered queue of timed callbacks driving the simulation. */
 class EventQueue : public Auditable
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceFunction<void(), kEventCallbackBytes>;
 
     /**
      * Schedule @p fn to run at absolute cycle @p when.
@@ -56,33 +69,38 @@ class EventQueue : public Auditable
 
     /**
      * Invariants: the pending array is a valid heap, no pending event
-     * predates the horizon, sequence numbers are consistent, and
-     * serviced + pending == scheduled.
+     * predates the horizon, sequence numbers are consistent,
+     * serviced + pending == scheduled, and the heap and the freelist
+     * together account for every callback slab slot exactly once.
      */
     void audit() const override;
     const char *auditName() const override { return "event_queue"; }
 
   private:
     friend struct AuditCorrupter;
-    struct Event
+
+    /** Heap record: the callback stays put in the slab while sifting. */
+    struct Entry
     {
         Cycle when;
         std::uint64_t seq;
-        Callback fn;
+        std::uint32_t node;  ///< slab slot holding the callback
     };
 
-    struct Later
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Entry> heap_;           ///< min-heap on (when, seq)
+    std::vector<Callback> slab_;        ///< callback storage, recycled
+    std::vector<std::uint32_t> free_;   ///< unused slab slots
     std::uint64_t nextSeq_ = 0;
     std::uint64_t serviced_ = 0;
     Cycle horizon_ = 0;

@@ -113,6 +113,46 @@ TEST(EventQueueAuditDeathTest, BrokenAccountingCaught)
 }
 
 // ---------------------------------------------------------------------------
+// DramModel
+// ---------------------------------------------------------------------------
+
+struct DramUnderAudit
+{
+    EventQueue events;
+    StatGroup stats{"dram"};
+    DramModel dram{DramParams{}, events, stats};
+
+    DramUnderAudit()
+    {
+        dram.enqueue(0x100, BusPriority::Demand, 0, [](Cycle) {});
+        dram.enqueue(0x200, BusPriority::Prefetch, 0, [](Cycle) {});
+        dram.enqueue(0x300, BusPriority::Writeback, 0, nullptr);
+    }
+};
+
+TEST(DramAudit, CleanModelPasses)
+{
+    DramUnderAudit d;
+    d.dram.audit();
+    d.events.serviceUntil(1000000);
+    d.dram.audit();
+}
+
+TEST(DramAuditDeathTest, OverfullBusQueueCaught)
+{
+    DramUnderAudit d;
+    AuditCorrupter::dramOverfillQueue(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "bus queue holds");
+}
+
+TEST(DramAuditDeathTest, LostPumpEventCaught)
+{
+    DramUnderAudit d;
+    AuditCorrupter::dramLosePump(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "no pump scheduled");
+}
+
+// ---------------------------------------------------------------------------
 // PollutionFilter
 // ---------------------------------------------------------------------------
 

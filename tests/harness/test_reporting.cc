@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "harness/reporting.hh"
 
 namespace fdp
@@ -87,6 +90,149 @@ TEST(ReportingDeath, MismatchedBenchmarkCountDies)
     std::vector<std::vector<RunResult>> results = {{res("a", 1.0, 0)}};
     EXPECT_DEATH(buildMetricTable("x", benches, {"c1"}, results,
                                   metricIpc, 2, MeanKind::None),
+                 "results for");
+}
+
+TEST(ResultsJson, WritesSchemaSourceAndEntries)
+{
+    ResultsJson json("unit-test");
+    json.add("a/ipc", "insts/cycle", 1.5, "higher");
+    json.add("a/bpki", "bus-accesses/kilo-inst", 9.25, "lower");
+    EXPECT_EQ(json.size(), 2u);
+
+    std::ostringstream os;
+    json.write(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"fdp-results-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"source\": \"unit-test\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"a/ipc\""), std::string::npos);
+    EXPECT_NE(doc.find("\"better\": \"higher\""), std::string::npos);
+    EXPECT_NE(doc.find("\"value\": 9.25"), std::string::npos);
+}
+
+TEST(ResultsJson, EscapesNamesForJson)
+{
+    ResultsJson json("quote\"and\\slash");
+    json.add("tab\there", "unit", 1.0, "higher");
+    std::ostringstream os;
+    json.write(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("quote\\\"and\\\\slash"), std::string::npos);
+    EXPECT_NE(doc.find("tab\\there"), std::string::npos);
+}
+
+TEST(ResultsJson, ValuesRoundTripExactly)
+{
+    const double value = 1.0 / 3.0;
+    ResultsJson json("roundtrip");
+    json.add("x", "unit", value, "higher");
+    std::ostringstream os;
+    json.write(os);
+    const std::string doc = os.str();
+    const std::string key = "\"value\": ";
+    const std::size_t at = doc.find(key);
+    ASSERT_NE(at, std::string::npos);
+    EXPECT_DOUBLE_EQ(std::stod(doc.substr(at + key.size())), value);
+}
+
+TEST(ResultsJson, AddRunResultEmitsHeadlineMetrics)
+{
+    RunResult r;
+    r.ipc = 1.25;
+    ResultsJson json("run");
+    json.addRunResult("swim/fdp", r);
+    EXPECT_EQ(json.size(), 7u);
+    std::ostringstream os;
+    json.write(os);
+    const std::string doc = os.str();
+    for (const char *metric : {"ipc", "bpki", "accuracy", "lateness",
+                               "pollution", "avg_miss_latency",
+                               "bus_accesses"})
+        EXPECT_NE(doc.find("swim/fdp/" + std::string(metric)),
+                  std::string::npos)
+            << metric;
+}
+
+TEST(ResultsJson, WriteFileProducesReadableDocument)
+{
+    const std::string path = testing::TempDir() + "fdp_results_test.json";
+    ResultsJson json("file-test");
+    json.add("x", "unit", 2.0, "lower");
+    json.writeFile(path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_NE(ss.str().find("fdp-results-v1"), std::string::npos);
+}
+
+TEST(ResultsJsonDeath, BadBetterDirectionDies)
+{
+    ResultsJson json("bad");
+    EXPECT_DEATH(json.add("x", "unit", 1.0, "sideways"),
+                 "higher|lower");
+}
+
+TEST(ResultsJsonDeath, UnwritablePathDies)
+{
+    ResultsJson json("bad-path");
+    EXPECT_DEATH(json.writeFile("/nonexistent-dir/results.json"),
+                 "cannot open results file");
+}
+
+TEST(Reporting, ResultsOutPathFindsFlag)
+{
+    const char *argv[] = {"prog", "--jobs", "4", "--out", "r.json"};
+    EXPECT_EQ(resultsOutPath(5, const_cast<char **>(argv)), "r.json");
+}
+
+TEST(Reporting, ResultsOutPathEmptyWhenAbsent)
+{
+    const char *argv[] = {"prog", "--jobs", "4"};
+    EXPECT_EQ(resultsOutPath(3, const_cast<char **>(argv)), "");
+}
+
+TEST(ReportingDeath, TrailingOutFlagDies)
+{
+    const char *argv[] = {"prog", "--out"};
+    EXPECT_DEATH(resultsOutPath(2, const_cast<char **>(argv)),
+                 "--out requires");
+}
+
+TEST(Reporting, WriteSweepResultsCoversEveryCell)
+{
+    const std::string path = testing::TempDir() + "fdp_sweep_test.json";
+    const std::vector<std::string> benches = {"a", "b"};
+    const std::vector<std::vector<RunResult>> results = {
+        {res("a", 1.0, 2.0), res("b", 1.5, 3.0)},
+        {res("a", 1.1, 1.9), res("b", 1.6, 2.9)},
+    };
+    writeSweepResults(path, "sweep-test", benches, {"c1", "c2"}, results);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string doc = ss.str();
+    for (const char *name : {"a/c1/ipc", "b/c1/ipc", "a/c2/bpki",
+                             "b/c2/bpki"})
+        EXPECT_NE(doc.find(name), std::string::npos) << name;
+}
+
+TEST(Reporting, WriteSweepResultsNoopWithoutPath)
+{
+    // Must not die or create anything when --out was not given.
+    writeSweepResults("", "sweep-test", {"a"}, {"c1"},
+                      {{res("a", 1.0, 2.0)}});
+}
+
+TEST(ReportingDeath, WriteSweepResultsShapeMismatchDies)
+{
+    EXPECT_DEATH(writeSweepResults("/tmp/never-written.json",
+                                   "sweep-test", {"a", "b"}, {"c1"},
+                                   {{res("a", 1.0, 2.0)}}),
                  "results for");
 }
 

@@ -16,8 +16,10 @@
 #include "core/feedback_counters.hh"
 #include "core/pollution_filter.hh"
 #include "mem/cache.hh"
+#include "mem/dram.hh"
 #include "mem/memory_system.hh"
 #include "mem/mshr.hh"
+#include "sim/logging.hh"
 #include "prefetch/ghb_prefetcher.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
@@ -28,42 +30,63 @@ namespace fdp
 
 struct AuditCorrupter
 {
-    /** Duplicate a recency-stack entry in the first occupied set. */
+    /**
+     * Lengthen a recency chain: point the MRU line's next link back at
+     * the LRU head, so the chain walk overruns the valid-way count.
+     */
     static void
     cacheDuplicateStackEntry(SetAssocCache &cache)
     {
-        for (auto &set : cache.sets_) {
-            if (!set.stack.empty()) {
-                set.stack.push_back(set.stack.back());
-                return;
-            }
+        for (std::size_t s = 0; s < cache.sets_.size(); ++s) {
+            auto &set = cache.sets_[s];
+            if (set.used == 0)
+                continue;
+            cache.lines_[s * cache.params_.assoc + set.mru].next = set.lru;
+            return;
         }
     }
 
-    /** Drop a recency-stack entry while its way stays valid. */
+    /** Drop the chain's LRU entry while its way stays valid. */
     static void
     cacheDropStackEntry(SetAssocCache &cache)
     {
-        for (auto &set : cache.sets_) {
-            if (!set.stack.empty()) {
-                set.stack.pop_back();
-                return;
+        for (std::size_t s = 0; s < cache.sets_.size(); ++s) {
+            auto &set = cache.sets_[s];
+            if (set.used == 0)
+                continue;
+            if (set.used == 1) {
+                set.lru = SetAssocCache::kNoWay;
+                set.mru = SetAssocCache::kNoWay;
+            } else {
+                set.lru = cache.lines_[s * cache.params_.assoc +
+                                       set.lru].next;
             }
+            return;
         }
     }
 
-    /** Make an entry's recorded block disagree with its map key. */
+    /** First live MSHR entry (there must be one). */
+    static MshrEntry &
+    firstMshrEntry(MshrFile &mshrs)
+    {
+        for (const auto &bucket : mshrs.index_)
+            if (bucket.slot != MshrFile::kNoSlot)
+                return mshrs.slots_[bucket.slot];
+        panic("corrupter: MSHR file is empty");
+    }
+
+    /** Make an entry's recorded block disagree with its index key. */
     static void
     mshrMismatchKey(MshrFile &mshrs)
     {
-        mshrs.entries_.begin()->second.block += 1;
+        firstMshrEntry(mshrs).block += 1;
     }
 
     /** Give a prefetch-tagged entry a demand waiter. */
     static void
     mshrPrefetchWithWaiter(MshrFile &mshrs)
     {
-        MshrEntry &e = mshrs.entries_.begin()->second;
+        MshrEntry &e = firstMshrEntry(mshrs);
         e.prefBit = true;
         e.waiters.emplace_back([](Cycle) {});
     }
@@ -72,7 +95,7 @@ struct AuditCorrupter
     static void
     eventQueuePastEvent(EventQueue &q)
     {
-        q.horizon_ = q.heap_.top().when + 1;
+        q.horizon_ = q.heap_.front().when + 1;
     }
 
     /** Break the serviced + pending == scheduled accounting. */
@@ -175,6 +198,20 @@ struct AuditCorrupter
     memorySystemCorruptL2(MemorySystem &mem)
     {
         cacheDuplicateStackEntry(mem.l2_);
+    }
+
+    /** Overfill the demand bus queue past its capacity. */
+    static void
+    dramOverfillQueue(DramModel &dram)
+    {
+        dram.demandQ_.resize(dram.params_.queueCapacity + 1);
+    }
+
+    /** Forget the pending pump event while work is queued. */
+    static void
+    dramLosePump(DramModel &dram)
+    {
+        dram.pumpScheduled_ = false;
     }
 };
 

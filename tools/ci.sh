@@ -13,6 +13,11 @@
 #           sink) plus one quick multi-threaded paper sweep
 #   static  tools/run_static_analysis.sh (repo lint always;
 #           clang-tidy/cppcheck when installed)
+#   bench   tools/bench.sh --quick smoke: builds the benchmark suite,
+#           runs one fast repetition, and validates the fdp-results-v1
+#           JSON it emits. No performance gating — CI machines are too
+#           noisy for that; the stage only proves the suite runs and
+#           the schema holds.
 #
 # Fails fast: any stage failing stops the pipeline with its exit status.
 # ccache is used automatically when installed.
@@ -28,7 +33,7 @@ if command -v ccache >/dev/null 2>&1; then
 fi
 
 usage() {
-    echo "usage: tools/ci.sh [--stage tier1|asan|tsan|static|all]" >&2
+    echo "usage: tools/ci.sh [--stage tier1|asan|tsan|static|bench|all]" >&2
     exit 2
 }
 
@@ -84,16 +89,44 @@ stage_static() {
     BUILD_DIR="$ROOT/build-ci" "$ROOT/tools/run_static_analysis.sh"
 }
 
+stage_bench() {
+    echo "==== stage bench: benchmark smoke (schema only, no gating) ===="
+    local out="$ROOT/build-bench-ci/bench-smoke.json"
+    "$ROOT/tools/bench.sh" --quick --build-dir "$ROOT/build-bench-ci" \
+        --out "$out"
+    python3 - "$out" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("schema") != "fdp-results-v1":
+    sys.exit(f"bad schema: {doc.get('schema')!r}")
+entries = doc["entries"]
+names = {e["name"] for e in entries}
+for e in entries:
+    if e["better"] not in ("higher", "lower"):
+        sys.exit(f"entry {e['name']}: bad better {e['better']!r}")
+    float(e["value"])
+for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s"):
+    if required not in names:
+        sys.exit(f"missing required entry {required}")
+print(f"bench smoke: {len(entries)} entries, schema valid")
+PYEOF
+}
+
 case "$STAGE" in
   tier1)  stage_tier1 ;;
   asan)   stage_asan ;;
   tsan)   stage_tsan ;;
   static) stage_static ;;
+  bench)  stage_bench ;;
   all)
     stage_tier1
     stage_asan
     stage_tsan
     stage_static
+    stage_bench
     ;;
   *) usage ;;
 esac

@@ -43,6 +43,7 @@ struct Options
     std::size_t pcacheKB = 0;  // 0 = off
     bool fullStats = false;
     unsigned jobs = 0;  // 0 = defaultSweepJobs()
+    std::string outPath;  // empty = no results file
 };
 
 [[noreturn]] void
@@ -68,6 +69,8 @@ usage()
         "  --jobs N            worker threads for multi-benchmark runs\n"
         "                      (default: FDP_JOBS or all hardware "
         "threads)\n"
+        "  --out PATH          write per-run metrics to PATH as "
+        "fdp-results-v1 JSON\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -121,6 +124,8 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(a, "--jobs")) {
             o.jobs = static_cast<unsigned>(
                 parseCountArg("--jobs", need(i), 4096));
+        } else if (!std::strcmp(a, "--out")) {
+            o.outPath = need(i);
         } else if (!std::strcmp(a, "--stats")) {
             o.fullStats = true;
         } else {
@@ -182,6 +187,12 @@ main(int argc, char **argv)
 
     const std::vector<RunResult> results =
         runSuiteParallel(o.benches, config, o.policy, o.jobs);
+    if (!o.outPath.empty()) {
+        ResultsJson out("fdp_sim");
+        for (const RunResult &r : results)
+            out.addRunResult(r.benchmark + "/" + o.policy, r);
+        out.writeFile(o.outPath);
+    }
     for (const RunResult &r : results) {
         t.addRow({r.benchmark, fmtDouble(r.ipc, 3), fmtDouble(r.bpki, 2),
                   fmtDouble(r.accuracy, 2), fmtDouble(r.lateness, 2),
