@@ -33,9 +33,17 @@ main(int argc, char **argv)
     // the first timed benchmark.
     runBenchmark(benches.front(), config, "warmup");
 
+    // Where the trace-replay section writes its temporary recording
+    // (tools/bench.sh points this into the build tree).
+    std::string trace_file = "macro_throughput.fdptrace";
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--trace-file")
+            trace_file = argv[i + 1];
+
     ResultsJson json("macro_throughput");
     std::uint64_t total_insts = 0;
     double total_wall = 0.0;
+    double swim_rate = 0.0;
     for (const auto &b : benches) {
         const auto start = std::chrono::steady_clock::now();
         const RunResult r = runBenchmark(b, config, "full-fdp");
@@ -43,11 +51,29 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - start;
         total_insts += r.insts;
         total_wall += wall.count();
-        json.add("macro/" + b + "/insts_per_s", "insts/s",
-                 static_cast<double>(r.insts) / wall.count(), "higher");
+        const double rate = static_cast<double>(r.insts) / wall.count();
+        if (b == "swim")
+            swim_rate = rate;
+        json.add("macro/" + b + "/insts_per_s", "insts/s", rate, "higher");
     }
     json.add("macro/insts_per_s", "insts/s",
              static_cast<double>(total_insts) / total_wall, "higher");
+
+    // Trace-replay throughput: record swim untimed, then time the same
+    // run driven from the file. The ratio against the live run is the
+    // frontend cost delta (decode + I/O vs. generator arithmetic).
+    recordBenchmark("swim", config, "record", trace_file);
+    const auto replay_start = std::chrono::steady_clock::now();
+    const RunResult replayed = replayTrace(trace_file, config, "replay");
+    const std::chrono::duration<double> replay_wall =
+        std::chrono::steady_clock::now() - replay_start;
+    const double replay_rate =
+        static_cast<double>(replayed.insts) / replay_wall.count();
+    json.add("macro/trace_replay/insts_per_s", "insts/s", replay_rate,
+             "higher");
+    json.add("macro/trace_replay/speedup_vs_live", "x",
+             replay_rate / swim_rate, "higher");
+
     json.write(std::cout);
     return 0;
 }

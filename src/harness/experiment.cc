@@ -9,6 +9,7 @@
 #include "prefetch/stride_prefetcher.hh"
 #include "sim/check.hh"
 #include "sim/logging.hh"
+#include "trace/trace_workload.hh"
 #include "workload/spec_suite.hh"
 
 namespace fdp
@@ -128,6 +129,9 @@ runWorkload(Workload &workload, const RunConfig &config,
     audits.add(&mem);
     if (prefetcher)
         audits.add(prefetcher.get());
+    // Auditable frontends (e.g. TraceWorkload) join the same pass.
+    if (const auto *aw = dynamic_cast<const Auditable *>(&workload))
+        audits.add(aw);
     const bool periodicAudit = debugBuild() || auditRequestedByEnv();
     if (periodicAudit)
         fdp.setEndOfIntervalHook([&audits] { audits.runAll(); });
@@ -190,6 +194,34 @@ runBenchmark(const std::string &benchmark, const RunConfig &config,
     // results stay bit-identical for any thread count or completion
     // order (DESIGN.md Section 10).
     SyntheticWorkload workload(benchmarkParams(benchmark));
+    return runWorkload(workload, config, configLabel);
+}
+
+RunResult
+recordBenchmark(const std::string &benchmark, const RunConfig &config,
+                const std::string &configLabel,
+                const std::string &tracePath)
+{
+    const SyntheticParams &params = benchmarkParams(benchmark);
+    SyntheticWorkload workload(params);
+    TraceWriter writer(tracePath, benchmark, params.seed);
+    RecordingWorkload recorder(workload, writer);
+    const RunResult r = runWorkload(recorder, config, configLabel);
+    writer.finish();
+    return r;
+}
+
+RunResult
+replayTrace(const std::string &tracePath, const RunConfig &config,
+            const std::string &configLabel)
+{
+    TraceWorkload workload(tracePath);
+    const std::uint64_t available = workload.reader().header().opCount;
+    if (config.numInsts > available)
+        fatal("trace %s holds %llu micro-ops but this run consumes "
+              "%llu; record a longer trace", tracePath.c_str(),
+              static_cast<unsigned long long>(available),
+              static_cast<unsigned long long>(config.numInsts));
     return runWorkload(workload, config, configLabel);
 }
 

@@ -119,6 +119,26 @@ RunResult runBenchmark(const std::string &benchmark,
 RunResult runWorkload(Workload &workload, const RunConfig &config,
                       const std::string &configLabel);
 
+/**
+ * Run @p benchmark live exactly as runBenchmark does while recording
+ * every micro-op the core consumes into an fdptrace-v1 file at
+ * @p tracePath. The core pulls exactly numInsts ops, so replaying the
+ * file with the same configuration is bit-identical to this run.
+ */
+RunResult recordBenchmark(const std::string &benchmark,
+                          const RunConfig &config,
+                          const std::string &configLabel,
+                          const std::string &tracePath);
+
+/**
+ * Replay a recorded trace through the standard machine. Fatal (before
+ * simulating anything) when the trace holds fewer micro-ops than
+ * config.numInsts would consume.
+ */
+RunResult replayTrace(const std::string &tracePath,
+                      const RunConfig &config,
+                      const std::string &configLabel);
+
 /** Run every benchmark in @p benchmarks under @p config. */
 std::vector<RunResult> runSuite(const std::vector<std::string> &benchmarks,
                                 const RunConfig &config,

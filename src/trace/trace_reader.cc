@@ -1,0 +1,221 @@
+#include "trace/trace_reader.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+/** Streaming read buffer size; decode never needs more than
+ *  kTraceMaxRecordBytes contiguous. */
+constexpr std::size_t kReaderBufBytes = 64 * 1024;
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        fatal("cannot open trace file %s", path_.c_str());
+    parseHeaderAndFooter();
+    buf_.resize(kReaderBufBytes);
+    reset();
+}
+
+void
+TraceReader::parseHeaderAndFooter()
+{
+    in_.seekg(0, std::ios::end);
+    fileBytes_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+
+    // Fixed prefix: magic + version + name length.
+    constexpr std::size_t kPrefixBytes = kTraceMagicLen + 4 + 2;
+    std::uint8_t prefix[kPrefixBytes];
+    if (fileBytes_ < kPrefixBytes ||
+        !in_.read(reinterpret_cast<char *>(prefix), kPrefixBytes))
+        fatal("trace %s: truncated header (%llu bytes; need at least "
+              "%zu)", path_.c_str(),
+              static_cast<unsigned long long>(fileBytes_), kPrefixBytes);
+    if (std::memcmp(prefix, kTraceMagic, kTraceMagicLen) != 0)
+        fatal("trace %s: bad magic (not an fdptrace file)", path_.c_str());
+    header_.version = getU32(prefix + kTraceMagicLen);
+    if (header_.version != kTraceVersion)
+        fatal("trace %s: unsupported fdptrace version %u (this build "
+              "reads version %u)", path_.c_str(), header_.version,
+              kTraceVersion);
+    const std::uint16_t nameLen = getU16(prefix + kTraceMagicLen + 4);
+    if (nameLen == 0 || nameLen > kTraceMaxNameLen)
+        fatal("trace %s: benchmark name length %u outside 1..%zu",
+              path_.c_str(), nameLen, kTraceMaxNameLen);
+
+    // Variable rest of the header: name + seed + opCount.
+    std::vector<std::uint8_t> rest(static_cast<std::size_t>(nameLen) + 16);
+    if (fileBytes_ < kPrefixBytes + rest.size() + kTraceFooterBytes ||
+        !in_.read(reinterpret_cast<char *>(rest.data()),
+                  static_cast<std::streamsize>(rest.size())))
+        fatal("trace %s: truncated header (file has %llu bytes)",
+              path_.c_str(), static_cast<unsigned long long>(fileBytes_));
+    header_.benchmark.assign(rest.begin(), rest.begin() + nameLen);
+    header_.seed = getU64(rest.data() + nameLen);
+    header_.opCount = getU64(rest.data() + nameLen + 8);
+    if (header_.opCount == 0)
+        fatal("trace %s: zero micro-ops; refusing to replay an empty "
+              "trace", path_.c_str());
+    recordStart_ = kPrefixBytes + rest.size();
+
+    // Footer: CRC + repeated op count + end magic.
+    std::uint8_t footer[kTraceFooterBytes];
+    in_.seekg(static_cast<std::streamoff>(fileBytes_ - kTraceFooterBytes));
+    if (!in_.read(reinterpret_cast<char *>(footer), kTraceFooterBytes))
+        fatal("trace %s: cannot read footer", path_.c_str());
+    if (std::memcmp(footer + 12, kTraceEndMagic, kTraceMagicLen) != 0)
+        fatal("trace %s: bad footer magic (truncated or never "
+              "finish()ed)", path_.c_str());
+    footerCrc_ = getU32(footer);
+    const std::uint64_t footerCount = getU64(footer + 4);
+    if (footerCount != header_.opCount)
+        fatal("trace %s: header says %llu micro-ops but footer says "
+              "%llu", path_.c_str(),
+              static_cast<unsigned long long>(header_.opCount),
+              static_cast<unsigned long long>(footerCount));
+
+    recordBytes_ = fileBytes_ - recordStart_ - kTraceFooterBytes;
+    if (recordBytes_ < header_.opCount ||
+        recordBytes_ > header_.opCount * kTraceMaxRecordBytes)
+        fatal("trace %s: record region of %llu bytes cannot hold %llu "
+              "micro-ops", path_.c_str(),
+              static_cast<unsigned long long>(recordBytes_),
+              static_cast<unsigned long long>(header_.opCount));
+}
+
+void
+TraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(recordStart_));
+    if (!in_)
+        fatal("trace %s: seek to record region failed", path_.c_str());
+    bufPos_ = 0;
+    bufLen_ = 0;
+    fetched_ = 0;
+    consumed_ = 0;
+    opsRead_ = 0;
+    prevAddr_ = 0;
+    prevPc_ = 0;
+    crc_.reset();
+}
+
+void
+TraceReader::refill(std::size_t want)
+{
+    const std::size_t avail = bufLen_ - bufPos_;
+    const std::uint64_t left = recordBytes_ - fetched_;
+    if (avail >= want || left == 0)
+        return;
+    std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(bufPos_),
+              buf_.begin() + static_cast<std::ptrdiff_t>(bufLen_),
+              buf_.begin());
+    bufLen_ = avail;
+    bufPos_ = 0;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf_.size() - bufLen_, left));
+    in_.read(reinterpret_cast<char *>(buf_.data() + bufLen_),
+             static_cast<std::streamsize>(take));
+    if (static_cast<std::size_t>(in_.gcount()) != take)
+        fatal("trace %s: read failed %llu bytes into the record region",
+              path_.c_str(), static_cast<unsigned long long>(fetched_));
+    // The CRC covers record bytes in file order; every byte is fetched
+    // exactly once, so accumulating at fetch time matches the writer.
+    crc_.update(buf_.data() + bufLen_, take);
+    bufLen_ += take;
+    fetched_ += take;
+}
+
+bool
+TraceReader::next(MicroOp &op)
+{
+    if (opsRead_ == header_.opCount)
+        return false;
+    refill(kTraceMaxRecordBytes);
+    const std::size_t before = bufPos_;
+    if (!decodeRecord(buf_.data(), bufLen_, bufPos_, op, prevAddr_,
+                      prevPc_))
+        fatal("trace %s: corrupt or truncated record %llu",
+              path_.c_str(), static_cast<unsigned long long>(opsRead_));
+    consumed_ += bufPos_ - before;
+    ++opsRead_;
+
+    if (opsRead_ == header_.opCount) {
+        // The whole record region must be accounted for...
+        if (consumed_ != recordBytes_)
+            fatal("trace %s: %llu undecoded bytes after the last record",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(recordBytes_ -
+                                                  consumed_));
+        // ...and match the checksum the writer sealed it with.
+        if (crc_.value() != footerCrc_)
+            fatal("trace %s: record CRC mismatch (stored 0x%08x, "
+                  "computed 0x%08x); the file is corrupt", path_.c_str(),
+                  footerCrc_, crc_.value());
+    }
+    return true;
+}
+
+void
+TraceReader::verifyAll()
+{
+    reset();
+    MicroOp op;
+    std::uint64_t n = 0;
+    while (next(op))
+        ++n;
+    FDP_ASSERT(n == header_.opCount,
+               "verify pass delivered %llu of %llu records",
+               static_cast<unsigned long long>(n),
+               static_cast<unsigned long long>(header_.opCount));
+    reset();
+}
+
+void
+TraceReader::audit() const
+{
+    FDP_ASSERT(header_.version == kTraceVersion,
+               "trace %s: version %u after construction", path_.c_str(),
+               header_.version);
+    FDP_ASSERT(!header_.benchmark.empty() &&
+               header_.benchmark.size() <= kTraceMaxNameLen,
+               "trace %s: benchmark name length %zu outside 1..%zu",
+               path_.c_str(), header_.benchmark.size(), kTraceMaxNameLen);
+    FDP_ASSERT(header_.opCount > 0, "trace %s: zero op count",
+               path_.c_str());
+    FDP_ASSERT(bufPos_ <= bufLen_,
+               "trace %s: buffer cursor %zu beyond fill %zu",
+               path_.c_str(), bufPos_, bufLen_);
+    FDP_ASSERT(bufLen_ <= buf_.size(),
+               "trace %s: buffer fill %zu beyond capacity %zu",
+               path_.c_str(), bufLen_, buf_.size());
+    FDP_ASSERT(consumed_ <= fetched_,
+               "trace %s: consumed %llu of only %llu fetched bytes",
+               path_.c_str(), static_cast<unsigned long long>(consumed_),
+               static_cast<unsigned long long>(fetched_));
+    FDP_ASSERT(fetched_ <= recordBytes_,
+               "trace %s: fetched %llu of a %llu-byte record region",
+               path_.c_str(), static_cast<unsigned long long>(fetched_),
+               static_cast<unsigned long long>(recordBytes_));
+    FDP_ASSERT(opsRead_ <= header_.opCount,
+               "trace %s: delivered %llu of %llu records", path_.c_str(),
+               static_cast<unsigned long long>(opsRead_),
+               static_cast<unsigned long long>(header_.opCount));
+    FDP_ASSERT(recordStart_ + recordBytes_ + kTraceFooterBytes ==
+               fileBytes_,
+               "trace %s: region sizes disagree with the file size",
+               path_.c_str());
+}
+
+} // namespace fdp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming fdptrace-v1 reader. Construction validates the header and
+ * footer (magic, version, name, op counts); next() then decodes records
+ * through a bounded buffer, accumulating the CRC as bytes are fetched
+ * and checking it against the footer the moment the last record is
+ * delivered. Every malformed input -- truncation, bad magic, a future
+ * version, a zero-op file, a flipped byte -- is a clean fatal() naming
+ * the file, never UB or silent garbage.
+ */
+
+#ifndef FDP_TRACE_TRACE_READER_HH
+#define FDP_TRACE_TRACE_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/check.hh"
+#include "trace/trace_format.hh"
+#include "workload/workload.hh"
+
+namespace fdp
+{
+
+/** Sequential reader over one fdptrace-v1 file. */
+class TraceReader : public Auditable
+{
+  public:
+    /** Open and validate @p path; fatal on any format violation. */
+    explicit TraceReader(const std::string &path);
+
+    const TraceHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+    std::uint64_t fileBytes() const { return fileBytes_; }
+    std::uint64_t recordBytes() const { return recordBytes_; }
+
+    /** Records delivered since construction or the last reset(). */
+    std::uint64_t opsRead() const { return opsRead_; }
+
+    /**
+     * Decode the next micro-op into @p op. Returns false once all
+     * opCount records have been delivered (at which point the CRC has
+     * been verified); fatal on a corrupt record or CRC mismatch.
+     */
+    bool next(MicroOp &op);
+
+    /** Rewind to the first record. */
+    void reset();
+
+    /**
+     * Full-file integrity pass: decode every record and check the CRC
+     * and byte accounting. Fatal on the first violation; leaves the
+     * reader rewound.
+     */
+    void verifyAll();
+
+    void audit() const override;
+    const char *auditName() const override { return "trace-reader"; }
+
+    friend struct AuditCorrupter;
+
+  private:
+    void parseHeaderAndFooter();
+    /** Top up the buffer so >= @p want bytes (or all that remain) are
+     *  contiguous at bufPos_. */
+    void refill(std::size_t want);
+
+    std::string path_;
+    std::ifstream in_;
+    TraceHeader header_;
+    std::uint64_t fileBytes_ = 0;
+    std::uint64_t recordBytes_ = 0;
+    std::uint64_t recordStart_ = 0;
+    std::uint32_t footerCrc_ = 0;
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufLen_ = 0;
+    /** Record-region bytes fetched from the file so far. */
+    std::uint64_t fetched_ = 0;
+    /** Record-region bytes consumed by the decoder so far. */
+    std::uint64_t consumed_ = 0;
+    std::uint64_t opsRead_ = 0;
+    Addr prevAddr_ = 0;
+    Addr prevPc_ = 0;
+    Crc32 crc_;
+};
+
+} // namespace fdp
+
+#endif // FDP_TRACE_TRACE_READER_HH

@@ -1,0 +1,49 @@
+#include "trace/trace_workload.hh"
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+TraceWorkload::TraceWorkload(const std::string &path) : reader_(path)
+{
+}
+
+MicroOp
+TraceWorkload::next()
+{
+    MicroOp op;
+    if (!reader_.next(op))
+        fatal("trace %s: exhausted after %llu micro-ops; the replayed "
+              "run consumes more (record a longer trace)",
+              reader_.path().c_str(),
+              static_cast<unsigned long long>(reader_.header().opCount));
+    return op;
+}
+
+void
+TraceWorkload::audit() const
+{
+    reader_.audit();
+}
+
+MicroOp
+RecordingWorkload::next()
+{
+    const MicroOp op = inner_.next();
+    writer_.append(op);
+    return op;
+}
+
+void
+RecordingWorkload::reset()
+{
+    if (writer_.opCount() > 0)
+        fatal("cannot reset workload %s while recording to %s: %llu "
+              "micro-ops are already on disk", inner_.name(),
+              writer_.path().c_str(),
+              static_cast<unsigned long long>(writer_.opCount()));
+    inner_.reset();
+}
+
+} // namespace fdp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Streaming fdptrace-v1 writer: append micro-ops one at a time into a
+ * bounded in-memory buffer that drains to disk, then finish() seals the
+ * file (footer CRC + header op-count patch). Every I/O failure is a
+ * clean fatal() naming the file, never silent truncation.
+ */
+
+#ifndef FDP_TRACE_TRACE_WRITER_HH
+#define FDP_TRACE_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hh"
+#include "workload/workload.hh"
+
+namespace fdp
+{
+
+/** Buffered writer for one fdptrace-v1 file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Create (truncate) @p path and write the header; @p benchmark and
+     * @p seed record where the stream came from. Fatal on open failure
+     * or an unencodable benchmark name.
+     */
+    TraceWriter(const std::string &path, const std::string &benchmark,
+                std::uint64_t seed);
+
+    /** Warns (does not seal) if the trace was never finish()ed. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op; fatal after finish() or on write failure. */
+    void append(const MicroOp &op);
+
+    /**
+     * Flush the record buffer, write the footer, and patch the header's
+     * op count. Fatal on a zero-op trace (nothing to replay) and on any
+     * I/O failure.
+     */
+    void finish();
+
+    std::uint64_t opCount() const { return opCount_; }
+    const std::string &path() const { return path_; }
+    bool finished() const { return finished_; }
+
+  private:
+    void flushBuffer();
+
+    std::string path_;
+    std::ofstream out_;
+    std::vector<std::uint8_t> buf_;
+    Crc32 crc_;
+    Addr prevAddr_ = 0;
+    Addr prevPc_ = 0;
+    std::uint64_t opCount_ = 0;
+    /** File offset of the header's opCount field, patched by finish(). */
+    std::uint64_t opCountOffset_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace fdp
+
+#endif // FDP_TRACE_TRACE_WRITER_HH

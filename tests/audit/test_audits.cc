@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "support/corrupt.hh"
+#include "trace/trace_writer.hh"
 
 namespace fdp
 {
@@ -303,6 +305,53 @@ TEST(StrideAuditDeathTest, EntryInWrongSlotCaught)
     StridePrefetcher pf;
     AuditCorrupter::strideWrongSlot(pf);
     EXPECT_DEATH(pf.audit(), "hashes");
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------------
+
+/** A small but real sealed trace to audit against. */
+std::string
+auditTracePath()
+{
+    const std::string path = testing::TempDir() + "audit_trace.fdptrace";
+    TraceWriter writer(path, "audit", 7);
+    for (unsigned i = 0; i < 100; ++i)
+        writer.append({OpKind::Load, 0x1000 + 64ull * i, 0x4000, false});
+    writer.finish();
+    return path;
+}
+
+TEST(TraceReaderAudit, CleanReaderPasses)
+{
+    TraceReader reader(auditTracePath());
+    reader.audit();
+    MicroOp op;
+    while (reader.next(op)) {
+    }
+    reader.audit();
+}
+
+TEST(TraceReaderAuditDeathTest, BufferOverrunCaught)
+{
+    TraceReader reader(auditTracePath());
+    AuditCorrupter::traceReaderBufferOverrun(reader);
+    EXPECT_DEATH(reader.audit(), "buffer cursor");
+}
+
+TEST(TraceReaderAuditDeathTest, RecordCountOverflowCaught)
+{
+    TraceReader reader(auditTracePath());
+    AuditCorrupter::traceReaderCountOverflow(reader);
+    EXPECT_DEATH(reader.audit(), "delivered");
+}
+
+TEST(TraceReaderAuditDeathTest, ConsumedAheadOfFetchedCaught)
+{
+    TraceReader reader(auditTracePath());
+    AuditCorrupter::traceReaderConsumedAheadOfFetched(reader);
+    EXPECT_DEATH(reader.audit(), "fetched bytes");
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace_reader.hh"
 
 namespace fdp
 {
@@ -212,6 +213,27 @@ struct AuditCorrupter
     dramLosePump(DramModel &dram)
     {
         dram.pumpScheduled_ = false;
+    }
+
+    /** Push the reader's buffer cursor past the buffered byte count. */
+    static void
+    traceReaderBufferOverrun(TraceReader &reader)
+    {
+        reader.bufPos_ = reader.bufLen_ + 1;
+    }
+
+    /** Claim more delivered records than the trace holds. */
+    static void
+    traceReaderCountOverflow(TraceReader &reader)
+    {
+        reader.opsRead_ = reader.header_.opCount + 1;
+    }
+
+    /** Make the decoder appear ahead of the bytes it was given. */
+    static void
+    traceReaderConsumedAheadOfFetched(TraceReader &reader)
+    {
+        reader.consumed_ = reader.fetched_ + 1;
     }
 };
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Golden determinism: for every calibrated benchmark, a live run, a
+ * recording run, and a replay of the recorded trace must agree on every
+ * RunResult field bit-for-bit, and the fdp-results-v1 JSON rendering
+ * must be byte-identical. The parallel case runs the live side through
+ * the sweep pool at --jobs 4 to prove replay equivalence is independent
+ * of scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
+#include "trace_test_util.hh"
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+namespace
+{
+
+constexpr std::uint64_t kInsts = 20'000;
+
+RunConfig
+goldenConfig()
+{
+    RunConfig config = RunConfig::fullFdp();
+    config.numInsts = kInsts;
+    return config;
+}
+
+/** Every field of RunResult, compared exactly (doubles included: the
+ *  whole point is bit-identity, not tolerance). */
+void
+expectSameResult(const RunResult &a, const RunResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark) << what;
+    EXPECT_EQ(a.config, b.config) << what;
+    EXPECT_EQ(a.insts, b.insts) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.bpki, b.bpki) << what;
+    EXPECT_EQ(a.accuracy, b.accuracy) << what;
+    EXPECT_EQ(a.lateness, b.lateness) << what;
+    EXPECT_EQ(a.pollution, b.pollution) << what;
+    EXPECT_EQ(a.prefSent, b.prefSent) << what;
+    EXPECT_EQ(a.prefUsed, b.prefUsed) << what;
+    EXPECT_EQ(a.busAccesses, b.busAccesses) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.demandAccesses, b.demandAccesses) << what;
+    EXPECT_EQ(a.demandGrants, b.demandGrants) << what;
+    EXPECT_EQ(a.prefetchGrants, b.prefetchGrants) << what;
+    EXPECT_EQ(a.writebackGrants, b.writebackGrants) << what;
+    EXPECT_EQ(a.mshrStallCount, b.mshrStallCount) << what;
+    EXPECT_EQ(a.prefDropQueueFull, b.prefDropQueueFull) << what;
+    EXPECT_EQ(a.avgMissLatency, b.avgMissLatency) << what;
+    EXPECT_EQ(a.levelDist, b.levelDist) << what;
+    EXPECT_EQ(a.insertDist, b.insertDist) << what;
+}
+
+/** Render a result exactly the way sweep binaries persist it. */
+std::string
+resultsJsonString(const RunResult &r)
+{
+    ResultsJson json("test_replay_golden");
+    json.addRunResult(r.benchmark, r);
+    std::ostringstream os;
+    json.write(os);
+    return os.str();
+}
+
+TEST(ReplayGolden, EveryBenchmarkReplaysBitIdentically)
+{
+    const RunConfig config = goldenConfig();
+    for (const std::string &bench : allBenchmarks()) {
+        const std::string path = tempTracePath(bench);
+        const RunResult live = runBenchmark(bench, config, "fdp");
+        const RunResult recorded =
+            recordBenchmark(bench, config, "fdp", path);
+        const RunResult replayed = replayTrace(path, config, "fdp");
+        expectSameResult(live, recorded, bench + " record-run vs live");
+        expectSameResult(live, replayed, bench + " replay vs live");
+        EXPECT_EQ(resultsJsonString(live), resultsJsonString(replayed))
+            << bench;
+    }
+}
+
+TEST(ReplayGolden, ReplayIsConfigIndependent)
+{
+    // One trace serves any configuration: the recorded stream is the
+    // workload, not the machine. Record under full FDP, replay under a
+    // static policy, and check against that policy's live run.
+    RunConfig recordCfg = goldenConfig();
+    RunConfig staticCfg = RunConfig::staticLevelConfig(2);
+    staticCfg.numInsts = kInsts;
+
+    const std::string path = tempTracePath("xcfg");
+    recordBenchmark("mcf", recordCfg, "fdp", path);
+    const RunResult live = runBenchmark("mcf", staticCfg, "static2");
+    const RunResult replayed = replayTrace(path, staticCfg, "static2");
+    expectSameResult(live, replayed, "mcf static replay vs live");
+}
+
+TEST(ReplayGolden, SweepPoolJobs4MatchesSequentialReplays)
+{
+    const std::vector<std::string> benches = {"swim", "mcf", "art",
+                                              "galgel", "ammp"};
+    const RunConfig config = goldenConfig();
+
+    // Live sweep through the pool at --jobs 4 (the CI smoke shape).
+    const std::vector<RunResult> parallelLive =
+        runSuiteParallel(benches, config, "fdp", 4);
+    ASSERT_EQ(parallelLive.size(), benches.size());
+
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string path = tempTracePath(benches[i]);
+        recordBenchmark(benches[i], config, "fdp", path);
+        const RunResult replayed = replayTrace(path, config, "fdp");
+        expectSameResult(parallelLive[i], replayed,
+                         benches[i] + " pooled live vs replay");
+        EXPECT_EQ(resultsJsonString(parallelLive[i]),
+                  resultsJsonString(replayed))
+            << benches[i];
+    }
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the fdptrace-v1 encoding primitives: zigzag, varint,
+ * CRC-32, little-endian scalars, and whole-record round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/trace_format.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(Zigzag, RoundTripsExtremes)
+{
+    const std::int64_t cases[] = {
+        0, 1, -1, 2, -2, 63, -64, 1'000'000, -1'000'000,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    // Small magnitudes must map to small encodings (varint friendliness).
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+}
+
+TEST(Varint, RoundTripsBoundaryValues)
+{
+    const std::uint64_t cases[] = {
+        0, 1, 127, 128, 16383, 16384, 0xffffffffull,
+        std::numeric_limits<std::uint64_t>::max(),
+    };
+    for (std::uint64_t v : cases) {
+        std::vector<std::uint8_t> buf;
+        putVarint(buf, v);
+        EXPECT_LE(buf.size(), 10u);
+        std::size_t pos = 0;
+        std::uint64_t out = 0;
+        ASSERT_TRUE(getVarint(buf.data(), buf.size(), pos, out)) << v;
+        EXPECT_EQ(out, v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(Varint, RejectsTruncationAndOverlongRuns)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, std::numeric_limits<std::uint64_t>::max());
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    // Truncated: every proper prefix must fail.
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+        pos = 0;
+        EXPECT_FALSE(getVarint(buf.data(), len, pos, out)) << len;
+    }
+    // Overlong: 11 continuation bytes cannot be a u64.
+    const std::vector<std::uint8_t> overlong(11, 0x80);
+    pos = 0;
+    EXPECT_FALSE(getVarint(overlong.data(), overlong.size(), pos, out));
+}
+
+TEST(Crc32, MatchesTheStandardCheckValue)
+{
+    // The IEEE CRC-32 of "123456789" is the canonical check constant.
+    const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                                '9'};
+    EXPECT_EQ(crc32(msg, sizeof(msg)), 0xcbf43926u);
+    // Incremental updates must agree with the one-shot form.
+    Crc32 crc;
+    crc.update(msg, 4);
+    crc.update(msg + 4, sizeof(msg) - 4);
+    EXPECT_EQ(crc.value(), 0xcbf43926u);
+}
+
+TEST(Scalars, LittleEndianRoundTrip)
+{
+    std::vector<std::uint8_t> buf;
+    putU16(buf, 0x1234);
+    putU32(buf, 0xdeadbeefu);
+    putU64(buf, 0x0123456789abcdefull);
+    ASSERT_EQ(buf.size(), 14u);
+    EXPECT_EQ(buf[0], 0x34);  // low byte first
+    EXPECT_EQ(getU16(buf.data()), 0x1234);
+    EXPECT_EQ(getU32(buf.data() + 2), 0xdeadbeefu);
+    EXPECT_EQ(getU64(buf.data() + 6), 0x0123456789abcdefull);
+}
+
+TEST(Record, RoundTripsEveryKind)
+{
+    const MicroOp ops[] = {
+        {OpKind::Int, 0, 0, false},
+        {OpKind::Load, 0x1'0000'0040ull, 0x4000, false},
+        {OpKind::Load, 0x1'0000'0080ull, 0x4000, true},
+        {OpKind::Store, 0x40'0000'0000ull, 0x5000, false},
+        {OpKind::Load, 0x8, 0x10, false},  // large negative deltas
+    };
+    std::vector<std::uint8_t> buf;
+    Addr encAddr = 0;
+    Addr encPc = 0;
+    for (const MicroOp &op : ops)
+        encodeRecord(buf, op, encAddr, encPc);
+
+    std::size_t pos = 0;
+    Addr decAddr = 0;
+    Addr decPc = 0;
+    for (const MicroOp &want : ops) {
+        MicroOp got;
+        ASSERT_TRUE(decodeRecord(buf.data(), buf.size(), pos, got,
+                                 decAddr, decPc));
+        EXPECT_EQ(got.kind, want.kind);
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.depPrevLoad, want.depPrevLoad);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Record, SequentialStreamEncodesSmall)
+{
+    // A fixed-stride stream is the common case; its deltas are constant
+    // and must stay near the 3-bytes-per-record floor.
+    std::vector<std::uint8_t> buf;
+    Addr addr = 0;
+    Addr pc = 0;
+    for (unsigned i = 0; i < 1000; ++i) {
+        MicroOp op{OpKind::Load, 0x1000 + 8ull * i, 0x4000, false};
+        encodeRecord(buf, op, addr, pc);
+    }
+    EXPECT_LE(buf.size(), 4u * 1000);
+}
+
+TEST(Record, RejectsMalformedTags)
+{
+    MicroOp op;
+    Addr addr = 0;
+    Addr pc = 0;
+    std::size_t pos = 0;
+    const std::uint8_t reserved[] = {0x08};  // reserved bit set
+    EXPECT_FALSE(decodeRecord(reserved, 1, pos, op, addr, pc));
+    pos = 0;
+    const std::uint8_t badKind[] = {0x03};  // kind 3 does not exist
+    EXPECT_FALSE(decodeRecord(badKind, 1, pos, op, addr, pc));
+    pos = 0;
+    const std::uint8_t truncated[] = {0x01, 0x80};  // load, cut varint
+    EXPECT_FALSE(decodeRecord(truncated, 2, pos, op, addr, pc));
+    pos = 0;
+    EXPECT_FALSE(decodeRecord(truncated, 0, pos, op, addr, pc));
+}
+
+} // namespace
+} // namespace fdp

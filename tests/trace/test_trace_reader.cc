@@ -1,0 +1,210 @@
+/**
+ * @file
+ * TraceReader behavior: exact replay of written streams, reset
+ * semantics, verifyAll, and -- the robustness half of the subsystem --
+ * death tests proving every corruption class (truncated header, flipped
+ * CRC byte, bad magic, future version, zero-op file, mid-record damage)
+ * is a clean fatal() diagnostic, never UB or silent garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.hh"
+#include "trace_test_util.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(TraceReader, DeliversExactlyTheWrittenStream)
+{
+    const std::string path = tempTracePath("exact");
+    const std::vector<MicroOp> ops = sampleOps(5000);
+    writeSampleTrace(path, ops);
+
+    TraceReader reader(path);
+    MicroOp op;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        ASSERT_TRUE(reader.next(op)) << i;
+        EXPECT_EQ(op.kind, ops[i].kind) << i;
+        EXPECT_EQ(op.addr, ops[i].addr) << i;
+        EXPECT_EQ(op.pc, ops[i].pc) << i;
+        EXPECT_EQ(op.depPrevLoad, ops[i].depPrevLoad) << i;
+    }
+    EXPECT_FALSE(reader.next(op));
+    EXPECT_FALSE(reader.next(op));  // stays exhausted
+    EXPECT_EQ(reader.opsRead(), ops.size());
+}
+
+TEST(TraceReader, ResetReplaysIdentically)
+{
+    const std::string path = tempTracePath("reset");
+    writeSampleTrace(path, sampleOps(777));
+
+    TraceReader reader(path);
+    MicroOp first;
+    ASSERT_TRUE(reader.next(first));
+    MicroOp op;
+    while (reader.next(op)) {
+    }
+    reader.reset();
+    EXPECT_EQ(reader.opsRead(), 0u);
+    MicroOp again;
+    ASSERT_TRUE(reader.next(again));
+    EXPECT_EQ(again.addr, first.addr);
+    EXPECT_EQ(again.kind, first.kind);
+}
+
+TEST(TraceReader, VerifyAllPassesOnEveryWriterOutput)
+{
+    for (std::size_t n : {1u, 2u, 1000u, 70'000u}) {
+        const std::string path =
+            tempTracePath("verify" + std::to_string(n));
+        writeSampleTrace(path, sampleOps(n));
+        TraceReader reader(path);
+        reader.verifyAll();
+        // verifyAll leaves the reader rewound and usable.
+        MicroOp op;
+        EXPECT_TRUE(reader.next(op));
+    }
+}
+
+TEST(TraceReader, CleanAuditMidStream)
+{
+    const std::string path = tempTracePath("audit");
+    writeSampleTrace(path, sampleOps(3000));
+    TraceReader reader(path);
+    reader.audit();
+    MicroOp op;
+    for (int i = 0; i < 1500; ++i)
+        ASSERT_TRUE(reader.next(op));
+    reader.audit();
+}
+
+// ---------------------------------------------------------------------------
+// Corruption death tests. Offsets follow the fdptrace-v1 layout:
+// version is the u32 at byte 8; the footer CRC is the u32 20 bytes from
+// the end of the file.
+// ---------------------------------------------------------------------------
+
+class TraceCorruptionDeath : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        testing::FLAGS_gtest_death_test_style = "threadsafe";
+        path_ = tempTracePath("corrupt");
+        writeSampleTrace(path_, sampleOps(2000));
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceCorruptionDeath, TruncatedHeaderIsFatal)
+{
+    truncateFile(path_, 10);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "truncated header");
+}
+
+TEST_F(TraceCorruptionDeath, TruncatedMidHeaderIsFatal)
+{
+    // Past the fixed prefix but short of the full header + footer.
+    truncateFile(path_, 20);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "truncated header");
+}
+
+TEST_F(TraceCorruptionDeath, FlippedCrcByteIsFatal)
+{
+    flipFileByte(path_, -static_cast<std::int64_t>(kTraceFooterBytes));
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path_);
+            reader.verifyAll();
+        },
+        testing::ExitedWithCode(1), "CRC mismatch");
+}
+
+TEST_F(TraceCorruptionDeath, FlippedRecordByteIsCaught)
+{
+    // Damage in the middle of the record region: either the decoder
+    // rejects the record outright or the CRC check at end-of-stream
+    // catches it -- silent garbage is never an outcome.
+    flipFileByte(path_, static_cast<std::int64_t>(
+                            TraceReader(path_).header().headerBytes() +
+                            500));
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path_);
+            reader.verifyAll();
+        },
+        testing::ExitedWithCode(1), "CRC mismatch|corrupt or truncated");
+}
+
+TEST_F(TraceCorruptionDeath, BadMagicIsFatal)
+{
+    flipFileByte(path_, 0);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST_F(TraceCorruptionDeath, FutureVersionIsFatal)
+{
+    flipFileByte(path_, 8, 0x03);  // version 1 -> 2
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "unsupported fdptrace version 2");
+}
+
+TEST_F(TraceCorruptionDeath, ZeroOpFileIsFatal)
+{
+    // The writer refuses to seal empty traces, so craft a structurally
+    // valid zero-op file from the format primitives directly.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(128);
+    bytes.insert(bytes.end(), kTraceMagic, kTraceMagic + kTraceMagicLen);
+    putU32(bytes, kTraceVersion);
+    putU16(bytes, 4);
+    const char name[] = "none";
+    bytes.insert(bytes.end(), name, name + 4);
+    putU64(bytes, 1);  // seed
+    putU64(bytes, 0);  // opCount = 0
+    putU32(bytes, crc32(nullptr, 0));
+    putU64(bytes, 0);  // footer opCount
+    bytes.insert(bytes.end(), kTraceEndMagic,
+                 kTraceEndMagic + kTraceMagicLen);
+    writeFileBytes(path_, bytes);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "zero micro-ops");
+}
+
+TEST_F(TraceCorruptionDeath, MissingFooterIsFatal)
+{
+    // Chop the footer off entirely: the end magic lands on record bytes.
+    const std::size_t size = readFileBytes(path_).size();
+    truncateFile(path_, size - kTraceFooterBytes);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "bad footer magic");
+}
+
+TEST_F(TraceCorruptionDeath, HeaderFooterCountMismatchIsFatal)
+{
+    // Flip the low byte of the footer's repeated op count.
+    flipFileByte(path_, -16);
+    EXPECT_EXIT(TraceReader reader(path_), testing::ExitedWithCode(1),
+                "footer says");
+}
+
+TEST_F(TraceCorruptionDeath, NonexistentFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader reader(path_ + ".missing"),
+                testing::ExitedWithCode(1), "cannot open trace file");
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The replay frontend: TraceWorkload must reproduce the recorded
+ * generator op-for-op (the determinism contract the golden test builds
+ * on), reset cleanly, die on exhaustion, and pass audits; the
+ * RecordingWorkload tee must be transparent and refuse mid-stream
+ * resets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "trace/trace_workload.hh"
+#include "trace_test_util.hh"
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+namespace
+{
+
+constexpr std::uint64_t kOps = 20'000;
+
+/** Record @p ops micro-ops of @p bench into a fresh trace file. */
+std::string
+recordBench(const std::string &bench, std::uint64_t ops)
+{
+    const std::string path = tempTracePath(bench);
+    std::unique_ptr<SyntheticWorkload> live = makeBenchmark(bench);
+    TraceWriter writer(path, bench, live->params().seed);
+    RecordingWorkload recording(*live, writer);
+    for (std::uint64_t i = 0; i < ops; ++i)
+        recording.next();
+    writer.finish();
+    return path;
+}
+
+TEST(TraceWorkload, ReplayEqualsFreshGenerator)
+{
+    for (const char *bench : {"swim", "mcf", "art"}) {
+        const std::string path = recordBench(bench, kOps);
+        TraceWorkload replay(path);
+        std::unique_ptr<SyntheticWorkload> live = makeBenchmark(bench);
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            const MicroOp want = live->next();
+            const MicroOp got = replay.next();
+            ASSERT_EQ(got.kind, want.kind) << bench << " op " << i;
+            ASSERT_EQ(got.addr, want.addr) << bench << " op " << i;
+            ASSERT_EQ(got.pc, want.pc) << bench << " op " << i;
+            ASSERT_EQ(got.depPrevLoad, want.depPrevLoad)
+                << bench << " op " << i;
+        }
+    }
+}
+
+TEST(TraceWorkload, NameAndHeaderComeFromTheFile)
+{
+    const std::string path = recordBench("galgel", 100);
+    TraceWorkload replay(path);
+    EXPECT_STREQ(replay.name(), "galgel");
+    EXPECT_EQ(replay.reader().header().opCount, 100u);
+    EXPECT_EQ(replay.reader().header().seed,
+              makeBenchmark("galgel")->params().seed);
+}
+
+TEST(TraceWorkload, ResetRestartsTheStream)
+{
+    const std::string path = recordBench("swim", 1000);
+    TraceWorkload replay(path);
+    const MicroOp first = replay.next();
+    for (int i = 0; i < 500; ++i)
+        replay.next();
+    replay.reset();
+    const MicroOp again = replay.next();
+    EXPECT_EQ(again.addr, first.addr);
+    EXPECT_EQ(again.kind, first.kind);
+}
+
+TEST(TraceWorkload, AuditIsCleanThroughoutReplay)
+{
+    const std::string path = recordBench("mcf", 2000);
+    TraceWorkload replay(path);
+    replay.audit();
+    for (int i = 0; i < 2000; ++i)
+        replay.next();
+    replay.audit();
+}
+
+TEST(TraceWorkloadDeath, ExhaustionIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string path = recordBench("swim", 50);
+    EXPECT_EXIT(
+        {
+            TraceWorkload replay(path);
+            for (int i = 0; i < 51; ++i)
+                replay.next();
+        },
+        testing::ExitedWithCode(1), "exhausted after 50 micro-ops");
+}
+
+TEST(RecordingWorkload, TeeIsTransparent)
+{
+    const std::string path = tempTracePath("tee");
+    std::unique_ptr<SyntheticWorkload> recorded = makeBenchmark("art");
+    std::unique_ptr<SyntheticWorkload> control = makeBenchmark("art");
+    TraceWriter writer(path, "art", recorded->params().seed);
+    RecordingWorkload recording(*recorded, writer);
+    EXPECT_STREQ(recording.name(), control->name());
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp want = control->next();
+        const MicroOp got = recording.next();
+        ASSERT_EQ(got.addr, want.addr) << i;
+        ASSERT_EQ(got.kind, want.kind) << i;
+    }
+    EXPECT_EQ(writer.opCount(), 5000u);
+    writer.finish();
+}
+
+TEST(RecordingWorkloadDeath, ResetMidRecordingIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string path = tempTracePath("reset");
+    EXPECT_EXIT(
+        {
+            std::unique_ptr<SyntheticWorkload> live = makeBenchmark("swim");
+            TraceWriter writer(path, "swim", live->params().seed);
+            RecordingWorkload recording(*live, writer);
+            recording.next();
+            recording.reset();
+        },
+        testing::ExitedWithCode(1), "cannot reset workload");
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TraceWriter behavior: sealed files parse back exactly, streaming
+ * stays bounded, compression holds on stream-shaped input, and misuse
+ * (zero ops, unwritable paths) dies cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+#include "trace_test_util.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(TraceWriter, HeaderAndCountsRoundTrip)
+{
+    const std::string path = tempTracePath("header");
+    const std::vector<MicroOp> ops = sampleOps(1000);
+    writeSampleTrace(path, ops, "galgel", 104);
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, kTraceVersion);
+    EXPECT_EQ(reader.header().benchmark, "galgel");
+    EXPECT_EQ(reader.header().seed, 104u);
+    EXPECT_EQ(reader.header().opCount, ops.size());
+    EXPECT_EQ(reader.fileBytes(), reader.header().headerBytes() +
+                                      reader.recordBytes() +
+                                      kTraceFooterBytes);
+}
+
+TEST(TraceWriter, LargeTraceCrossesBufferFlushes)
+{
+    // > 64 KiB of records forces several internal flushes; everything
+    // must still decode and pass the CRC.
+    const std::string path = tempTracePath("big");
+    const std::vector<MicroOp> ops = sampleOps(120'000);
+    writeSampleTrace(path, ops);
+
+    TraceReader reader(path);
+    EXPECT_GT(reader.recordBytes(), 128u * 1024);
+    reader.verifyAll();
+    MicroOp op;
+    for (const MicroOp &want : ops) {
+        ASSERT_TRUE(reader.next(op));
+        ASSERT_EQ(op.addr, want.addr);
+    }
+    EXPECT_FALSE(reader.next(op));
+}
+
+TEST(TraceWriter, StreamShapedInputCompressesWell)
+{
+    const std::string path = tempTracePath("compress");
+    TraceWriter writer(path, "stream", 1);
+    for (unsigned i = 0; i < 10'000; ++i)
+        writer.append({OpKind::Load, 0x1000 + 64ull * i, 0x4000, false});
+    writer.finish();
+
+    TraceReader reader(path);
+    // Constant deltas: tag + 2-byte addr varint + 1-byte pc varint; the
+    // first record alone carries the full offsets from the zero baseline.
+    EXPECT_LE(reader.recordBytes(), 4u * 10'000 + kTraceMaxRecordBytes);
+}
+
+TEST(TraceWriter, OpCountAccumulates)
+{
+    const std::string path = tempTracePath("count");
+    TraceWriter writer(path, "x", 0);
+    EXPECT_EQ(writer.opCount(), 0u);
+    writer.append({});
+    writer.append({OpKind::Load, 64, 4, false});
+    EXPECT_EQ(writer.opCount(), 2u);
+    EXPECT_FALSE(writer.finished());
+    writer.finish();
+    EXPECT_TRUE(writer.finished());
+}
+
+TEST(TraceWriterDeath, ZeroOpFinishIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string path = tempTracePath("empty");
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(path, "empty", 0);
+            writer.finish();
+        },
+        testing::ExitedWithCode(1), "zero micro-ops");
+}
+
+TEST(TraceWriterDeath, UnwritablePathIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(TraceWriter("/nonexistent-dir/x.fdptrace", "x", 0),
+                testing::ExitedWithCode(1), "cannot open trace file");
+}
+
+TEST(TraceWriterDeath, OversizedBenchmarkNameIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string path = tempTracePath("longname");
+    const std::string name(kTraceMaxNameLen + 1, 'x');
+    EXPECT_EXIT(TraceWriter(path, name, 0), testing::ExitedWithCode(1),
+                "benchmark name");
+}
+
+} // namespace
+} // namespace fdp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared helpers for the trace tests: unique temp paths, a canonical
+ * micro-op sample covering every record shape, and byte-level file
+ * surgery for the corruption death tests.
+ */
+
+#ifndef FDP_TESTS_TRACE_TRACE_TEST_UTIL_HH
+#define FDP_TESTS_TRACE_TRACE_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hh"
+#include "trace/trace_writer.hh"
+#include "workload/workload.hh"
+
+namespace fdp
+{
+
+/** Unique path under gtest's temp dir, keyed by the running test. */
+inline std::string
+tempTracePath(const std::string &tag)
+{
+    const auto *info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    return testing::TempDir() + std::string(info->test_suite_name()) +
+           "." + info->name() + "." + tag + ".fdptrace";
+}
+
+/** Deterministic op list exercising every kind, sign, and dep flag. */
+inline std::vector<MicroOp>
+sampleOps(std::size_t count)
+{
+    std::vector<MicroOp> ops;
+    ops.reserve(count);
+    Addr addr = 0x1'0000'0000ull;
+    for (std::size_t i = 0; i < count; ++i) {
+        MicroOp op;
+        switch (i % 5) {
+          case 0:
+            op = {OpKind::Load, addr += 64, 0x4000 + (i % 7) * 4, false};
+            break;
+          case 1:
+            op = {OpKind::Store, addr -= 24, 0x5000, false};
+            break;
+          case 2:
+            op = {OpKind::Load, addr + (i << 12), 0x6000, true};
+            break;
+          default:
+            op = {};  // Int
+            break;
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/** Write @p ops to @p path as a sealed fdptrace-v1 file. */
+inline void
+writeSampleTrace(const std::string &path, const std::vector<MicroOp> &ops,
+                 const std::string &benchmark = "sample",
+                 std::uint64_t seed = 7)
+{
+    TraceWriter writer(path, benchmark, seed);
+    for (const MicroOp &op : ops)
+        writer.append(op);
+    writer.finish();
+}
+
+/** Read a whole file into memory. */
+inline std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Replace a file's contents wholesale. */
+inline void
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    EXPECT_TRUE(out.good()) << path;
+}
+
+/** XOR one byte of the file at @p offset (offset < 0: from the end). */
+inline void
+flipFileByte(const std::string &path, std::int64_t offset,
+             std::uint8_t mask = 0xff)
+{
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    const std::size_t index =
+        offset >= 0 ? static_cast<std::size_t>(offset)
+                    : bytes.size() - static_cast<std::size_t>(-offset);
+    ASSERT_LT(index, bytes.size());
+    bytes[index] ^= mask;
+    writeFileBytes(path, bytes);
+}
+
+/** Truncate the file to its first @p keep bytes. */
+inline void
+truncateFile(const std::string &path, std::size_t keep)
+{
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    ASSERT_LE(keep, bytes.size());
+    bytes.resize(keep);
+    writeFileBytes(path, bytes);
+}
+
+} // namespace fdp
+
+#endif // FDP_TESTS_TRACE_TRACE_TEST_UTIL_HH

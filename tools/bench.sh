@@ -79,6 +79,7 @@ echo "==== bench: micro_structures (min_time=${MIN_TIME}s) ===="
 
 echo "==== bench: macro_throughput ===="
 "$BUILD_DIR/bench/macro_throughput" \
+    --trace-file "$BUILD_DIR/macro_throughput.fdptrace" \
     "${MACRO_ARGS[@]+"${MACRO_ARGS[@]}"}" > "$MACRO_JSON"
 
 echo "==== bench: merging into $OUT ===="

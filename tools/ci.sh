@@ -56,6 +56,23 @@ stage_tier1() {
     cmake -B "$ROOT/build-ci" -S "$ROOT" "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
     cmake --build "$ROOT/build-ci" -j "$JOBS"
     ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
+
+    echo "==== stage tier1: trace record/verify/replay round trip ===="
+    # Record swim through the live generator, prove the file passes a
+    # full integrity pass, then prove replay is bit-identical to the
+    # recording run — stdout tables and results JSON both.
+    local tdir="$ROOT/build-ci/trace-smoke"
+    rm -rf "$tdir" && mkdir -p "$tdir"
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --insts 200000 \
+        --record "$tdir/swim.fdptrace" --out "$tdir/record.json" \
+        > "$tdir/record.out"
+    "$ROOT/build-ci/bench/fdp_trace" info "$tdir/swim.fdptrace"
+    "$ROOT/build-ci/bench/fdp_trace" verify "$tdir/swim.fdptrace"
+    "$ROOT/build-ci/bench/fdp_sim" --trace "$tdir/swim.fdptrace" \
+        --insts 200000 --out "$tdir/replay.json" > "$tdir/replay.out"
+    diff "$tdir/record.out" "$tdir/replay.out"
+    diff "$tdir/record.json" "$tdir/replay.json"
+    echo "trace smoke: replay bit-identical to the recording run"
 }
 
 stage_asan() {
@@ -73,11 +90,13 @@ stage_tsan() {
     cmake -B "$ROOT/build-tsan" -S "$ROOT" -DFDP_SANITIZE=thread \
         "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
     cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-        --target test_harness test_sim fig09_overall
-    # The threaded surface: pool + scheduler + logging sink tests, then
+        --target test_harness test_sim test_trace fig09_overall
+    # The threaded surface: pool + scheduler + logging sink tests, the
+    # trace suite (its golden test drives the pool at --jobs 4), then
     # one real multi-threaded sweep. halt_on_error so a race fails CI.
     TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_harness"
     TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_sim"
+    TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_trace"
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/bench/fig09_overall" --quick --jobs 4 \
         > /dev/null
@@ -108,7 +127,8 @@ for e in entries:
     if e["better"] not in ("higher", "lower"):
         sys.exit(f"entry {e['name']}: bad better {e['better']!r}")
     float(e["value"])
-for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s"):
+for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s",
+                 "macro/trace_replay/insts_per_s"):
     if required not in names:
         sys.exit(f"missing required entry {required}")
 print(f"bench smoke: {len(entries)} entries, schema valid")

@@ -19,6 +19,11 @@ Enforces conventions a generic linter cannot know:
                   pthread_create outside src/harness/sweep_pool.* — all
                   threading goes through the sweep pool so there is one
                   audited place where concurrency enters the simulator.
+  file-io         no raw file I/O (std::ifstream/ofstream/fstream,
+                  fopen/freopen/tmpfile) outside src/trace/ and
+                  src/harness/reporting.* — trace files and results
+                  files are the only artifacts the simulator touches,
+                  and both ends must fatal() cleanly on I/O failure.
 
 Comments and string literals are stripped before the regex rules run, so
 prose like "transfer time (bandwidth)" cannot trip the time() ban.
@@ -92,6 +97,8 @@ PRINTF_BAN = re.compile(
     r"\b(?:f|s|sn|v|vf|vs|vsn)?printf\s*\(|\bf?puts\s*\(|\bputchar\s*\(")
 THREAD_BAN = re.compile(
     r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
+FILE_IO_BAN = re.compile(
+    r"\bstd::[iow]?fstream\b|\b(?:fopen|freopen|tmpfile)\s*\(")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
 DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
 
@@ -157,6 +164,21 @@ def lint_threading(root, findings):
                         "harness/sweep_pool.hh)", findings)
 
 
+FILE_IO_OK = {Path("src/harness/reporting.cc"),
+              Path("src/harness/reporting.hh")}
+
+
+def lint_file_io(root, findings):
+    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
+        if rel in FILE_IO_OK or rel.parts[:2] == ("src", "trace"):
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        _regex_findings(path, rel, code, FILE_IO_BAN, "file-io",
+                        "raw file I/O outside src/trace/ and "
+                        "harness/reporting (route through TraceReader/"
+                        "TraceWriter or ResultsJson)", findings)
+
+
 def expected_guard(rel):
     # src/mem/cache.hh -> FDP_MEM_CACHE_HH
     parts = [p.upper() for p in rel.parts[1:-1]]
@@ -206,7 +228,7 @@ def _sources(root, top_dirs, suffixes):
 
 
 RULES = [lint_rng, lint_new_delete, lint_printf, lint_threading,
-         lint_include_guards, lint_test_pairing]
+         lint_file_io, lint_include_guards, lint_test_pairing]
 
 
 def run_lint(root):
@@ -234,6 +256,11 @@ SELF_TEST_CASES = [
      "#include <cstdio>\nvoid f() { std::printf(\"hi\\n\"); }\n"),
     ("pool-only-threading", "src/mem/bad_thread.cc",
      "#include <thread>\nvoid f() { std::thread t([] {}); t.join(); }\n"),
+    ("file-io", "src/mem/bad_io.cc",
+     "#include <fstream>\nint peek() { std::ifstream in(\"x\"); "
+     "return in.get(); }\n"),
+    ("file-io", "src/cpu/bad_fopen.cc",
+     "#include <cstdio>\nvoid *h() { return fopen(\"x\", \"r\"); }\n"),
     ("include-guard", "src/mem/bad_guard.hh",
      "#ifndef WRONG_GUARD_HH\n#define WRONG_GUARD_HH\n#endif\n"),
     ("test-pairing", "src/sim/orphan.cc",
@@ -245,6 +272,7 @@ CLEAN_FILE = (
     "#ifndef FDP_SIM_CLEAN_HH\n"
     "#define FDP_SIM_CLEAN_HH\n"
     "// a comment saying rand( and new and printf( and std::thread\n"
+    "// and std::ifstream and fopen(\n"
     "// changes nothing\n"
     "const char *s = \"delete this std::mt19937 string\";\n"
     "struct NoCopy { NoCopy(const NoCopy &) = delete; };\n"

@@ -44,6 +44,8 @@ struct Options
     bool fullStats = false;
     unsigned jobs = 0;  // 0 = defaultSweepJobs()
     std::string outPath;  // empty = no results file
+    std::string recordPath;  // --record: capture the run's micro-ops
+    std::string tracePath;   // --trace: replay instead of generating
 };
 
 [[noreturn]] void
@@ -71,6 +73,10 @@ usage()
         "threads)\n"
         "  --out PATH          write per-run metrics to PATH as "
         "fdp-results-v1 JSON\n"
+        "  --record PATH       record the run's micro-op stream to PATH\n"
+        "                      (fdptrace-v1; needs exactly one --bench)\n"
+        "  --trace PATH        replay a recorded trace instead of the\n"
+        "                      live generator (replaces --bench)\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -126,14 +132,25 @@ parse(int argc, char **argv)
                 parseCountArg("--jobs", need(i), 4096));
         } else if (!std::strcmp(a, "--out")) {
             o.outPath = need(i);
+        } else if (!std::strcmp(a, "--record")) {
+            o.recordPath = need(i);
+        } else if (!std::strcmp(a, "--trace")) {
+            o.tracePath = need(i);
         } else if (!std::strcmp(a, "--stats")) {
             o.fullStats = true;
         } else {
             usage();
         }
     }
-    if (o.benches.empty())
+    if (!o.tracePath.empty() && !o.benches.empty())
+        fatal("--trace replays a recorded stream; drop --bench/--all");
+    if (!o.tracePath.empty() && !o.recordPath.empty())
+        fatal("--record and --trace are mutually exclusive");
+    if (o.benches.empty() && o.tracePath.empty())
         o.benches.push_back("swim");
+    if (!o.recordPath.empty() && o.benches.size() != 1)
+        fatal("--record captures one run; give exactly one --bench "
+              "(got %zu)", o.benches.size());
     return o;
 }
 
@@ -185,8 +202,16 @@ main(int argc, char **argv)
     t.setHeader({"benchmark", "IPC", "BPKI", "accuracy", "lateness",
                  "pollution", "pref sent", "L2 misses"});
 
-    const std::vector<RunResult> results =
-        runSuiteParallel(o.benches, config, o.policy, o.jobs);
+    // All three frontends print through the identical table/JSON path,
+    // so a replayed run's stdout is bit-identical to the live one.
+    std::vector<RunResult> results;
+    if (!o.tracePath.empty())
+        results.push_back(replayTrace(o.tracePath, config, o.policy));
+    else if (!o.recordPath.empty())
+        results.push_back(recordBenchmark(o.benches.front(), config,
+                                          o.policy, o.recordPath));
+    else
+        results = runSuiteParallel(o.benches, config, o.policy, o.jobs);
     if (!o.outPath.empty()) {
         ResultsJson out("fdp_sim");
         for (const RunResult &r : results)
