@@ -17,6 +17,8 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "mc/mc_machine.hh"
+#include "mc/workload_mix.hh"
 
 using namespace fdp;
 
@@ -73,6 +75,24 @@ main(int argc, char **argv)
              "higher");
     json.add("macro/trace_replay/speedup_vs_live", "x",
              replay_rate / swim_rate, "higher");
+
+    // Multi-core throughput: a 2-core bandwidth-bound co-run (shared
+    // L2 + DRAM, per-core FDP). Rate is total retired instructions
+    // across both cores per wall-clock second, so it is directly
+    // comparable with the single-core macro rates above.
+    McRunConfig mc;
+    mc.base = config;
+    mc.numCores = 2;
+    const auto mc_start = std::chrono::steady_clock::now();
+    const McRunResult corun =
+        runMix(mixByName("mix2-stream"), mc, "full-fdp");
+    const std::chrono::duration<double> mc_wall =
+        std::chrono::steady_clock::now() - mc_start;
+    std::uint64_t mc_insts = 0;
+    for (const auto &c : corun.cores)
+        mc_insts += c.insts;
+    json.add("macro/mc2/insts_per_s", "insts/s",
+             static_cast<double>(mc_insts) / mc_wall.count(), "higher");
 
     json.write(std::cout);
     return 0;

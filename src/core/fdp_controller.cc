@@ -86,6 +86,12 @@ FdpController::onPrefetchFill(BlockAddr block)
 }
 
 void
+FdpController::onBlockRefetchedByOtherCore(BlockAddr block)
+{
+    filter_.onPrefetchFill(block);
+}
+
+void
 FdpController::onCacheEviction()
 {
     if (++evictionCount_ < params_.intervalEvictions)

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/feedback_counters.hh"
 #include "core/insertion.hh"
@@ -62,6 +63,12 @@ struct FdpParams
     unsigned initialLevel = kInitialAggrLevel;
     /** Insertion position used while dynamicInsertion is off. */
     InsertPos staticInsertPos = InsertPos::Mru;
+    /**
+     * Audit/report label; empty keeps the default "fdp_controller".
+     * The multi-core machine labels each per-core controller (e.g.
+     * "fdp_controller.c2") so audit failures name the core.
+     */
+    std::string label;
     FdpThresholds thresholds;
 };
 
@@ -105,6 +112,14 @@ class FdpController : public Auditable
 
     /** A prefetch fill arrived from memory (clears its filter bit). */
     void onPrefetchFill(BlockAddr block);
+
+    /**
+     * Another core's prefetch fill brought @p block back into the
+     * shared cache: clear the local filter bit so later misses on the
+     * block are no longer attributed to pollution (the data is present
+     * again, exactly as after a local prefetch fill).
+     */
+    void onBlockRefetchedByOtherCore(BlockAddr block);
 
     /** Any valid L2 block was evicted; drives the sampling interval. */
     void onCacheEviction();
@@ -157,7 +172,12 @@ class FdpController : public Auditable
      * and pollution filter pass their own audits.
      */
     void audit() const override;
-    const char *auditName() const override { return "fdp_controller"; }
+    const char *
+    auditName() const override
+    {
+        return params_.label.empty() ? "fdp_controller"
+                                     : params_.label.c_str();
+    }
 
     /**
      * Pure policy function for Table 2: classify the metrics and return

@@ -12,7 +12,7 @@ namespace
 constexpr std::uint64_t kNoPos = ~std::uint64_t{0};
 } // namespace
 
-OooCore::OooCore(const CoreParams &params, MemorySystem &mem,
+OooCore::OooCore(const CoreParams &params, MemoryPort &mem,
                  EventQueue &events, Workload &workload, StatGroup &stats)
     : params_(params), mem_(mem), events_(events), workload_(workload),
       rob_(params.robSize),
@@ -56,104 +56,135 @@ OooCore::loadComplete(unsigned slot, std::uint64_t seq, Cycle when)
 }
 
 void
+OooCore::beginRun(std::uint64_t numInsts)
+{
+    budget_ = numInsts;
+    dispatchedCount_ = 0;
+    retiredCount_ = 0;
+}
+
+bool
+OooCore::step(Cycle now)
+{
+    // Retire up to `width` completed micro-ops in program order.
+    unsigned r = 0;
+    while (r < params_.width && head_ != tail_) {
+        RobEntry &h = rob_[robIndex(head_)];
+        if (!h.done || h.doneCycle > now)
+            break;
+        ++head_;
+        ++retiredCount_;
+        ++r;
+    }
+    retired_ += r;
+
+    // Dispatch up to `width` new micro-ops while the ROB has room.
+    // Dispatch never exceeds the budget, so the run ends with exactly
+    // `budget_` retirements and an empty ROB.
+    unsigned d = 0;
+    while (d < params_.width && tail_ - head_ < rob_.size() &&
+           dispatchedCount_ < budget_) {
+        const MicroOp op = workload_.next();
+        const std::uint64_t pos = tail_++;
+        const unsigned slot = robIndex(pos);
+        RobEntry &e = rob_[slot];
+        e = RobEntry{};
+        e.seq = nextSeq_++;
+        e.kind = op.kind;
+        e.addr = op.addr;
+        e.pc = op.pc;
+
+        switch (op.kind) {
+          case OpKind::Int:
+            e.done = true;
+            e.doneCycle = now + 1;
+            e.issued = true;
+            break;
+          case OpKind::Store:
+            ++stores_;
+            // Stores drain through the store buffer: they access the
+            // hierarchy but never block retirement.
+            mem_.demandAccess(op.addr, op.pc, true, now, [](Cycle) {});
+            e.done = true;
+            e.doneCycle = now + 1;
+            e.issued = true;
+            break;
+          case OpKind::Load: {
+            ++loads_;
+            bool issue_now = true;
+            if (op.depPrevLoad && lastLoadPos_ != kNoPos &&
+                lastLoadPos_ >= head_) {
+                RobEntry &prod = rob_[robIndex(lastLoadPos_)];
+                if (!prod.done) {
+                    prod.waiter = static_cast<int>(slot);
+                    issue_now = false;
+                }
+            }
+            if (issue_now)
+                issueLoad(slot, now);
+            lastLoadPos_ = pos;
+            break;
+          }
+        }
+        ++d;
+        ++dispatchedCount_;
+    }
+
+    return r + d > 0;
+}
+
+Cycle
+OooCore::wakeCycle() const
+{
+    if (head_ == tail_)
+        return kNoCycle;
+    const RobEntry &h = rob_[robIndex(head_)];
+    return h.done ? h.doneCycle : kNoCycle;
+}
+
+void
+OooCore::noteDeadTime(Cycle cycles)
+{
+    if (robFull())
+        robFullCycles_ += cycles;
+}
+
+void
+OooCore::closeRun(Cycle start, Cycle end)
+{
+    cycles_ += (end - start) + 1;
+}
+
+void
 OooCore::run(std::uint64_t numInsts)
 {
+    beginRun(numInsts);
     Cycle cyc = events_.horizon();
     const Cycle start = cyc;
-    std::uint64_t dispatched = 0;
-    std::uint64_t retired_count = 0;
 
-    while (retired_count < numInsts) {
+    while (!runDone()) {
         events_.serviceUntil(cyc);
-
-        // Retire up to `width` completed micro-ops in program order.
-        unsigned r = 0;
-        while (r < params_.width && head_ != tail_) {
-            RobEntry &h = rob_[robIndex(head_)];
-            if (!h.done || h.doneCycle > cyc)
-                break;
-            ++head_;
-            ++retired_count;
-            ++r;
-        }
-        retired_ += r;
-
-        // Dispatch up to `width` new micro-ops while the ROB has room.
-        unsigned d = 0;
-        while (d < params_.width && tail_ - head_ < rob_.size() &&
-               dispatched < numInsts) {
-            const MicroOp op = workload_.next();
-            const std::uint64_t pos = tail_++;
-            const unsigned slot = robIndex(pos);
-            RobEntry &e = rob_[slot];
-            e = RobEntry{};
-            e.seq = nextSeq_++;
-            e.kind = op.kind;
-            e.addr = op.addr;
-            e.pc = op.pc;
-
-            switch (op.kind) {
-              case OpKind::Int:
-                e.done = true;
-                e.doneCycle = cyc + 1;
-                e.issued = true;
-                break;
-              case OpKind::Store:
-                ++stores_;
-                // Stores drain through the store buffer: they access the
-                // hierarchy but never block retirement.
-                mem_.demandAccess(op.addr, op.pc, true, cyc, [](Cycle) {});
-                e.done = true;
-                e.doneCycle = cyc + 1;
-                e.issued = true;
-                break;
-              case OpKind::Load: {
-                ++loads_;
-                bool issue_now = true;
-                if (op.depPrevLoad && lastLoadPos_ != kNoPos &&
-                    lastLoadPos_ >= head_) {
-                    RobEntry &prod = rob_[robIndex(lastLoadPos_)];
-                    if (!prod.done) {
-                        prod.waiter = static_cast<int>(slot);
-                        issue_now = false;
-                    }
-                }
-                if (issue_now)
-                    issueLoad(slot, cyc);
-                lastLoadPos_ = pos;
-                break;
-              }
-            }
-            ++d;
-            ++dispatched;
-        }
-
-        if (retired_count >= numInsts)
+        const bool progressed = step(cyc);
+        if (runDone())
             break;
 
         // Advance the clock, skipping dead time when fully stalled.
         Cycle nxt = cyc + 1;
-        if (r == 0 && d == 0) {
-            Cycle target = events_.nextEventCycle();
-            if (head_ != tail_) {
-                const RobEntry &h = rob_[robIndex(head_)];
-                if (h.done)
-                    target = std::min(target, h.doneCycle);
-            }
+        if (!progressed) {
+            Cycle target = std::min(events_.nextEventCycle(), wakeCycle());
             if (target == kNoCycle) {
-                if (head_ != tail_)
+                if (!robEmpty())
                     panic("core deadlock: stalled with no pending events");
                 target = cyc + 1;
             }
             if (target > cyc)
                 nxt = target;
-            if (tail_ - head_ == rob_.size())
-                robFullCycles_ += nxt - cyc;
+            noteDeadTime(nxt - cyc);
         }
         cyc = nxt;
     }
 
-    cycles_ += (cyc - start) + 1;
+    closeRun(start, cyc);
 }
 
 double

@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "mem/memory_system.hh"
+#include "mem/memory_port.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -32,15 +32,58 @@ struct CoreParams
     unsigned width = 8;
 };
 
-/** ROB-limited out-of-order core. */
+/**
+ * ROB-limited out-of-order core.
+ *
+ * Two driving styles share the same per-cycle machinery:
+ *  - run() owns the event loop and simulates a whole single-core run;
+ *  - the multi-core driver calls beginRun() once, then step() every
+ *    cycle it chooses to simulate, using runDone()/wakeCycle()/
+ *    noteDeadTime() to interleave several cores deterministically on
+ *    one event queue and closeRun() to account the final cycle count.
+ */
 class OooCore
 {
   public:
-    OooCore(const CoreParams &params, MemorySystem &mem, EventQueue &events,
+    OooCore(const CoreParams &params, MemoryPort &mem, EventQueue &events,
             Workload &workload, StatGroup &stats);
 
     /** Simulate until @p numInsts micro-ops have retired. */
     void run(std::uint64_t numInsts);
+
+    /// @name Stepped driving (multi-core interleaving)
+    /// @{
+
+    /** Arm a run budget of @p numInsts micro-ops without simulating. */
+    void beginRun(std::uint64_t numInsts);
+
+    /**
+     * Retire then dispatch up to `width` micro-ops at cycle @p now.
+     * Returns true when any micro-op retired or dispatched. The caller
+     * must have serviced the event queue up to @p now first.
+     */
+    bool step(Cycle now);
+
+    /** True once the armed budget has fully retired. */
+    bool runDone() const { return retiredCount_ >= budget_; }
+
+    /**
+     * Cycle at which the head-of-ROB micro-op can retire, or kNoCycle
+     * when the ROB is empty or the head still waits on memory (in that
+     * case a pending event-queue callback will complete it).
+     */
+    Cycle wakeCycle() const;
+
+    /** Record @p cycles of dispatch stall if the ROB is full. */
+    void noteDeadTime(Cycle cycles);
+
+    /** Account a finished run spanning cycles @p start .. @p end. */
+    void closeRun(Cycle start, Cycle end);
+
+    bool robEmpty() const { return head_ == tail_; }
+    bool robFull() const { return tail_ - head_ == rob_.size(); }
+
+    /// @}
 
     std::uint64_t cycles() const { return cycles_.value(); }
     std::uint64_t retired() const { return retired_.value(); }
@@ -63,7 +106,6 @@ class OooCore
         int waiter = -1;
     };
 
-    void dispatchOne(Cycle now);
     void issueLoad(unsigned slot, Cycle now);
     void loadComplete(unsigned slot, std::uint64_t seq, Cycle when);
 
@@ -73,7 +115,7 @@ class OooCore
     }
 
     CoreParams params_;
-    MemorySystem &mem_;
+    MemoryPort &mem_;
     EventQueue &events_;
     Workload &workload_;
 
@@ -83,6 +125,13 @@ class OooCore
     std::uint64_t nextSeq_ = 1;
     /** ROB position of the most recently dispatched load (or none). */
     std::uint64_t lastLoadPos_ = ~std::uint64_t{0};
+
+    /** Armed run budget (micro-ops to retire). */
+    std::uint64_t budget_ = 0;
+    /** Micro-ops dispatched toward the current budget. */
+    std::uint64_t dispatchedCount_ = 0;
+    /** Micro-ops retired toward the current budget. */
+    std::uint64_t retiredCount_ = 0;
 
     ScalarStat cycles_;
     ScalarStat retired_;

@@ -1,0 +1,541 @@
+#include "mc/mc_memory_system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+/** Shared caches tag lines with owners from all @p numCores cores. */
+CacheParams
+withCores(CacheParams p, unsigned numCores)
+{
+    p.numCores = numCores;
+    return p;
+}
+
+} // namespace
+
+McMemorySystem::PerCore::PerCore(const MachineParams &params,
+                                 unsigned numCores, StatGroup &stats)
+    : l1(withCores(params.l1, numCores)),
+      demandAccesses(stats, "demand_accesses", "demand loads+stores"),
+      l1Hits(stats, "l1_hits", "L1D hits"),
+      l1Misses(stats, "l1_misses", "L1D misses"),
+      l2Hits(stats, "l2_hits", "L2 demand hits"),
+      l2Misses(stats, "l2_misses", "L2 demand misses"),
+      mshrMerges(stats, "mshr_merges",
+                 "demands merged into in-flight MSHRs"),
+      mshrStalls(stats, "mshr_stalls",
+                 "demands stalled on a full MSHR file"),
+      prefIssued(stats, "pref_issued", "prefetch candidates produced"),
+      prefDropL2Hit(stats, "pref_drop_l2hit",
+                    "prefetches dropped: block already cached"),
+      prefDropInFlight(stats, "pref_drop_inflight",
+                       "prefetches dropped: block already in flight"),
+      prefDropQueueFull(stats, "pref_drop_queue_full",
+                        "prefetches dropped: request queue overflow"),
+      writebacks(stats, "writebacks",
+                 "dirty blocks written back to DRAM"),
+      demandMissFills(stats, "demand_miss_fills",
+                      "DRAM fills that served demand misses"),
+      demandMissCycles(stats, "demand_miss_cycles",
+                       "total alloc-to-fill cycles of demand-miss fills"),
+      l2EvictionsCaused(stats, "l2_evictions_caused",
+                        "shared-L2 evictions caused by this core's fills"),
+      pollutionInflicted(stats, "pollution_inflicted",
+                         "demand blocks evicted by this core's "
+                         "prefetch fills"),
+      crossPollutionSuffered(stats, "cross_pollution_suffered",
+                             "demand blocks lost to other cores' "
+                             "prefetch fills")
+{
+}
+
+McMemorySystem::McMemorySystem(const MachineParams &params,
+                               EventQueue &events,
+                               const std::vector<Prefetcher *> &prefetchers,
+                               const std::vector<FdpController *> &controllers,
+                               StatGroup &sharedStats,
+                               const std::vector<StatGroup *> &coreStats)
+    : params_(params), events_(events),
+      numCores_(static_cast<unsigned>(controllers.size())),
+      prefetchers_(prefetchers), fdp_(controllers),
+      l2_(withCores(params.l2, numCores_)),
+      mshrs_(params.l2Mshrs, numCores_),
+      dram_(params.dram, events, sharedStats, numCores_),
+      demandAccesses_(sharedStats, "demand_accesses",
+                      "demand loads+stores"),
+      l1Hits_(sharedStats, "l1_hits", "L1D hits"),
+      l1Misses_(sharedStats, "l1_misses", "L1D misses"),
+      l2Hits_(sharedStats, "l2_hits", "L2 demand hits"),
+      l2Misses_(sharedStats, "l2_misses", "L2 demand misses"),
+      mshrMerges_(sharedStats, "mshr_merges",
+                  "demands merged into in-flight MSHRs"),
+      mshrStalls_(sharedStats, "mshr_stalls",
+                  "demands stalled on a full MSHR file"),
+      prefIssued_(sharedStats, "pref_issued",
+                  "prefetch candidates produced"),
+      prefDropL2Hit_(sharedStats, "pref_drop_l2hit",
+                     "prefetches dropped: block already cached"),
+      prefDropInFlight_(sharedStats, "pref_drop_inflight",
+                        "prefetches dropped: block already in flight"),
+      prefDropQueueFull_(sharedStats, "pref_drop_queue_full",
+                         "prefetches dropped: request queue overflow"),
+      writebacks_(sharedStats, "writebacks",
+                  "dirty blocks written back to DRAM"),
+      demandMissFills_(sharedStats, "demand_miss_fills",
+                       "DRAM fills that served demand misses"),
+      demandMissCycles_(sharedStats, "demand_miss_cycles",
+                        "total alloc-to-fill cycles of demand-miss fills")
+{
+    if (numCores_ == 0)
+        fatal("multi-core memory system needs at least one core");
+    if (prefetchers_.size() != numCores_)
+        fatal("%u controllers but %zu prefetchers", numCores_,
+              prefetchers_.size());
+    if (coreStats.size() != numCores_)
+        fatal("%u cores but %zu per-core stat groups", numCores_,
+              coreStats.size());
+    for (unsigned i = 0; i < numCores_; ++i)
+        if (fdp_[i] == nullptr)
+            fatal("core %u has no FDP controller", i);
+    if (params_.mshrDemandReserve >= params_.l2Mshrs)
+        fatal("MSHR demand reserve must be below the MSHR capacity");
+    if (params_.prefetchCache.enabled)
+        fatal("the prefetch cache (Section 5.7) is single-core only");
+
+    for (unsigned i = 0; i < numCores_; ++i) {
+        perCore_.emplace_back(params_, numCores_, *coreStats[i]);
+        ports_.emplace_back(*this, CoreId(i));
+    }
+}
+
+MemoryPort &
+McMemorySystem::port(CoreId core)
+{
+    if (core.index() >= numCores_)
+        fatal("no port for core %u of %u", core.index(), numCores_);
+    return ports_[core.index()];
+}
+
+const SetAssocCache &
+McMemorySystem::l1(CoreId c) const
+{
+    return core(c).l1;
+}
+
+void
+McMemorySystem::demandAccess(CoreId c, Addr addr, Addr pc, bool isWrite,
+                             Cycle now, DoneFn done)
+{
+    PerCore &self = core(c);
+    ++self.demandAccesses;
+    ++demandAccesses_;
+    const BlockAddr block = blockAddr(addr);
+    const Cycle t1 = now + params_.l1Latency;
+
+    if (self.l1.access(block, isWrite).hit) {
+        ++self.l1Hits;
+        ++l1Hits_;
+        done(t1);
+        return;
+    }
+    ++self.l1Misses;
+    ++l1Misses_;
+
+    const Cycle t2 = t1 + params_.l2Latency;
+    const CacheAccessResult l2res = l2_.access(block, false);
+    PrefetchObservation obs{addr, block, pc, !l2res.hit};
+
+    if (l2res.hit) {
+        ++self.l2Hits;
+        ++l2Hits_;
+        // The use is credited to the core whose prefetcher fetched the
+        // block (with disjoint address slices, always the accessor).
+        if (l2res.hitPrefetched)
+            fdp_[l2_.ownerOf(block).index()]->onPrefetchUsedInCache();
+        fillL1(c, block, isWrite, t2);
+        done(t2);
+        observeAndIssue(c, obs, t2);
+        return;
+    }
+
+    ++self.l2Misses;
+    ++l2Misses_;
+    fdp_[c.index()]->onDemandMiss(block);
+    observeAndIssue(c, obs, t2);
+
+    if (MshrEntry *e = mshrs_.find(block)) {
+        ++self.mshrMerges;
+        ++mshrMerges_;
+        if (e->prefBit) {
+            // Late prefetch: the lateness is charged to the core that
+            // issued the prefetch; the entry becomes a demand miss of
+            // the demanding core.
+            fdp_[e->core.index()]->onLatePrefetchMshrHit();
+            e->prefBit = false;
+            e->core = c;
+            dram_.promoteToDemand(block);
+        }
+        if (isWrite)
+            e->writeIntent = true;
+        e->waiters.push_back(std::move(done));
+        return;
+    }
+
+    if (mshrs_.full()) {
+        ++self.mshrStalls;
+        ++mshrStalls_;
+        mshrWaitQ_.push_back({c, block, isWrite, std::move(done), t2});
+        return;
+    }
+    startDemandMiss(c, block, isWrite, t2, std::move(done));
+}
+
+void
+McMemorySystem::startDemandMiss(CoreId c, BlockAddr block, bool isWrite,
+                                Cycle now, DoneFn done)
+{
+    MshrEntry &e = mshrs_.allocate(block, false, now, c);
+    e.writeIntent = isWrite;
+    e.waiters.push_back(std::move(done));
+    dram_.enqueue(block, BusPriority::Demand, now,
+                  [this, block](Cycle cy) { onFill(block, cy); }, c);
+}
+
+void
+McMemorySystem::observeAndIssue(CoreId c, const PrefetchObservation &obs,
+                                Cycle now)
+{
+    Prefetcher *pf = prefetchers_[c.index()];
+    if (!pf)
+        return;
+    PerCore &self = core(c);
+    pfCandidates_.clear();
+    const std::size_t budget =
+        params_.prefetchQueueCap - self.prefetchQueue.size();
+    pf->observe(obs, pfCandidates_, budget);
+
+    for (const BlockAddr b : pfCandidates_) {
+        ++self.prefIssued;
+        ++prefIssued_;
+        if (self.prefetchQueue.size() >= params_.prefetchQueueCap) {
+            ++self.prefDropQueueFull;
+            ++prefDropQueueFull_;
+            continue;
+        }
+        self.prefetchQueue.push_back(b);
+    }
+    drainPrefetchQueue(c, now);
+}
+
+void
+McMemorySystem::drainPrefetchQueue(CoreId c, Cycle now)
+{
+    PerCore &self = core(c);
+    while (!self.prefetchQueue.empty()) {
+        const BlockAddr b = self.prefetchQueue.front();
+        if (l2_.probe(b)) {
+            ++self.prefDropL2Hit;
+            ++prefDropL2Hit_;
+            self.prefetchQueue.pop_front();
+            continue;
+        }
+        if (mshrs_.find(b)) {
+            ++self.prefDropInFlight;
+            ++prefDropInFlight_;
+            self.prefetchQueue.pop_front();
+            continue;
+        }
+        // Prefetches may not take the MSHRs reserved for demands; when
+        // none is available the queue simply waits for a deallocation.
+        if (mshrs_.size() + params_.mshrDemandReserve >= mshrs_.capacity())
+            return;
+        mshrs_.allocate(b, true, now, c);
+        const bool sent =
+            dram_.enqueue(b, BusPriority::Prefetch, now,
+                          [this, b](Cycle cy) { onFill(b, cy); }, c);
+        if (!sent) {
+            // Bus queue full: keep the candidate queued for later.
+            mshrs_.deallocate(b);
+            return;
+        }
+        self.prefetchQueue.pop_front();
+        fdp_[c.index()]->onPrefetchSent();
+    }
+}
+
+void
+McMemorySystem::drainAllPrefetchQueues(Cycle now)
+{
+    // Core-id order: deterministic, and with one core identical to the
+    // single-core drain.
+    for (unsigned i = 0; i < numCores_; ++i)
+        drainPrefetchQueue(CoreId(i), now);
+}
+
+void
+McMemorySystem::onFill(BlockAddr block, Cycle fillCycle)
+{
+    MshrEntry *e = mshrs_.find(block);
+    if (!e)
+        panic("fill for block with no MSHR entry");
+
+    const bool was_prefetch = e->prefBit;
+    const bool write_intent = e->writeIntent;
+    const CoreId owner = e->core;
+    fillWaiters_.clear();
+    fillWaiters_.swap(e->waiters);
+    if (!was_prefetch) {
+        PerCore &self = core(owner);
+        ++self.demandMissFills;
+        ++demandMissFills_;
+        self.demandMissCycles += fillCycle - e->allocCycle;
+        demandMissCycles_ += fillCycle - e->allocCycle;
+    }
+    mshrs_.deallocate(block);
+
+    if (was_prefetch) {
+        // The owner's filter clears its bit as a prefetch fill; every
+        // other core clears too (the block is back in the shared L2),
+        // without counting a fill it did not perform.
+        for (unsigned i = 0; i < numCores_; ++i) {
+            if (CoreId(i) == owner)
+                fdp_[i]->onPrefetchFill(block);
+            else
+                fdp_[i]->onBlockRefetchedByOtherCore(block);
+        }
+        insertL2Fill(owner, block, true, false, fillCycle);
+    } else {
+        insertL2Fill(owner, block, false, false, fillCycle);
+        fillL1(owner, block, write_intent, fillCycle);
+    }
+
+    for (auto &w : fillWaiters_)
+        w(fillCycle);
+    admitPending(fillCycle);
+    drainAllPrefetchQueues(fillCycle);
+}
+
+void
+McMemorySystem::insertL2Fill(CoreId by, BlockAddr block, bool prefBit,
+                             bool dirty, Cycle now)
+{
+    const InsertPos pos =
+        prefBit ? fdp_[by.index()]->insertPos() : InsertPos::Mru;
+    const CacheVictim v = l2_.insert(block, prefBit, pos, dirty, by);
+    if (!v.valid)
+        return;
+    ++core(by).l2EvictionsCaused;
+    // Every shared-L2 eviction ticks EVERY controller, so all cores'
+    // sampling intervals stay synchronized (audited invariant).
+    for (unsigned i = 0; i < numCores_; ++i)
+        fdp_[i]->onCacheEviction();
+    if (prefBit && !v.prefBit) {
+        // Pollution: the victim owner's filter learns the loss; the
+        // cost is charged to the prefetching core and, when they
+        // differ, also reported against the victim core.
+        fdp_[v.owner.index()]->onDemandBlockEvictedByPrefetch(v.block);
+        ++core(by).pollutionInflicted;
+        if (!(v.owner == by))
+            ++core(v.owner).crossPollutionSuffered;
+    }
+    if (v.dirty && params_.modelWritebacks) {
+        ++core(v.owner).writebacks;
+        ++writebacks_;
+        dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr,
+                      v.owner);
+    }
+}
+
+void
+McMemorySystem::fillL1(CoreId c, BlockAddr block, bool isWrite, Cycle now)
+{
+    PerCore &self = core(c);
+    if (self.l1.probe(block)) {
+        if (isWrite)
+            self.l1.markDirty(block);
+        return;
+    }
+    const CacheVictim v =
+        self.l1.insert(block, false, InsertPos::Mru, isWrite, c);
+    if (v.valid && v.dirty) {
+        // Dirty L1 victims land in the L2 when present there; otherwise
+        // they must go all the way to memory.
+        if (!l2_.markDirty(v.block) && params_.modelWritebacks) {
+            ++self.writebacks;
+            ++writebacks_;
+            dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr,
+                          c);
+        }
+    }
+}
+
+void
+McMemorySystem::admitPending(Cycle now)
+{
+    while (!mshrWaitQ_.empty() && !mshrs_.full()) {
+        PendingDemand p = std::move(mshrWaitQ_.front());
+        mshrWaitQ_.pop_front();
+        // A prefetch issued while this demand waited may have brought
+        // the block in already; it is a hit now.
+        if (l2_.probe(p.block)) {
+            fillL1(p.core, p.block, p.isWrite, now);
+            p.done(now);
+            continue;
+        }
+        if (MshrEntry *e = mshrs_.find(p.block)) {
+            ++core(p.core).mshrMerges;
+            ++mshrMerges_;
+            if (e->prefBit) {
+                fdp_[e->core.index()]->onLatePrefetchMshrHit();
+                e->prefBit = false;
+                e->core = p.core;
+                dram_.promoteToDemand(p.block);
+            }
+            if (p.isWrite)
+                e->writeIntent = true;
+            e->waiters.push_back(std::move(p.done));
+            continue;
+        }
+        startDemandMiss(p.core, p.block, p.isWrite, now,
+                        std::move(p.done));
+    }
+}
+
+bool
+McMemorySystem::quiesced() const
+{
+    if (mshrs_.size() != 0 || !mshrWaitQ_.empty() || dram_.queued() != 0)
+        return false;
+    for (const PerCore &c : perCore_)
+        if (!c.prefetchQueue.empty())
+            return false;
+    return true;
+}
+
+std::uint64_t
+McMemorySystem::demandAccesses(CoreId c) const
+{
+    return core(c).demandAccesses.value();
+}
+
+std::uint64_t
+McMemorySystem::l2Misses(CoreId c) const
+{
+    return core(c).l2Misses.value();
+}
+
+std::uint64_t
+McMemorySystem::mshrStalls(CoreId c) const
+{
+    return core(c).mshrStalls.value();
+}
+
+std::uint64_t
+McMemorySystem::prefDropQueueFull(CoreId c) const
+{
+    return core(c).prefDropQueueFull.value();
+}
+
+std::uint64_t
+McMemorySystem::pollutionInflicted(CoreId c) const
+{
+    return core(c).pollutionInflicted.value();
+}
+
+std::uint64_t
+McMemorySystem::crossPollutionSuffered(CoreId c) const
+{
+    return core(c).crossPollutionSuffered.value();
+}
+
+std::uint64_t
+McMemorySystem::l2EvictionsCaused(CoreId c) const
+{
+    return core(c).l2EvictionsCaused.value();
+}
+
+double
+McMemorySystem::avgDemandMissLatency(CoreId c) const
+{
+    return ratio(static_cast<double>(core(c).demandMissCycles.value()),
+                 static_cast<double>(core(c).demandMissFills.value()));
+}
+
+void
+McMemorySystem::audit() const
+{
+    FDP_ASSERT(params_.mshrDemandReserve < mshrs_.capacity(),
+               "%s: demand reserve %zu swallows all %zu MSHRs",
+               auditName(), params_.mshrDemandReserve, mshrs_.capacity());
+    for (unsigned i = 0; i < numCores_; ++i) {
+        FDP_ASSERT(perCore_[i].prefetchQueue.size() <=
+                       params_.prefetchQueueCap,
+                   "%s: core %u prefetch request queue holds %zu of %zu "
+                   "entries",
+                   auditName(), i, perCore_[i].prefetchQueue.size(),
+                   params_.prefetchQueueCap);
+        perCore_[i].l1.audit();
+    }
+    for (const PendingDemand &p : mshrWaitQ_)
+        FDP_ASSERT(p.core.index() < numCores_,
+                   "%s: queued demand tagged with core %u of %u",
+                   auditName(), p.core.index(), numCores_);
+    l2_.audit();
+    mshrs_.audit();
+    dram_.audit();
+
+    // Stat scoping: every shared counter is exactly the sum of its
+    // per-core breakdown — attribution may never invent or lose events.
+    const auto conserve = [this](const char *name, const ScalarStat &total,
+                                 ScalarStat PerCore::*field) {
+        std::uint64_t sum = 0;
+        for (const PerCore &c : perCore_)
+            sum += (c.*field).value();
+        FDP_ASSERT(sum == total.value(),
+                   "%s: per-core %s sums to %llu but the shared total "
+                   "is %llu",
+                   auditName(), name,
+                   static_cast<unsigned long long>(sum),
+                   static_cast<unsigned long long>(total.value()));
+    };
+    conserve("demand_accesses", demandAccesses_, &PerCore::demandAccesses);
+    conserve("l1_hits", l1Hits_, &PerCore::l1Hits);
+    conserve("l1_misses", l1Misses_, &PerCore::l1Misses);
+    conserve("l2_hits", l2Hits_, &PerCore::l2Hits);
+    conserve("l2_misses", l2Misses_, &PerCore::l2Misses);
+    conserve("mshr_merges", mshrMerges_, &PerCore::mshrMerges);
+    conserve("mshr_stalls", mshrStalls_, &PerCore::mshrStalls);
+    conserve("pref_issued", prefIssued_, &PerCore::prefIssued);
+    conserve("pref_drop_l2hit", prefDropL2Hit_, &PerCore::prefDropL2Hit);
+    conserve("pref_drop_inflight", prefDropInFlight_,
+             &PerCore::prefDropInFlight);
+    conserve("pref_drop_queue_full", prefDropQueueFull_,
+             &PerCore::prefDropQueueFull);
+    conserve("writebacks", writebacks_, &PerCore::writebacks);
+    conserve("demand_miss_fills", demandMissFills_,
+             &PerCore::demandMissFills);
+    conserve("demand_miss_cycles", demandMissCycles_,
+             &PerCore::demandMissCycles);
+
+    // Shared-L2 evictions tick all controllers together, so their
+    // sampling intervals can never drift apart.
+    for (unsigned i = 1; i < numCores_; ++i)
+        FDP_ASSERT(fdp_[i]->intervalsCompleted() ==
+                       fdp_[0]->intervalsCompleted(),
+                   "%s: core %u completed %llu sampling intervals but "
+                   "core 0 completed %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(
+                       fdp_[i]->intervalsCompleted()),
+                   static_cast<unsigned long long>(
+                       fdp_[0]->intervalsCompleted()));
+}
+
+} // namespace fdp

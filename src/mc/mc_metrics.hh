@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multi-programmed performance metrics (DESIGN.md §13).
+ *
+ * Per-core speedup is IPC_shared / IPC_alone, the alone run being the
+ * same program under the same configuration on an otherwise idle
+ * machine. Weighted speedup (the sum) measures system throughput,
+ * harmonic speedup (N over the sum of reciprocals) balances
+ * throughput against fairness, and the min/max fairness index exposes
+ * starvation directly.
+ */
+
+#ifndef FDP_MC_MC_METRICS_HH
+#define FDP_MC_MC_METRICS_HH
+
+#include <vector>
+
+#include "mc/mc_machine.hh"
+
+namespace fdp
+{
+
+/** Sum of per-core speedups (system throughput). */
+double weightedSpeedup(const std::vector<double> &speedups);
+
+/** N / sum(1/speedup_i); 0 when any speedup is 0. */
+double harmonicSpeedup(const std::vector<double> &speedups);
+
+/** min/max of the per-core speedups; 1.0 = perfectly fair. */
+double fairnessMinMax(const std::vector<double> &speedups);
+
+/**
+ * Fill @p r's per-core aloneIpc/speedup fields and the run-level
+ * weighted/harmonic/fairness metrics from @p aloneIpc (one baseline
+ * IPC per core, in core order). Fatal on a size mismatch.
+ */
+void finalizeSpeedups(McRunResult &r, const std::vector<double> &aloneIpc);
+
+} // namespace fdp
+
+#endif // FDP_MC_MC_METRICS_HH

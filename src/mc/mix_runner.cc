@@ -1,0 +1,237 @@
+#include "mc/mix_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "harness/sweep_pool.hh"
+#include "sim/logging.hh"
+#include "trace/trace_reader.hh"
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+/**
+ * Alone-baseline dedup key: two cores share a baseline cell exactly
+ * when they replay the identical stream — the same trace file, or the
+ * same benchmark at the same duplicate index (duplicates run perturbed
+ * seeds, so they are distinct streams).
+ */
+std::string
+baselineKey(const MixEntry &entry, unsigned dup)
+{
+    if (!entry.tracePath.empty())
+        return "t:" + entry.tracePath;
+    return "b:" + entry.benchmark + "#" + std::to_string(dup);
+}
+
+} // namespace
+
+std::vector<McRunResult>
+runMixSweep(const MixSpec &mix, const std::vector<McLabeledConfig> &configs,
+            unsigned jobs)
+{
+    if (configs.empty())
+        fatal("mix sweep needs at least one configuration");
+    const unsigned n = mix.numCores();
+    if (n == 0)
+        fatal("mix %s has no entries", mix.name.c_str());
+    std::uint64_t maxInsts = 0;
+    for (const McLabeledConfig &c : configs) {
+        if (c.config.numCores != n)
+            fatal("mix %s names %u cores but configuration %s has %u",
+                  mix.name.c_str(), n, c.label.c_str(),
+                  c.config.numCores);
+        maxInsts = std::max(maxInsts, c.config.base.numInsts);
+    }
+
+    // Validate every program on the main thread, before any worker
+    // exists: unknown benchmarks and malformed/short traces are user
+    // errors, not worker fatals.
+    std::vector<unsigned> dup(n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        const MixEntry &e = mix.entries[i];
+        for (unsigned prev = 0; prev < i; ++prev)
+            if (mix.entries[prev].benchmark == e.benchmark &&
+                mix.entries[prev].tracePath == e.tracePath)
+                ++dup[i];
+        if (!e.benchmark.empty()) {
+            benchmarkParams(e.benchmark);
+            continue;
+        }
+        TraceReader reader(e.tracePath);
+        const std::uint64_t available = reader.header().opCount;
+        if (maxInsts > available)
+            fatal("trace %s holds %llu micro-ops but this mix consumes "
+                  "%llu per core; record a longer trace",
+                  e.tracePath.c_str(),
+                  static_cast<unsigned long long>(available),
+                  static_cast<unsigned long long>(maxInsts));
+    }
+
+    // Alone-baseline cells, deduplicated per configuration.
+    std::vector<std::string> keys;
+    std::vector<unsigned> exemplar;   ///< core index owning each key
+    std::vector<std::size_t> slotOf(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const std::string key = baselineKey(mix.entries[i], dup[i]);
+        const auto it = std::find(keys.begin(), keys.end(), key);
+        if (it == keys.end()) {
+            slotOf[i] = keys.size();
+            keys.push_back(key);
+            exemplar.push_back(i);
+        } else {
+            slotOf[i] = static_cast<std::size_t>(it - keys.begin());
+        }
+    }
+
+    const std::size_t cells = configs.size() * (1 + keys.size());
+    if (jobs == 0)
+        jobs = defaultSweepJobs();
+    if (static_cast<std::size_t>(jobs) > cells)
+        jobs = static_cast<unsigned>(cells);
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<McRunResult> results(configs.size());
+    std::vector<std::vector<RunResult>> alone(
+        configs.size(), std::vector<RunResult>(keys.size()));
+
+    const auto corunCell = [&mix, &configs, &results](std::size_t c) {
+        results[c] = runMix(mix, configs[c].config, configs[c].label);
+    };
+    const auto aloneCell = [&mix, &configs, &alone, &dup,
+                            &exemplar](std::size_t c, std::size_t k) {
+        const unsigned coreIdx = exemplar[k];
+        const auto workload =
+            buildAloneWorkload(mix.entries[coreIdx], dup[coreIdx]);
+        alone[c][k] = runWorkload(*workload, configs[c].config.base,
+                                  configs[c].label + "-alone");
+    };
+
+    if (jobs == 1) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            corunCell(c);
+            for (std::size_t k = 0; k < keys.size(); ++k)
+                aloneCell(c, k);
+        }
+    } else {
+        // Each result lands in its pre-sized slot, so completion order
+        // never affects the output. Co-runs (roughly N single-core
+        // runs' worth of work each) are submitted first, LPT-style.
+        std::string workerFatal;
+        bool sawWorkerFatal = false;
+        {
+            SweepPool pool(jobs);
+            for (std::size_t c = 0; c < configs.size(); ++c)
+                pool.submit([&corunCell, c] { corunCell(c); });
+            for (std::size_t c = 0; c < configs.size(); ++c)
+                for (std::size_t k = 0; k < keys.size(); ++k)
+                    pool.submit([&aloneCell, c, k] { aloneCell(c, k); });
+            try {
+                pool.wait();
+            } catch (const FatalError &e) {
+                sawWorkerFatal = true;
+                workerFatal = e.what();
+            }
+        }
+        if (sawWorkerFatal)
+            fatal("%s", workerFatal.c_str());
+    }
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<double> aloneIpc(n, 0.0);
+        for (unsigned i = 0; i < n; ++i)
+            aloneIpc[i] = alone[c][slotOf[i]].ipc;
+        finalizeSpeedups(results[c], aloneIpc);
+    }
+
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    SweepStats stats;
+    stats.runs = cells;
+    stats.jobs = jobs;
+    stats.wallSeconds = wall.count();
+    printSweepThroughput(stats);
+    return results;
+}
+
+Table
+buildMixCoreTable(const std::vector<McRunResult> &results)
+{
+    if (results.empty())
+        panic("per-core mix table needs at least one co-run");
+    Table t("mix " + results.front().mix + ": per-core breakdown (" +
+            std::to_string(results.front().numCores) + " cores)");
+    t.setHeader({"config", "core", "program", "IPC", "alone", "speedup",
+                 "BPKI", "accuracy", "pollution", "poll-out", "poll-in"});
+    for (std::size_t c = 0; c < results.size(); ++c) {
+        if (c > 0)
+            t.addRule();
+        const McRunResult &r = results[c];
+        for (std::size_t i = 0; i < r.cores.size(); ++i) {
+            const McCoreResult &core = r.cores[i];
+            t.addRow({r.config, "c" + std::to_string(i), core.program,
+                      fmtDouble(core.ipc, 3),
+                      fmtDouble(core.aloneIpc, 3),
+                      fmtDouble(core.speedup, 3),
+                      fmtDouble(core.bpki, 2),
+                      fmtDouble(core.accuracy, 2),
+                      fmtDouble(core.pollution, 3),
+                      std::to_string(core.pollutionInflicted),
+                      std::to_string(core.crossPollutionSuffered)});
+        }
+    }
+    return t;
+}
+
+Table
+buildMixSummaryTable(const std::vector<McRunResult> &results)
+{
+    if (results.empty())
+        panic("mix summary table needs at least one co-run");
+    Table t("mix " + results.front().mix + ": multi-program metrics");
+    t.setHeader({"config", "weighted speedup", "harmonic speedup",
+                 "fairness", "throughput", "bus accesses"});
+    for (const McRunResult &r : results)
+        t.addRow({r.config, fmtDouble(r.weightedSpeedup, 3),
+                  fmtDouble(r.harmonicSpeedup, 3),
+                  fmtDouble(r.fairness, 3), fmtDouble(r.throughput, 3),
+                  std::to_string(r.busAccesses)});
+    return t;
+}
+
+void
+addMcRunResult(ResultsJson &json, const McRunResult &r)
+{
+    const std::string base = r.mix + "/" + r.config;
+    json.add(base + "/weighted_speedup", "ratio", r.weightedSpeedup,
+             "higher");
+    json.add(base + "/harmonic_speedup", "ratio", r.harmonicSpeedup,
+             "higher");
+    json.add(base + "/fairness", "ratio", r.fairness, "higher");
+    json.add(base + "/throughput", "insts/cycle", r.throughput, "higher");
+    json.add(base + "/bus_accesses", "count",
+             static_cast<double>(r.busAccesses), "lower");
+    for (std::size_t i = 0; i < r.cores.size(); ++i) {
+        const McCoreResult &c = r.cores[i];
+        const std::string p =
+            base + "/c" + std::to_string(i) + "/" + c.program;
+        json.add(p + "/ipc", "insts/cycle", c.ipc, "higher");
+        json.add(p + "/speedup", "ratio", c.speedup, "higher");
+        json.add(p + "/bpki", "bus-accesses/kilo-inst", c.bpki, "lower");
+        json.add(p + "/accuracy", "ratio", c.accuracy, "higher");
+        json.add(p + "/lateness", "ratio", c.lateness, "lower");
+        json.add(p + "/pollution", "ratio", c.pollution, "lower");
+        json.add(p + "/bus_accesses", "count",
+                 static_cast<double>(c.busAccesses), "lower");
+        json.add(p + "/pollution_inflicted", "count",
+                 static_cast<double>(c.pollutionInflicted), "lower");
+        json.add(p + "/cross_pollution_suffered", "count",
+                 static_cast<double>(c.crossPollutionSuffered), "lower");
+    }
+}
+
+} // namespace fdp

@@ -12,6 +12,8 @@ SetAssocCache::SetAssocCache(const CacheParams &params) : params_(params)
     if (params_.assoc == 0 || params_.assoc > 254)
         fatal("%s: associativity %u unsupported", params_.name.c_str(),
               params_.assoc);
+    if (params_.numCores == 0)
+        fatal("%s: needs at least one owning core", params_.name.c_str());
     const std::size_t blocks = params_.sizeBytes / kBlockBytes;
     if (blocks == 0 || blocks % params_.assoc != 0)
         fatal("%s: size %zu not divisible into %u-way sets",
@@ -130,7 +132,7 @@ SetAssocCache::probe(BlockAddr block) const
 
 CacheVictim
 SetAssocCache::insert(BlockAddr block, bool prefBit, InsertPos pos,
-                      bool dirty)
+                      bool dirty, CoreId owner)
 {
     const std::size_t s = setIndex(block);
     const std::size_t base = s * params_.assoc;
@@ -149,6 +151,7 @@ SetAssocCache::insert(BlockAddr block, bool prefBit, InsertPos pos,
         victim.block = v.tag;
         victim.prefBit = (v.flags & kPref) != 0;
         victim.dirty = (v.flags & kDirty) != 0;
+        victim.owner = v.owner;
     } else {
         way = 0;
         while ((lines_[base + way].flags & kValid) != 0)
@@ -160,12 +163,23 @@ SetAssocCache::insert(BlockAddr block, bool prefBit, InsertPos pos,
     l.tag = block;
     l.flags = static_cast<std::uint8_t>(
         kValid | (prefBit ? kPref : 0) | (dirty ? kDirty : 0));
+    l.owner = owner;
 
     const unsigned chain_len = set.used - 1u;
     const unsigned depth =
         std::min(insertStackIndex(pos, params_.assoc), chain_len);
     linkAtDepth(set, base, way, depth, chain_len);
     return victim;
+}
+
+CoreId
+SetAssocCache::ownerOf(BlockAddr block) const
+{
+    const std::size_t base = setIndex(block) * params_.assoc;
+    const int w = findWay(base, block);
+    if (w < 0)
+        panic("%s: ownerOf() for absent block", params_.name.c_str());
+    return lines_[base + static_cast<std::size_t>(w)].owner;
 }
 
 bool
@@ -194,6 +208,7 @@ SetAssocCache::invalidate(BlockAddr block)
     victim.block = l.tag;
     victim.prefBit = (l.flags & kPref) != 0;
     victim.dirty = (l.flags & kDirty) != 0;
+    victim.owner = l.owner;
 
     SetLinks &set = sets_[s];
     unlink(set, base, static_cast<std::uint8_t>(w));
@@ -291,6 +306,10 @@ SetAssocCache::audit() const
             FDP_ASSERT(on_stack[w],
                        "%s: set %zu valid way %zu missing from the stack",
                        auditName(), s, w);
+            FDP_ASSERT(l.owner.index() < params_.numCores,
+                       "%s: set %zu way %zu owned by core %u of %u",
+                       auditName(), s, w, l.owner.index(),
+                       params_.numCores);
             for (std::size_t o = 0; o < w; ++o) {
                 const Line &other = lines_[base + o];
                 FDP_ASSERT((other.flags & kValid) == 0 ||

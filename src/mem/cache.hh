@@ -36,6 +36,9 @@ struct CacheParams
     std::string name = "cache";
     std::size_t sizeBytes = 1024 * 1024;
     unsigned assoc = 16;
+    /** Cores that may own lines (shared caches in a multi-core machine);
+     *  the audit rejects owner tags outside this range. */
+    unsigned numCores = 1;
 };
 
 /** Result of a demand lookup. */
@@ -53,6 +56,7 @@ struct CacheVictim
     BlockAddr block = 0;
     bool prefBit = false;  ///< block was prefetched and never used
     bool dirty = false;
+    CoreId owner;          ///< core whose fill installed the block
 };
 
 /** Set-associative, true-LRU, write-back cache model (tags only). */
@@ -72,10 +76,15 @@ class SetAssocCache : public Auditable
 
     /**
      * Install @p block at stack position @p pos, evicting the LRU block
-     * of the set if the set is full. @p prefBit tags prefetch fills.
+     * of the set if the set is full. @p prefBit tags prefetch fills;
+     * @p owner records the core whose fill installed the block (shared
+     * caches attribute victim bookkeeping by it).
      */
     CacheVictim insert(BlockAddr block, bool prefBit, InsertPos pos,
-                       bool dirty);
+                       bool dirty, CoreId owner = kCore0);
+
+    /** Owner tag of @p block, which must be present (see probe()). */
+    CoreId ownerOf(BlockAddr block) const;
 
     /** Mark @p block dirty if present (L1 writeback landing in L2). */
     bool markDirty(BlockAddr block);
@@ -102,7 +111,8 @@ class SetAssocCache : public Auditable
     /**
      * Invariants: each set's recency chain visits exactly its valid ways
      * once with consistent prev/next links, the valid-way count matches
-     * `used`, and every valid block maps to the set that holds it.
+     * `used`, every valid block maps to the set that holds it, and every
+     * valid line's owner tag names a core below the configured count.
      */
     void audit() const override;
     const char *auditName() const override { return params_.name.c_str(); }
@@ -122,6 +132,7 @@ class SetAssocCache : public Auditable
         std::uint8_t flags = 0;
         std::uint8_t prev = kNoWay;  ///< toward LRU
         std::uint8_t next = kNoWay;  ///< toward MRU
+        CoreId owner;                ///< core whose fill installed it
     };
 
     /** Per-set chain endpoints and occupancy. */

@@ -37,11 +37,12 @@ DramParams::withUnloadedLatency(Cycle total)
 }
 
 DramModel::DramModel(const DramParams &params, EventQueue &events,
-                     StatGroup &stats)
+                     StatGroup &stats, unsigned numCores)
     : params_(params), events_(events),
       transferCycles_(params.transferCycles()),
       bankReady_(params.banks, 0),
       openRow_(params.banks, ~std::uint64_t{0}),
+      coreBusAccesses_(numCores, 0),
       busAccesses_(stats, "bus_accesses", "blocks transferred on the bus"),
       demandGrants_(stats, "demand_grants", "demand bus grants"),
       prefetchGrants_(stats, "prefetch_grants", "prefetch bus grants"),
@@ -53,28 +54,40 @@ DramModel::DramModel(const DramParams &params, EventQueue &events,
 {
     if (params_.banks == 0 || params_.rowBlocks == 0)
         fatal("DRAM needs nonzero banks and row size");
+    if (numCores == 0)
+        fatal("DRAM needs at least one requesting core");
 }
 
 bool
-DramModel::enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done)
+DramModel::enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done,
+                   CoreId core)
 {
     switch (prio) {
       case BusPriority::Demand:
         if (demandQ_.size() >= params_.queueCapacity)
             panic("demand bus queue overflow (MSHRs should bound it)");
-        demandQ_.push_back({block, prio, now, std::move(done)});
+        demandQ_.push_back({block, prio, now, core, std::move(done)});
         break;
       case BusPriority::Prefetch:
         if (prefQ_.size() >= params_.queueCapacity)
             return false;
-        prefQ_.push_back({block, prio, now, std::move(done)});
+        prefQ_.push_back({block, prio, now, core, std::move(done)});
         break;
       case BusPriority::Writeback:
-        wbQ_.push_back({block, prio, now, std::move(done)});
+        wbQ_.push_back({block, prio, now, core, std::move(done)});
         break;
     }
     schedulePump(now);
     return true;
+}
+
+std::uint64_t
+DramModel::busAccessesByCore(CoreId core) const
+{
+    FDP_ASSERT(core.index() < coreBusAccesses_.size(),
+               "%s: core %u of %zu asked for its bus accesses",
+               auditName(), core.index(), coreBusAccesses_.size());
+    return coreBusAccesses_[core.index()];
 }
 
 void
@@ -163,6 +176,7 @@ DramModel::pump()
     openRow_[bank] = row;
 
     ++busAccesses_;
+    ++coreBusAccesses_[req.core.index()];
     busBusyCycles_ += transferCycles_;
     if (row_hit)
         ++rowHits_;
@@ -192,6 +206,12 @@ DramModel::auditQueue(const std::deque<Request> &q, BusPriority prio,
         FDP_ASSERT(r.prio == prio,
                    "%s: %s bus queue holds a request with priority %u",
                    auditName(), label, static_cast<unsigned>(r.prio));
+        FDP_ASSERT(r.core.index() < coreBusAccesses_.size(),
+                   "%s: queued %s request for block %llu tagged with core "
+                   "%u of %zu",
+                   auditName(), label,
+                   static_cast<unsigned long long>(r.block),
+                   r.core.index(), coreBusAccesses_.size());
         if (prio == BusPriority::Writeback)
             FDP_ASSERT(!r.done,
                        "%s: queued writeback for block %llu has a "
@@ -225,6 +245,14 @@ DramModel::audit() const
     FDP_ASSERT(queued() == 0 || pumpScheduled_,
                "%s: %zu queued requests but no pump scheduled",
                auditName(), queued());
+    std::uint64_t per_core_sum = 0;
+    for (const std::uint64_t n : coreBusAccesses_)
+        per_core_sum += n;
+    FDP_ASSERT(per_core_sum == busAccesses_.value(),
+               "%s: per-core bus accesses sum to %llu but the shared "
+               "total is %llu",
+               auditName(), static_cast<unsigned long long>(per_core_sum),
+               static_cast<unsigned long long>(busAccesses_.value()));
     auditQueue(demandQ_, BusPriority::Demand, "demand");
     auditQueue(prefQ_, BusPriority::Prefetch, "prefetch");
     auditQueue(wbQ_, BusPriority::Writeback, "writeback");

@@ -70,16 +70,21 @@ class DramModel : public Auditable
   public:
     using DoneFn = fdp::DoneFn;
 
+    /**
+     * @param numCores  cores that may issue bus requests; per-core bus
+     *                  accesses are tallied against this many counters
+     */
     DramModel(const DramParams &params, EventQueue &events,
-              StatGroup &stats);
+              StatGroup &stats, unsigned numCores = 1);
 
     /**
-     * Enqueue a block request. Returns false (and drops the request)
-     * only for prefetches when the prefetch queue is full. @p done is
-     * invoked with the cycle at which the fill reaches the L2; pass
-     * nullptr for writebacks.
+     * Enqueue a block request on behalf of @p core. Returns false (and
+     * drops the request) only for prefetches when the prefetch queue is
+     * full. @p done is invoked with the cycle at which the fill reaches
+     * the L2; pass nullptr for writebacks.
      */
-    bool enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done);
+    bool enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done,
+                 CoreId core = kCore0);
 
     /**
      * Promote a still-queued prefetch for @p block to demand priority
@@ -98,14 +103,19 @@ class DramModel : public Auditable
     std::uint64_t busBusyCycles() const { return busBusyCycles_.value(); }
     std::uint64_t rowHits() const { return rowHits_.value(); }
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+    /** Blocks transferred on the bus on behalf of @p core. */
+    std::uint64_t busAccessesByCore(CoreId core) const;
     /// @}
 
     /**
      * Invariants: the demand/prefetch queues stay within capacity, each
      * request sits in the queue matching its priority with a completion
-     * callback iff it is not a writeback, the per-bank state arrays
-     * match the configured bank count, and a pump event is scheduled
-     * whenever work is queued.
+     * callback iff it is not a writeback and a core id below the
+     * configured core count, the per-bank state arrays match the
+     * configured bank count, a pump event is scheduled whenever work is
+     * queued, and the per-core bus-access counters sum exactly to the
+     * shared total.
      */
     void audit() const override;
     const char *auditName() const override { return "dram"; }
@@ -118,6 +128,7 @@ class DramModel : public Auditable
         BlockAddr block = 0;
         BusPriority prio = BusPriority::Demand;
         Cycle enqueueCycle = 0;
+        CoreId core;
         DoneFn done;
     };
 
@@ -138,6 +149,8 @@ class DramModel : public Auditable
 
     std::vector<Cycle> bankReady_;
     std::vector<std::uint64_t> openRow_;
+    /** Bus accesses attributed to each requesting core. */
+    std::vector<std::uint64_t> coreBusAccesses_;
     Cycle busFree_ = 0;
     bool pumpScheduled_ = false;
 

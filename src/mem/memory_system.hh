@@ -27,6 +27,7 @@
 #include "core/fdp_controller.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/memory_port.hh"
 #include "mem/mshr.hh"
 #include "mem/prefetch_cache.hh"
 #include "prefetch/prefetcher.hh"
@@ -56,7 +57,7 @@ struct MachineParams
 };
 
 /** L1 + L2 + DRAM with prefetching and FDP instrumentation. */
-class MemorySystem : public Auditable
+class MemorySystem : public Auditable, public MemoryPort
 {
   public:
     using DoneFn = fdp::DoneFn;
@@ -78,7 +79,7 @@ class MemorySystem : public Auditable
      * does not wait on them.
      */
     void demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
-                      DoneFn done);
+                      DoneFn done) override;
 
     /** True when no misses are in flight and no requests are queued. */
     bool quiesced() const;

@@ -5,8 +5,11 @@
 namespace fdp
 {
 
-MshrFile::MshrFile(std::size_t capacity) : capacity_(capacity)
+MshrFile::MshrFile(std::size_t capacity, unsigned numCores)
+    : capacity_(capacity), numCores_(numCores)
 {
+    if (numCores_ == 0)
+        fatal("MSHR file needs at least one core");
     slots_.resize(capacity_);
     freeSlots_.reserve(capacity_);
     for (std::size_t s = capacity_; s > 0; --s)
@@ -46,7 +49,7 @@ MshrFile::find(BlockAddr block)
 }
 
 MshrEntry &
-MshrFile::allocate(BlockAddr block, bool prefBit, Cycle now)
+MshrFile::allocate(BlockAddr block, bool prefBit, Cycle now, CoreId core)
 {
     if (full())
         panic("MSHR allocate while full (capacity %zu)", capacity_);
@@ -63,6 +66,7 @@ MshrFile::allocate(BlockAddr block, bool prefBit, Cycle now)
     e.prefBit = prefBit;
     e.writeIntent = false;
     e.allocCycle = now;
+    e.core = core;
     e.waiters.clear();
     return e;
 }
@@ -144,6 +148,10 @@ MshrFile::audit() const
                        static_cast<unsigned long long>(b.block), p);
 
         const MshrEntry &e = slots_[b.slot];
+        FDP_ASSERT(e.core.index() < numCores_,
+                   "%s: entry for block %llu tagged with core %u of %u",
+                   auditName(), static_cast<unsigned long long>(b.block),
+                   e.core.index(), numCores_);
         FDP_ASSERT(e.block == b.block,
                    "%s: entry keyed by block %llu records block %llu",
                    auditName(), static_cast<unsigned long long>(b.block),

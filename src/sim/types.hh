@@ -26,6 +26,36 @@ using Counter = std::uint64_t;
 /** Sentinel meaning "no cycle" / "never". */
 inline constexpr Cycle kNoCycle = ~Cycle{0};
 
+/**
+ * Typed identity of one core in a (possibly multi-core) machine.
+ *
+ * Deliberately not an integer: outside the multi-core subsystem
+ * (`src/mc/`) code passes core identity around opaquely and may only
+ * use index() to key containers or print, never to do arithmetic
+ * (lint rule `typed-core-id`). Single-core components default every
+ * CoreId parameter to kCore0, so they never need to mention cores.
+ */
+class CoreId
+{
+  public:
+    constexpr CoreId() = default;
+    constexpr explicit CoreId(unsigned index)
+        : index_(static_cast<std::uint8_t>(index))
+    {
+    }
+
+    /** Raw index, for container lookups and display only. */
+    constexpr unsigned index() const { return index_; }
+
+    constexpr bool operator==(const CoreId &) const = default;
+
+  private:
+    std::uint8_t index_ = 0;
+};
+
+/** Core 0: the only core of a single-core machine. */
+inline constexpr CoreId kCore0{};
+
 /** Log2 of the cache block size used throughout the hierarchy (64B). */
 inline constexpr unsigned kBlockShift = 6;
 

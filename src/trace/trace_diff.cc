@@ -1,0 +1,118 @@
+#include "trace/trace_diff.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "trace/trace_reader.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+const char *
+kindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Int:
+        return "int";
+      case OpKind::Load:
+        return "load";
+      case OpKind::Store:
+        return "store";
+    }
+    return "?";
+}
+
+/** Name of the first field the two records disagree on, or nullptr. */
+const char *
+firstDifference(const MicroOp &a, const MicroOp &b)
+{
+    if (a.kind != b.kind)
+        return "kind";
+    if (a.kind != OpKind::Int && a.addr != b.addr)
+        return "addr";
+    if (a.kind != OpKind::Int && a.pc != b.pc)
+        return "pc";
+    if (a.depPrevLoad != b.depPrevLoad)
+        return "dep";
+    return nullptr;
+}
+
+void
+printOp(std::ostream &out, const char *label, const std::string &path,
+        const MicroOp &op)
+{
+    out << "  " << label << ' ' << path << ": ";
+    if (op.kind == OpKind::Int) {
+        out << "int\n";
+        return;
+    }
+    out << std::left << std::setw(5) << kindName(op.kind) << std::right
+        << " 0x" << std::hex << std::setfill('0') << std::setw(12)
+        << op.addr << "  pc 0x" << std::setw(8) << op.pc << std::dec
+        << std::setfill(' ') << (op.depPrevLoad ? "  dep" : "") << '\n';
+}
+
+} // namespace
+
+TraceDiff
+diffTraces(const std::string &pathA, const std::string &pathB)
+{
+    TraceReader a(pathA);
+    TraceReader b(pathB);
+
+    TraceDiff d;
+    d.pathA = pathA;
+    d.pathB = pathB;
+    d.benchmarkDiffers = a.header().benchmark != b.header().benchmark;
+    d.seedDiffers = a.header().seed != b.header().seed;
+    d.opCountA = a.header().opCount;
+    d.opCountB = b.header().opCount;
+
+    MicroOp opA, opB;
+    while (a.next(opA)) {
+        if (!b.next(opB))
+            break;  // B is a proper prefix of A
+        if (const char *field = firstDifference(opA, opB)) {
+            d.diverged = true;
+            d.divergeIndex = d.opsCompared;
+            d.opA = opA;
+            d.opB = opB;
+            d.field = field;
+            return d;
+        }
+        ++d.opsCompared;
+    }
+    return d;
+}
+
+void
+printTraceDiff(const TraceDiff &d, std::ostream &out)
+{
+    if (d.identical()) {
+        out << "traces identical: " << d.opsCompared << " micro-ops\n";
+        if (d.benchmarkDiffers || d.seedDiffers)
+            out << "note: header metadata differs ("
+                << (d.benchmarkDiffers ? "benchmark" : "")
+                << (d.benchmarkDiffers && d.seedDiffers ? ", " : "")
+                << (d.seedDiffers ? "seed" : "")
+                << ") but the op streams match\n";
+        return;
+    }
+
+    if (d.diverged) {
+        out << "traces diverge at micro-op " << d.divergeIndex
+            << " (field: " << d.field << ")\n";
+        printOp(out, "<", d.pathA, d.opA);
+        printOp(out, ">", d.pathB, d.opB);
+    } else {
+        out << "traces differ in length only: common prefix of "
+            << d.opsCompared << " micro-ops is identical\n";
+    }
+    out << "  < " << d.pathA << ": " << d.opCountA << " micro-ops\n";
+    out << "  > " << d.pathB << ": " << d.opCountB << " micro-ops\n";
+}
+
+} // namespace fdp

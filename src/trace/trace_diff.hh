@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Op-by-op comparison of two fdptrace-v1 traces with first-divergence
+ * reporting (the `fdp_trace diff` subcommand and the per-core replay
+ * tests use it). Both inputs are decoded through TraceReader, so a
+ * malformed file is a clean fatal() before any comparison happens.
+ */
+
+#ifndef FDP_TRACE_TRACE_DIFF_HH
+#define FDP_TRACE_TRACE_DIFF_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace fdp
+{
+
+/** Outcome of comparing two traces op by op. */
+struct TraceDiff
+{
+    std::string pathA;
+    std::string pathB;
+
+    /** Header metadata (benchmark name / seed) disagrees. Informative
+     *  only: two identical op streams may carry different labels. */
+    bool benchmarkDiffers = false;
+    bool seedDiffers = false;
+
+    std::uint64_t opCountA = 0;
+    std::uint64_t opCountB = 0;
+
+    /** Records compared before the verdict (the shorter prefix). */
+    std::uint64_t opsCompared = 0;
+
+    /** True when some compared record pair disagrees. */
+    bool diverged = false;
+    /** Index of the first differing record (valid when diverged). */
+    std::uint64_t divergeIndex = 0;
+    /** The first differing record pair (valid when diverged). */
+    MicroOp opA;
+    MicroOp opB;
+    /** Field that differs first: "kind", "addr", "pc", or "dep". */
+    std::string field;
+
+    /** Identical op streams: same length, no diverging record. */
+    bool
+    identical() const
+    {
+        return !diverged && opCountA == opCountB;
+    }
+};
+
+/**
+ * Decode @p pathA and @p pathB in lockstep and report the first
+ * divergence. Stops at the first differing record; a pure length
+ * difference (one trace is a proper prefix of the other) reports
+ * diverged == false with unequal op counts. Fatal on unreadable or
+ * corrupt inputs.
+ */
+TraceDiff diffTraces(const std::string &pathA, const std::string &pathB);
+
+/**
+ * Print @p d human-readably to @p out: one-line verdict for identical
+ * traces, otherwise the first-divergence record pair (index, fields,
+ * both values) and any header/length differences.
+ */
+void printTraceDiff(const TraceDiff &d, std::ostream &out);
+
+} // namespace fdp
+
+#endif // FDP_TRACE_TRACE_DIFF_HH

@@ -185,4 +185,27 @@ PhasedWorkload::reset()
     count_ = 0;
 }
 
+RebasedWorkload::RebasedWorkload(std::unique_ptr<Workload> inner, Addr base)
+    : inner_(std::move(inner)), base_(base)
+{
+    if (!inner_)
+        fatal("rebased workload needs an inner workload");
+}
+
+MicroOp
+RebasedWorkload::next()
+{
+    MicroOp op = inner_->next();
+    if (op.kind != OpKind::Int)
+        op.addr += base_;
+    return op;
+}
+
+void
+RebasedWorkload::audit() const
+{
+    if (const auto *a = dynamic_cast<const Auditable *>(inner_.get()))
+        a->audit();
+}
+
 } // namespace fdp

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 #include "workload/workload.hh"
@@ -141,6 +142,38 @@ class PhasedWorkload : public Workload
     std::uint64_t phaseOps_;
     std::uint64_t count_ = 0;
     std::string name_;
+};
+
+/**
+ * Offsets every memory address of an owned sub-workload by a fixed
+ * base, modeling one program of a multi-programmed co-run: each core's
+ * stream lives in a disjoint slice of the physical address space, so
+ * co-runners contend for cache capacity and bus bandwidth but never
+ * share data. PCs are left untouched (prefetcher history is per core,
+ * so PC aliasing across cores cannot occur anyway), and Int ops carry
+ * no address to rebase. The rebase is a pure constant offset: run
+ * alone, a rebased workload behaves bit-identically to its inner one
+ * as long as the base is block- and DRAM-row-aligned.
+ *
+ * Forwards audits when the inner workload is Auditable (e.g. a
+ * TraceWorkload frontend).
+ */
+class RebasedWorkload : public Workload, public Auditable
+{
+  public:
+    RebasedWorkload(std::unique_ptr<Workload> inner, Addr base);
+
+    MicroOp next() override;
+    void reset() override { inner_->reset(); }
+    const char *name() const override { return inner_->name(); }
+    Addr base() const { return base_; }
+
+    void audit() const override;
+    const char *auditName() const override { return "rebased_workload"; }
+
+  private:
+    std::unique_ptr<Workload> inner_;
+    Addr base_;
 };
 
 /// @name Address-space layout of the synthetic generators

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cpu/ooo_core.hh"
+#include "mem/memory_system.hh"
 
 namespace fdp
 {

@@ -15,6 +15,7 @@
 #include "core/fdp_controller.hh"
 #include "core/feedback_counters.hh"
 #include "core/pollution_filter.hh"
+#include "mc/mc_memory_system.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/memory_system.hh"
@@ -149,6 +150,13 @@ struct AuditCorrupter
         fdp.prefUsed_ += fdp.prefSent_.value() + 1;
     }
 
+    /** Advance one controller's completed-interval count on its own. */
+    static void
+    controllerSkipInterval(FdpController &fdp)
+    {
+        ++fdp.intervals_;
+    }
+
     /** Zero the direction of a monitoring stream entry. */
     static void
     streamZeroDirection(StreamPrefetcher &pf)
@@ -199,6 +207,29 @@ struct AuditCorrupter
     memorySystemCorruptL2(MemorySystem &mem)
     {
         cacheDuplicateStackEntry(mem.l2_);
+    }
+
+    /** Queue a demand tagged with a core the machine does not have. */
+    static void
+    mcTagQueuedDemandBadCore(McMemorySystem &mc)
+    {
+        mc.mshrWaitQ_.push_back({CoreId(mc.numCores_ + 7), 0, false,
+                                 nullptr, 0});
+    }
+
+    /** Overfill one core's Prefetch Request Queue past its capacity. */
+    static void
+    mcOverfillPrefetchQueue(McMemorySystem &mc)
+    {
+        mc.perCore_[0].prefetchQueue.resize(
+            mc.params_.prefetchQueueCap + 1, 0);
+    }
+
+    /** Credit core 0 with a demand access the shared total never saw. */
+    static void
+    mcBreakStatConservation(McMemorySystem &mc)
+    {
+        ++mc.perCore_[0].demandAccesses;
     }
 
     /** Overfill the demand bus queue past its capacity. */

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Trace diffing: identical streams compare equal, the first diverging
+ * record is pinpointed by index and field, pure length differences are
+ * distinguished from divergence, and re-recording a calibrated
+ * benchmark generator reproduces the identical stream (the property
+ * the per-core replay path rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/trace_diff.hh"
+#include "trace/trace_writer.hh"
+#include "workload/spec_suite.hh"
+
+namespace fdp
+{
+namespace
+{
+
+MicroOp
+memOp(OpKind kind, Addr addr, Addr pc)
+{
+    MicroOp op;
+    op.kind = kind;
+    op.addr = addr;
+    op.pc = pc;
+    return op;
+}
+
+std::vector<MicroOp>
+sampleOps()
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 64; ++i) {
+        if (i % 3 == 0)
+            ops.push_back({});  // int op
+        else
+            ops.push_back(memOp(i % 3 == 1 ? OpKind::Load : OpKind::Store,
+                                0x100000 + i * 64, 0x4000 + i));
+    }
+    return ops;
+}
+
+std::string
+writeTrace(const std::string &name, const std::vector<MicroOp> &ops,
+           std::uint64_t seed = 7)
+{
+    const std::string path = testing::TempDir() + "trace_diff_" + name +
+                             ".fdptrace";
+    TraceWriter writer(path, name, seed);
+    for (const MicroOp &op : ops)
+        writer.append(op);
+    writer.finish();
+    return path;
+}
+
+TEST(TraceDiff, IdenticalStreamsCompareEqual)
+{
+    const auto ops = sampleOps();
+    const std::string a = writeTrace("id_a", ops);
+    const std::string b = writeTrace("id_b", ops);
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_TRUE(d.identical());
+    EXPECT_FALSE(d.diverged);
+    EXPECT_EQ(d.opsCompared, ops.size());
+}
+
+TEST(TraceDiff, FirstDivergingRecordIsPinpointed)
+{
+    const auto ops = sampleOps();
+    auto mutated = ops;
+    mutated[17].addr += 64;  // op 17 is a mem op (17 % 3 == 2)
+    const std::string a = writeTrace("div_a", ops);
+    const std::string b = writeTrace("div_b", mutated);
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_FALSE(d.identical());
+    ASSERT_TRUE(d.diverged);
+    EXPECT_EQ(d.divergeIndex, 17u);
+    EXPECT_EQ(d.field, "addr");
+    EXPECT_EQ(d.opA.addr + 64, d.opB.addr);
+}
+
+TEST(TraceDiff, KindChangeReportsKindField)
+{
+    const auto ops = sampleOps();
+    auto mutated = ops;
+    mutated[4].kind = OpKind::Store;  // was a load (4 % 3 == 1)
+    const std::string a = writeTrace("kind_a", ops);
+    const std::string b = writeTrace("kind_b", mutated);
+    const TraceDiff d = diffTraces(a, b);
+    ASSERT_TRUE(d.diverged);
+    EXPECT_EQ(d.divergeIndex, 4u);
+    EXPECT_EQ(d.field, "kind");
+}
+
+TEST(TraceDiff, ProperPrefixIsLengthOnlyDifference)
+{
+    const auto ops = sampleOps();
+    auto longer = ops;
+    longer.push_back(memOp(OpKind::Load, 0x900000, 0x5000));
+    const std::string a = writeTrace("pfx_a", ops);
+    const std::string b = writeTrace("pfx_b", longer);
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_FALSE(d.identical());
+    EXPECT_FALSE(d.diverged);  // no record disagrees
+    EXPECT_EQ(d.opsCompared, ops.size());
+    EXPECT_EQ(d.opCountA, ops.size());
+    EXPECT_EQ(d.opCountB, ops.size() + 1);
+}
+
+TEST(TraceDiff, HeaderMetadataIsNotedButNotDivergence)
+{
+    const auto ops = sampleOps();
+    const std::string a = writeTrace("hdr_a", ops, 7);
+    const std::string b = writeTrace("hdr_b", ops, 8);
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_TRUE(d.identical());
+    EXPECT_TRUE(d.benchmarkDiffers);  // names differ: hdr_a vs hdr_b
+    EXPECT_TRUE(d.seedDiffers);
+}
+
+TEST(TraceDiff, RecordedGeneratorStreamsAreReproducible)
+{
+    // The per-core replay contract: recording the same calibrated
+    // benchmark twice yields bit-identical op streams.
+    auto record = [](const std::string &tag) {
+        auto workload = makeBenchmark("swim");
+        const std::string path = testing::TempDir() +
+                                 "trace_diff_swim_" + tag + ".fdptrace";
+        TraceWriter writer(path, "swim", workload->params().seed);
+        for (int i = 0; i < 20'000; ++i)
+            writer.append(workload->next());
+        writer.finish();
+        return path;
+    };
+    const TraceDiff d = diffTraces(record("r1"), record("r2"));
+    EXPECT_TRUE(d.identical());
+    EXPECT_FALSE(d.benchmarkDiffers);
+    EXPECT_FALSE(d.seedDiffers);
+    EXPECT_EQ(d.opsCompared, 20'000u);
+}
+
+} // namespace
+} // namespace fdp

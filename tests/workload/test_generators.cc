@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "workload/generators.hh"
 
@@ -242,6 +244,63 @@ TEST(Phased, ResetRestartsPhase)
     EXPECT_EQ(w.currentPhase(), 1u);
     w.reset();
     EXPECT_EQ(w.currentPhase(), 0u);
+}
+
+TEST(Rebased, ShiftsMemOpsOnlyAndLeavesPcAlone)
+{
+    auto p = base();
+    p.pStream = 0.5;
+    p.pHot = 0.3;
+    constexpr Addr kBase = 1ull << 46;
+    SyntheticWorkload plain(p);
+    RebasedWorkload rebased(std::make_unique<SyntheticWorkload>(p), kBase);
+    for (int i = 0; i < 2000; ++i) {
+        const MicroOp a = plain.next();
+        const MicroOp b = rebased.next();
+        ASSERT_EQ(a.kind, b.kind);
+        ASSERT_EQ(a.depPrevLoad, b.depPrevLoad);
+        if (a.kind == OpKind::Int)
+            continue;
+        ASSERT_EQ(a.addr + kBase, b.addr);  // pure constant offset...
+        ASSERT_EQ(a.pc, b.pc);              // ...that never touches PCs
+    }
+}
+
+TEST(Rebased, ZeroBaseIsTheIdentity)
+{
+    auto p = base();
+    p.pStream = 1.0;
+    p.numStreams = 1;
+    SyntheticWorkload plain(p);
+    RebasedWorkload rebased(std::make_unique<SyntheticWorkload>(p), 0);
+    for (int i = 0; i < 500; ++i) {
+        const MicroOp a = plain.next();
+        const MicroOp b = rebased.next();
+        ASSERT_EQ(a.addr, b.addr);
+    }
+}
+
+TEST(Rebased, ForwardsNameAndReset)
+{
+    auto p = base();
+    p.pHot = 1.0;
+    RebasedWorkload w(std::make_unique<SyntheticWorkload>(p), 1ull << 46);
+    EXPECT_STREQ(w.name(), "test");
+    std::vector<MicroOp> first;
+    for (int i = 0; i < 200; ++i)
+        first.push_back(w.next());
+    w.reset();
+    for (int i = 0; i < 200; ++i) {
+        const MicroOp op = w.next();
+        ASSERT_EQ(op.kind, first[i].kind);
+        ASSERT_EQ(op.addr, first[i].addr);
+    }
+}
+
+TEST(RebasedDeathTest, NullInnerWorkloadIsFatal)
+{
+    EXPECT_EXIT({ RebasedWorkload w(nullptr, 0); },
+                testing::ExitedWithCode(1), "inner workload");
 }
 
 } // namespace

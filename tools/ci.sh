@@ -73,6 +73,23 @@ stage_tier1() {
     diff "$tdir/record.out" "$tdir/replay.out"
     diff "$tdir/record.json" "$tdir/replay.json"
     echo "trace smoke: replay bit-identical to the recording run"
+
+    echo "==== stage tier1: 2-core mix determinism smoke ===="
+    # One bandwidth-bound co-run end to end, then the same mix again
+    # with a different worker count: stdout tables and results JSON
+    # must be bit-identical or the sweep scheduler leaked its thread
+    # interleaving into the simulation.
+    local mdir="$ROOT/build-ci/mix-smoke"
+    rm -rf "$mdir" && mkdir -p "$mdir"
+    "$ROOT/build-ci/bench/fdp_sim" --cores 2 --mix mix2-stream \
+        --insts 100000 --jobs 1 --out "$mdir/jobs1.json" \
+        > "$mdir/jobs1.out" 2> /dev/null
+    "$ROOT/build-ci/bench/fdp_sim" --cores 2 --mix mix2-stream \
+        --insts 100000 --jobs 4 --out "$mdir/jobs4.json" \
+        > "$mdir/jobs4.out" 2> /dev/null
+    diff "$mdir/jobs1.out" "$mdir/jobs4.out"
+    diff "$mdir/jobs1.json" "$mdir/jobs4.json"
+    echo "mix smoke: co-run bit-identical across --jobs 1 and --jobs 4"
 }
 
 stage_asan() {
@@ -90,16 +107,25 @@ stage_tsan() {
     cmake -B "$ROOT/build-tsan" -S "$ROOT" -DFDP_SANITIZE=thread \
         "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
     cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-        --target test_harness test_sim test_trace fig09_overall
+        --target test_harness test_sim test_trace test_mc \
+        fig09_overall mix05_corun
     # The threaded surface: pool + scheduler + logging sink tests, the
-    # trace suite (its golden test drives the pool at --jobs 4), then
-    # one real multi-threaded sweep. halt_on_error so a race fails CI.
+    # trace suite (its golden test drives the pool at --jobs 4), the
+    # multi-core suite (its mix-runner tests sweep co-runs and alone
+    # baselines through the pool), then one real multi-threaded sweep
+    # each for the single-core and co-run paths. mix05_corun gets a
+    # small explicit budget — the full default is minutes under TSan.
+    # halt_on_error so a race fails CI.
     TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_harness"
     TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_sim"
     TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_trace"
+    TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/test_mc"
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/bench/fig09_overall" --quick --jobs 4 \
         > /dev/null
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/bench/mix05_corun" --mix mix2-stream \
+        --mix mix4-bw --insts 50000 --jobs 4 > /dev/null
     echo "tsan stage: zero data races reported"
 }
 
@@ -128,7 +154,8 @@ for e in entries:
         sys.exit(f"entry {e['name']}: bad better {e['better']!r}")
     float(e["value"])
 for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s",
-                 "macro/trace_replay/insts_per_s"):
+                 "macro/trace_replay/insts_per_s",
+                 "macro/mc2/insts_per_s"):
     if required not in names:
         sys.exit(f"missing required entry {required}")
 print(f"bench smoke: {len(entries)} entries, schema valid")

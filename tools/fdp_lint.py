@@ -24,6 +24,13 @@ Enforces conventions a generic linter cannot know:
                   src/harness/reporting.* — trace files and results
                   files are the only artifacts the simulator touches,
                   and both ends must fatal() cleanly on I/O failure.
+  typed-core-id   core identities travel as the typed CoreId
+                  (sim/types.hh), never as raw integers: declaring a
+                  core id with an integer type, or doing arithmetic on
+                  .index(), is banned outside src/mc/ (the co-run
+                  subsystem owns core enumeration). Using .index() to
+                  subscript a per-core container or compare ids stays
+                  legal everywhere.
 
 Comments and string literals are stripped before the regex rules run, so
 prose like "transfer time (bandwidth)" cannot trip the time() ban.
@@ -99,6 +106,13 @@ THREAD_BAN = re.compile(
     r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
 FILE_IO_BAN = re.compile(
     r"\bstd::[iow]?fstream\b|\b(?:fopen|freopen|tmpfile)\s*\(")
+INT_CORE_DECL = re.compile(
+    r"\b(?:unsigned(?:\s+int)?|int|short|long|std::size_t|size_t"
+    r"|std::u?int(?:8|16|32|64)_t|u?int(?:8|16|32|64)_t)"
+    r"\s+(?:core|core_?[iI][dD]\w*|core_?[iI]dx\w*|core_?index\w*)"
+    r"\s*[=;,)]")
+CORE_INDEX_ARITH = re.compile(
+    r"\.index\(\)\s*[-+*/%]|[-+*/%]\s*[A-Za-z_]\w*\.index\(\)")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
 DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
 
@@ -179,6 +193,23 @@ def lint_file_io(root, findings):
                         "TraceWriter or ResultsJson)", findings)
 
 
+CORE_ID_OK = {Path("src/sim/types.hh")}
+
+
+def lint_core_id(root, findings):
+    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
+        if rel in CORE_ID_OK or rel.parts[:2] == ("src", "mc"):
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        _regex_findings(path, rel, code, INT_CORE_DECL, "typed-core-id",
+                        "raw integer core id (use fdp::CoreId from "
+                        "sim/types.hh)", findings)
+        _regex_findings(path, rel, code, CORE_INDEX_ARITH, "typed-core-id",
+                        "arithmetic on CoreId::index() outside src/mc/ "
+                        "(subscripting and comparison stay legal)",
+                        findings)
+
+
 def expected_guard(rel):
     # src/mem/cache.hh -> FDP_MEM_CACHE_HH
     parts = [p.upper() for p in rel.parts[1:-1]]
@@ -228,7 +259,8 @@ def _sources(root, top_dirs, suffixes):
 
 
 RULES = [lint_rng, lint_new_delete, lint_printf, lint_threading,
-         lint_file_io, lint_include_guards, lint_test_pairing]
+         lint_file_io, lint_core_id, lint_include_guards,
+         lint_test_pairing]
 
 
 def run_lint(root):
@@ -261,6 +293,11 @@ SELF_TEST_CASES = [
      "return in.get(); }\n"),
     ("file-io", "src/cpu/bad_fopen.cc",
      "#include <cstdio>\nvoid *h() { return fopen(\"x\", \"r\"); }\n"),
+    ("typed-core-id", "src/mem/bad_core_decl.cc",
+     "void tag(unsigned core) { unsigned coreId = core; (void)coreId; }\n"),
+    ("typed-core-id", "src/mem/bad_core_arith.cc",
+     "unsigned next(CoreId id, unsigned n)\n"
+     "{ return (id.index() + 1) % n; }\n"),
     ("include-guard", "src/mem/bad_guard.hh",
      "#ifndef WRONG_GUARD_HH\n#define WRONG_GUARD_HH\n#endif\n"),
     ("test-pairing", "src/sim/orphan.cc",
@@ -276,6 +313,10 @@ CLEAN_FILE = (
     "// changes nothing\n"
     "const char *s = \"delete this std::mt19937 string\";\n"
     "struct NoCopy { NoCopy(const NoCopy &) = delete; };\n"
+    "inline int pick(const int *perCore, CoreId id)\n"
+    "{ return perCore[id.index()]; }\n"
+    "inline bool samePlace(CoreId a, CoreId b)\n"
+    "{ return a.index() == b.index(); }\n"
     "#endif  // FDP_SIM_CLEAN_HH\n",
 )
 

@@ -21,6 +21,7 @@
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/sweep_pool.hh"
+#include "mc/mix_runner.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
 
@@ -46,6 +47,8 @@ struct Options
     std::string outPath;  // empty = no results file
     std::string recordPath;  // --record: capture the run's micro-ops
     std::string tracePath;   // --trace: replay instead of generating
+    std::string mix;         // --mix: multi-core co-run of a named mix
+    unsigned cores = 0;      // --cores: expected core count (0 = mix's)
 };
 
 [[noreturn]] void
@@ -77,6 +80,12 @@ usage()
         "                      (fdptrace-v1; needs exactly one --bench)\n"
         "  --trace PATH        replay a recorded trace instead of the\n"
         "                      live generator (replaces --bench)\n"
+        "  --mix NAME          co-run a named multi-core workload mix\n"
+        "                      (N cores share L2 + DRAM, per-core FDP;\n"
+        "                      prints weighted/harmonic speedup tables)\n"
+        "  --cores N           assert the mix's core count (optional\n"
+        "                      with --mix, which defines N)\n"
+        "  --list-mixes        list available workload mixes and exit\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -136,12 +145,37 @@ parse(int argc, char **argv)
             o.recordPath = need(i);
         } else if (!std::strcmp(a, "--trace")) {
             o.tracePath = need(i);
+        } else if (!std::strcmp(a, "--mix")) {
+            o.mix = need(i);
+        } else if (!std::strcmp(a, "--cores")) {
+            o.cores = static_cast<unsigned>(
+                parseCountArg("--cores", need(i), 64));
+        } else if (!std::strcmp(a, "--list-mixes")) {
+            for (const MixSpec &m : namedMixes()) {
+                std::string programs;
+                for (const MixEntry &e : m.entries)
+                    programs += (programs.empty() ? "" : " ") +
+                                e.displayName();
+                std::printf("%-12s %u cores: %s\n", m.name.c_str(),
+                            m.numCores(), programs.c_str());
+            }
+            std::exit(0);
         } else if (!std::strcmp(a, "--stats")) {
             o.fullStats = true;
         } else {
             usage();
         }
     }
+    if (!o.mix.empty()) {
+        if (!o.benches.empty())
+            fatal("--mix defines the per-core programs; drop "
+                  "--bench/--all");
+        if (!o.tracePath.empty() || !o.recordPath.empty())
+            fatal("--mix cannot be combined with --record/--trace");
+        return o;
+    }
+    if (o.cores != 0)
+        fatal("--cores needs --mix (see --list-mixes)");
     if (!o.tracePath.empty() && !o.benches.empty())
         fatal("--trace replays a recorded stream; drop --bench/--all");
     if (!o.tracePath.empty() && !o.recordPath.empty())
@@ -189,6 +223,33 @@ buildConfig(const Options &o)
     return c;
 }
 
+/** Multi-core co-run of a named mix under the one requested policy. */
+int
+runMixMain(const Options &o, const RunConfig &config)
+{
+    const MixSpec &spec = mixByName(o.mix);
+    if (o.cores != 0 && o.cores != spec.numCores())
+        fatal("--cores %u disagrees with mix %s, which has %u cores",
+              o.cores, spec.name.c_str(), spec.numCores());
+
+    McLabeledConfig cfg;
+    cfg.label = o.policy;
+    cfg.config.base = config;
+    cfg.config.numCores = spec.numCores();
+    const std::vector<McRunResult> results =
+        runMixSweep(spec, {cfg}, o.jobs);
+
+    if (!o.outPath.empty()) {
+        ResultsJson out("fdp_sim");
+        for (const McRunResult &r : results)
+            addMcRunResult(out, r);
+        out.writeFile(o.outPath);
+    }
+    buildMixSummaryTable(results).print();
+    buildMixCoreTable(results).print();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -196,6 +257,8 @@ main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
     const RunConfig config = buildConfig(o);
+    if (!o.mix.empty())
+        return runMixMain(o, config);
 
     Table t("fdp_sim: " + o.policy + " policy, " +
             std::to_string(o.insts) + " micro-ops");

@@ -15,10 +15,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "harness/experiment.hh"
 #include "sim/logging.hh"
+#include "trace/trace_diff.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_workload.hh"
 #include "workload/spec_suite.hh"
@@ -42,7 +44,9 @@ usage()
         "                    print records human-readably (default 32;\n"
         "                    0 = all)\n"
         "  verify PATH       full integrity pass: header/footer, every\n"
-        "                    record, CRC, byte accounting\n");
+        "                    record, CRC, byte accounting\n"
+        "  diff PATH PATH    compare two traces op by op; report the\n"
+        "                    first divergence (exit 0 identical, 1 not)\n");
     std::exit(1);
 }
 
@@ -162,6 +166,14 @@ cmdVerify(const std::string &path)
     return 0;
 }
 
+int
+cmdDiff(const std::string &pathA, const std::string &pathB)
+{
+    const TraceDiff d = diffTraces(pathA, pathB);
+    printTraceDiff(d, std::cout);
+    return d.identical() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -173,6 +185,11 @@ main(int argc, char **argv)
 
     if (cmd == "record")
         return cmdRecord(argc, argv);
+    if (cmd == "diff") {
+        if (argc != 4)
+            usage();
+        return cmdDiff(argv[2], argv[3]);
+    }
 
     // The remaining commands all take one trace path plus options.
     if (argc < 3)
