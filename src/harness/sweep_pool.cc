@@ -1,5 +1,8 @@
 #include "harness/sweep_pool.hh"
 
+// fdp-analyze: suppress-file(wall-clock, steady_clock feeds the
+// stderr throughput report only; simulated results never read it)
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>

@@ -89,6 +89,9 @@ class Auditable
 };
 
 /** The set of auditable components of one assembled machine. */
+// fdp-analyze: suppress(audit-coverage, AuditSet is the audit
+// framework itself; its registry is rebuilt per machine, not
+// simulated state)
 class AuditSet
 {
   public:

@@ -49,6 +49,8 @@ class ScalarStat
 };
 
 /** A named bucketed distribution (fixed bucket count known up front). */
+// fdp-analyze: suppress(audit-coverage, stats are observers; they
+// record simulated state but nothing reads them back mid-run)
 class DistributionStat
 {
   public:
@@ -87,6 +89,8 @@ class DistributionStat
  * Owner of a related set of statistics. Groups nest by name prefix only;
  * there is no object hierarchy to keep the framework cheap.
  */
+// fdp-analyze: suppress(audit-coverage, stats are observers; they
+// record simulated state but nothing reads them back mid-run)
 class StatGroup
 {
   public:

@@ -17,6 +17,8 @@ namespace fdp
 {
 
 /** Column-aligned ASCII table with a title and a header row. */
+// fdp-analyze: suppress(audit-coverage, output formatting only;
+// rows are write-once strings, never simulator state)
 class Table
 {
   public:

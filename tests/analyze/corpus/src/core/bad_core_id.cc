@@ -1,0 +1,17 @@
+// Seeded violation: a raw-integer core id, declared across a line
+// break so a line-based regex would miss it (the token stream does
+// not).
+// fdp-analyze-expect: typed-core-id
+
+namespace fdp
+{
+
+void
+route(int where)
+{
+    unsigned
+        core_id = static_cast<unsigned>(where);
+    (void)core_id;
+}
+
+} // namespace fdp

@@ -1,0 +1,17 @@
+// Seeded violation: random sources other than sim/rng.hh.
+// fdp-analyze-expect: rng-only
+
+#include <cstdlib>
+#include <random>
+
+namespace fdp
+{
+
+int
+pickVictim(int ways)
+{
+    std::mt19937 gen(42);
+    return (static_cast<int>(gen()) + rand()) % ways;
+}
+
+} // namespace fdp

@@ -1,0 +1,17 @@
+// Seeded violation: reading host time inside simulated code.
+// fdp-analyze-expect: wall-clock
+
+#include <chrono>
+#include <ctime>
+
+namespace fdp
+{
+
+long
+stamp()
+{
+    auto now = std::chrono::steady_clock::now();
+    return now.time_since_epoch().count() + time(nullptr);
+}
+
+} // namespace fdp

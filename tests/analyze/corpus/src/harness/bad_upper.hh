@@ -1,0 +1,18 @@
+// Target of bad_layering.cc's illegal include; itself clean.
+// fdp-analyze-expect: clean
+
+#ifndef FDP_HARNESS_BAD_UPPER_HH
+#define FDP_HARNESS_BAD_UPPER_HH
+
+namespace fdp
+{
+
+inline int
+upperValue()
+{
+    return 7;
+}
+
+} // namespace fdp
+
+#endif // FDP_HARNESS_BAD_UPPER_HH

@@ -1,0 +1,24 @@
+// Seeded violation: a class holding mutable container state without
+// deriving fdp::Auditable (and without a reasoned suppression).
+// fdp-analyze-expect: audit-coverage
+
+#ifndef FDP_MEM_BAD_AUDIT_HH
+#define FDP_MEM_BAD_AUDIT_HH
+
+#include <vector>
+
+namespace fdp
+{
+
+class VictimBuffer
+{
+  public:
+    void push(int blk) { blocks_.push_back(blk); }
+
+  private:
+    std::vector<int> blocks_;
+};
+
+} // namespace fdp
+
+#endif // FDP_MEM_BAD_AUDIT_HH

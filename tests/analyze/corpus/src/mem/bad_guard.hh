@@ -1,0 +1,19 @@
+// Seeded violation: include guard does not match the path convention
+// (want FDP_MEM_BAD_GUARD_HH).
+// fdp-analyze-expect: include-guard
+
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+namespace fdp
+{
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace fdp
+
+#endif // WRONG_GUARD_NAME_HH

@@ -1,0 +1,16 @@
+// Seeded violation: file I/O outside the trace/reporting layers.
+// fdp-analyze-expect: file-io
+
+#include <fstream>
+
+namespace fdp
+{
+
+void
+dump(int value)
+{
+    std::ofstream out("debug.txt");
+    out << value;
+}
+
+} // namespace fdp

@@ -1,0 +1,16 @@
+// Seeded violation: src/mem (rank 3) reaching up into src/harness
+// (rank 5). Lower layers must never include higher ones.
+// fdp-analyze-expect: layering
+
+#include "harness/bad_upper.hh"
+
+namespace fdp
+{
+
+int
+useUpper()
+{
+    return upperValue();
+}
+
+} // namespace fdp

@@ -1,0 +1,22 @@
+// Seeded violation: raw `new' hidden inside a macro replacement list,
+// where a plain line scanner that skips preprocessor lines would not
+// look.
+// fdp-analyze-expect: no-raw-new
+
+#define FDP_MAKE_ENTRY(T) (new T())
+
+namespace fdp
+{
+
+struct Entry
+{
+    int tag = 0;
+};
+
+Entry *
+alloc()
+{
+    return FDP_MAKE_ENTRY(Entry);
+}
+
+} // namespace fdp

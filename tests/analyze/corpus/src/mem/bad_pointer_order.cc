@@ -1,0 +1,14 @@
+// Seeded violation: ordered containers keyed by pointer value. Heap
+// layout varies run to run, so iteration order is nondeterministic.
+// fdp-analyze-expect: pointer-order
+
+#include <map>
+
+namespace fdp
+{
+
+struct Block;
+
+std::map<Block *, int> blockRank;
+
+} // namespace fdp

@@ -1,0 +1,15 @@
+// Seeded violation: a suppression without a reason. Unexplained
+// suppressions are themselves findings.
+// fdp-analyze-expect: suppression
+
+namespace fdp
+{
+
+// fdp-analyze: suppress(rng-only)
+inline int
+nothingToSuppress()
+{
+    return 0;
+}
+
+} // namespace fdp

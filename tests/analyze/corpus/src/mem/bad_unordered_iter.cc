@@ -1,0 +1,23 @@
+// Seeded violation: iterating an unordered container. Hash-order walks
+// make simulated results depend on libstdc++ internals.
+// fdp-analyze-expect: unordered-iter
+
+#include <unordered_map>
+
+namespace fdp
+{
+
+int
+sumAll()
+{
+    std::unordered_map<int, int> byAddr;
+    byAddr[1] = 2;
+    int sum = 0;
+    for (const auto &kv : byAddr)
+        sum += kv.second;
+    for (auto it = byAddr.begin(); it != byAddr.end(); ++it)
+        sum += it->first;
+    return sum;
+}
+
+} // namespace fdp

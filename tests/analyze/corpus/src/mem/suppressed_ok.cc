@@ -1,0 +1,18 @@
+// A real violation covered by a well-formed, reasoned suppression:
+// the file must produce no findings at all.
+// fdp-analyze-expect: clean
+
+#include <cstdlib>
+
+namespace fdp
+{
+
+int
+legacySeed()
+{
+    // fdp-analyze: suppress(rng-only, corpus fixture proving reasoned
+    // suppressions are honored end to end)
+    return rand();
+}
+
+} // namespace fdp

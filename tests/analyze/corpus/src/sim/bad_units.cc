@@ -1,0 +1,15 @@
+// Seeded violation: adding quantities with different units.
+// fdp-analyze-expect: unit-mixing
+
+#include <cstdint>
+
+namespace fdp
+{
+
+std::uint64_t
+progress(std::uint64_t totalCycles, std::uint64_t retiredInsts)
+{
+    return totalCycles + retiredInsts;
+}
+
+} // namespace fdp

@@ -1,0 +1,11 @@
+// Seeded violation: half of an include cycle with cycle_b.hh. The
+// cycle is reported once, at its lexicographically-first member (this
+// file).
+// fdp-analyze-expect: include-cycle
+
+#ifndef FDP_SIM_CYCLE_A_HH
+#define FDP_SIM_CYCLE_A_HH
+
+#include "sim/cycle_b.hh"
+
+#endif // FDP_SIM_CYCLE_A_HH

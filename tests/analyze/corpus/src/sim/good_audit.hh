@@ -1,0 +1,35 @@
+// Clean case: stateful class deriving fdp::Auditable transitively
+// (through an intermediate base), which the hierarchy walk must
+// resolve.
+// fdp-analyze-expect: clean
+
+#ifndef FDP_SIM_GOOD_AUDIT_HH
+#define FDP_SIM_GOOD_AUDIT_HH
+
+#include <vector>
+
+namespace fdp
+{
+
+class Auditable
+{
+  public:
+    virtual ~Auditable() = default;
+};
+
+class Component : public Auditable
+{
+};
+
+class PrefetchQueue : public Component
+{
+  public:
+    void push(int slot) { slots_.push_back(slot); }
+
+  private:
+    std::vector<int> slots_;
+};
+
+} // namespace fdp
+
+#endif // FDP_SIM_GOOD_AUDIT_HH

@@ -1,0 +1,105 @@
+/** @file fdp-findings-v1 serialization and baseline diffing. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/baseline.hh"
+#include "analyze/findings.hh"
+
+namespace
+{
+
+using namespace fdp::analyze;
+
+Finding
+mk(const std::string &file, int line, const std::string &rule,
+   const std::string &msg)
+{
+    return {file, line, rule, msg};
+}
+
+TEST(Findings, JsonRoundTrip)
+{
+    std::vector<Finding> in = {
+        mk("src/a.cc", 3, "rng-only", "msg with \"quotes\" and \\slash"),
+        mk("src/b.cc", 1, "layering", "plain"),
+    };
+    std::vector<Finding> out;
+    std::string err;
+    ASSERT_TRUE(parseFindingsJson(toFindingsJson(in), &out, &err)) << err;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], in[0]);
+    EXPECT_EQ(out[1], in[1]);
+}
+
+TEST(Findings, BadSchemaAndMalformedInputRejected)
+{
+    std::vector<Finding> out;
+    std::string err;
+    EXPECT_FALSE(parseFindingsJson(
+        "{\"schema\": \"something-else\", \"findings\": []}", &out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseFindingsJson("{\"schema\": ", &out, &err));
+    EXPECT_FALSE(parseFindingsJson("not json at all", &out, &err));
+}
+
+TEST(Baseline, NewFindingIsFresh)
+{
+    std::vector<Finding> current = {mk("src/a.cc", 5, "rng-only", "m")};
+    BaselineDiff d = diffAgainstBaseline(current, {});
+    ASSERT_EQ(d.fresh.size(), 1u);
+    EXPECT_TRUE(d.fixed.empty());
+    EXPECT_EQ(d.fresh[0].file, "src/a.cc");
+}
+
+TEST(Baseline, BaselinedFindingPassesEvenWhenLineShifts)
+{
+    std::vector<Finding> baseline = {mk("src/a.cc", 5, "rng-only", "m")};
+    std::vector<Finding> current = {mk("src/a.cc", 42, "rng-only", "m")};
+    BaselineDiff d = diffAgainstBaseline(current, baseline);
+    EXPECT_TRUE(d.fresh.empty()) << "line numbers must not churn baselines";
+    EXPECT_TRUE(d.fixed.empty());
+}
+
+TEST(Baseline, FixedFindingPromptsShrink)
+{
+    std::vector<Finding> baseline = {mk("src/a.cc", 5, "rng-only", "m"),
+                                     mk("src/b.cc", 9, "layering", "n")};
+    std::vector<Finding> current = {mk("src/a.cc", 5, "rng-only", "m")};
+    BaselineDiff d = diffAgainstBaseline(current, baseline);
+    EXPECT_TRUE(d.fresh.empty());
+    ASSERT_EQ(d.fixed.size(), 1u);
+    EXPECT_EQ(d.fixed[0].file, "src/b.cc");
+}
+
+TEST(Baseline, DuplicateKeysMatchByCount)
+{
+    // Two identical findings baselined; three now firing: one fresh.
+    std::vector<Finding> baseline = {mk("src/a.cc", 1, "rng-only", "m"),
+                                     mk("src/a.cc", 8, "rng-only", "m")};
+    std::vector<Finding> current = {mk("src/a.cc", 1, "rng-only", "m"),
+                                    mk("src/a.cc", 8, "rng-only", "m"),
+                                    mk("src/a.cc", 20, "rng-only", "m")};
+    BaselineDiff d = diffAgainstBaseline(current, baseline);
+    EXPECT_EQ(d.fresh.size(), 1u);
+    EXPECT_TRUE(d.fixed.empty());
+
+    // And the reverse: one of two baselined occurrences fixed.
+    BaselineDiff r = diffAgainstBaseline(
+        {mk("src/a.cc", 1, "rng-only", "m")}, baseline);
+    EXPECT_TRUE(r.fresh.empty());
+    EXPECT_EQ(r.fixed.size(), 1u);
+}
+
+TEST(Baseline, KeyIgnoresLineButNotFileRuleMessage)
+{
+    Finding a = mk("src/a.cc", 1, "rng-only", "m");
+    EXPECT_EQ(findingKey(a), findingKey(mk("src/a.cc", 99, "rng-only", "m")));
+    EXPECT_NE(findingKey(a), findingKey(mk("src/b.cc", 1, "rng-only", "m")));
+    EXPECT_NE(findingKey(a), findingKey(mk("src/a.cc", 1, "layering", "m")));
+    EXPECT_NE(findingKey(a), findingKey(mk("src/a.cc", 1, "rng-only", "x")));
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/** @file Include-graph checks over synthetic in-memory trees. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/include_graph.hh"
+#include "analyze/lexer.hh"
+
+namespace
+{
+
+using namespace fdp::analyze;
+
+SourceFile
+file(const std::string &relPath, const std::string &text)
+{
+    return {relPath, lex(text)};
+}
+
+std::vector<Finding>
+rule(const std::vector<Finding> &all, const std::string &r)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : all)
+        if (f.rule == r)
+            out.push_back(f);
+    return out;
+}
+
+TEST(IncludeGraph, ExpectedGuardStripsTreePrefix)
+{
+    EXPECT_EQ(expectedGuard("src/mem/cache.hh"), "FDP_MEM_CACHE_HH");
+    EXPECT_EQ(expectedGuard("src/sim/event_queue.hh"),
+              "FDP_SIM_EVENT_QUEUE_HH");
+    EXPECT_EQ(expectedGuard("tools/analyze/lexer.hh"),
+              "FDP_ANALYZE_LEXER_HH");
+}
+
+TEST(IncludeGraph, CycleReportedOnceAtSmallestMember)
+{
+    SourceTree tree;
+    tree.files.push_back(file("src/sim/a.hh",
+                              "#ifndef FDP_SIM_A_HH\n#define FDP_SIM_A_HH\n"
+                              "#include \"sim/b.hh\"\n#endif\n"));
+    tree.files.push_back(file("src/sim/b.hh",
+                              "#ifndef FDP_SIM_B_HH\n#define FDP_SIM_B_HH\n"
+                              "#include \"sim/a.hh\"\n#endif\n"));
+    std::vector<Finding> findings;
+    checkIncludeCycles(buildIncludeGraph(tree), &findings);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/sim/a.hh");
+    EXPECT_EQ(findings[0].rule, "include-cycle");
+}
+
+TEST(IncludeGraph, AcyclicChainIsClean)
+{
+    SourceTree tree;
+    tree.files.push_back(file("src/sim/a.hh",
+                              "#ifndef FDP_SIM_A_HH\n#define FDP_SIM_A_HH\n"
+                              "#include \"sim/b.hh\"\n#endif\n"));
+    tree.files.push_back(file("src/sim/b.hh",
+                              "#ifndef FDP_SIM_B_HH\n#define FDP_SIM_B_HH\n"
+                              "#endif\n"));
+    std::vector<Finding> findings;
+    checkIncludeCycles(buildIncludeGraph(tree), &findings);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(IncludeGraph, GuardMismatchAndPragmaOnce)
+{
+    SourceTree tree;
+    tree.files.push_back(file("src/mem/wrong.hh",
+                              "#ifndef BAD_NAME\n#define BAD_NAME\n"
+                              "#endif\n"));
+    tree.files.push_back(file("src/mem/pragma.hh", "#pragma once\nint x;\n"));
+    tree.files.push_back(file("src/mem/none.hh", "int y;\n"));
+    tree.files.push_back(file("src/mem/good.hh",
+                              "#ifndef FDP_MEM_GOOD_HH\n"
+                              "#define FDP_MEM_GOOD_HH\n#endif\n"));
+    tree.files.push_back(file("src/mem/impl.cc", "int z;\n"));
+    std::vector<Finding> findings;
+    checkIncludeGuards(tree, &findings);
+    std::vector<Finding> guards = rule(findings, "include-guard");
+    ASSERT_EQ(guards.size(), 3u);  // wrong, pragma, none; not good/.cc
+    EXPECT_EQ(guards[0].file, "src/mem/wrong.hh");
+}
+
+TEST(IncludeGraph, LayeringUpwardAndSameRankViolations)
+{
+    SourceTree tree;
+    // mem (rank 3) -> harness (rank 5): upward, a violation.
+    tree.files.push_back(file("src/mem/bad.cc",
+                              "#include \"harness/up.hh\"\n"));
+    tree.files.push_back(file("src/harness/up.hh",
+                              "#ifndef FDP_HARNESS_UP_HH\n"
+                              "#define FDP_HARNESS_UP_HH\n#endif\n"));
+    // harness (5) -> mem (3): downward, fine.
+    tree.files.push_back(file("src/harness/ok.cc",
+                              "#include \"mem/low.hh\"\n"));
+    tree.files.push_back(file("src/mem/low.hh",
+                              "#ifndef FDP_MEM_LOW_HH\n"
+                              "#define FDP_MEM_LOW_HH\n#endif\n"));
+    // mem (3) -> trace (3): same rank, different directory: a violation.
+    tree.files.push_back(file("src/mem/peer.cc",
+                              "#include \"trace/peer.hh\"\n"));
+    tree.files.push_back(file("src/trace/peer.hh",
+                              "#ifndef FDP_TRACE_PEER_HH\n"
+                              "#define FDP_TRACE_PEER_HH\n#endif\n"));
+    std::vector<Finding> findings;
+    checkLayering(buildIncludeGraph(tree), &findings);
+    std::vector<Finding> lay = rule(findings, "layering");
+    ASSERT_EQ(lay.size(), 2u);
+    EXPECT_EQ(lay[0].file, "src/mem/bad.cc");
+    EXPECT_EQ(lay[1].file, "src/mem/peer.cc");
+}
+
+TEST(IncludeGraph, AnalyzerSelfContainmentAndSrcToolsWall)
+{
+    SourceTree tree;
+    tree.files.push_back(file("tools/analyze/bad.cc",
+                              "#include \"sim/core.hh\"\n"));
+    tree.files.push_back(file("src/sim/core.hh",
+                              "#ifndef FDP_SIM_CORE_HH\n"
+                              "#define FDP_SIM_CORE_HH\n#endif\n"));
+    tree.files.push_back(file("src/sim/bad.cc",
+                              "#include \"analyze/lexer.hh\"\n"));
+    tree.files.push_back(file("tools/analyze/lexer.hh",
+                              "#ifndef FDP_ANALYZE_LEXER_HH\n"
+                              "#define FDP_ANALYZE_LEXER_HH\n#endif\n"));
+    std::vector<Finding> findings;
+    checkLayering(buildIncludeGraph(tree), &findings);
+    std::vector<Finding> lay = rule(findings, "layering");
+    ASSERT_EQ(lay.size(), 2u);
+    EXPECT_EQ(lay[0].file, "src/sim/bad.cc");
+    EXPECT_EQ(lay[1].file, "tools/analyze/bad.cc");
+}
+
+TEST(IncludeGraph, UnknownDirectoryMustTakeALayeringPosition)
+{
+    SourceTree tree;
+    tree.files.push_back(file("src/newthing/user.cc",
+                              "#include \"sim/core.hh\"\n"));
+    tree.files.push_back(file("src/sim/core.hh",
+                              "#ifndef FDP_SIM_CORE_HH\n"
+                              "#define FDP_SIM_CORE_HH\n#endif\n"));
+    std::vector<Finding> findings;
+    checkLayering(buildIncludeGraph(tree), &findings);
+    std::vector<Finding> lay = rule(findings, "layering");
+    ASSERT_EQ(lay.size(), 1u);
+    EXPECT_EQ(lay[0].file, "src/newthing/user.cc");
+    EXPECT_NE(lay[0].message.find("layer map"), std::string::npos);
+}
+
+TEST(IncludeGraph, UnresolvedIncludesCarryNoEdge)
+{
+    SourceTree tree;
+    tree.files.push_back(file("src/sim/a.cc",
+                              "#include <vector>\n#include \"no/such.hh\"\n"));
+    IncludeGraph g = buildIncludeGraph(tree);
+    EXPECT_TRUE(g.edges.find("src/sim/a.cc") == g.edges.end() ||
+                g.edges.at("src/sim/a.cc").empty());
+}
+
+} // namespace

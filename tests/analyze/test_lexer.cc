@@ -1,0 +1,105 @@
+/** @file Lexer-level tests: the token stream checks rely on. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hh"
+
+namespace
+{
+
+using fdp::analyze::lex;
+using fdp::analyze::LexedFile;
+using fdp::analyze::Tok;
+using fdp::analyze::Token;
+
+std::vector<std::string>
+texts(const LexedFile &lx)
+{
+    std::vector<std::string> out;
+    for (const Token &t : lx.tokens)
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(Lexer, CommentsLeaveNoTokens)
+{
+    LexedFile lx = lex("int a; // new delete rand()\n/* std::thread */\n");
+    EXPECT_EQ(texts(lx), (std::vector<std::string>{"int", "a", ";"}));
+    ASSERT_EQ(lx.comments.size(), 2u);
+    EXPECT_EQ(lx.comments[0].line, 1);
+    EXPECT_EQ(lx.comments[1].line, 2);
+}
+
+TEST(Lexer, StringAndCharLiteralsAreNotCode)
+{
+    LexedFile lx = lex("auto s = \"new int[3]\"; char c = ';';\n");
+    int strs = 0, chrs = 0;
+    for (const Token &t : lx.tokens) {
+        strs += t.kind == Tok::Str;
+        chrs += t.kind == Tok::Chr;
+        // The literal's content never leaks out as Ident/Punct tokens.
+        if (t.kind == Tok::Ident) {
+            EXPECT_NE(t.text, "new");
+        }
+    }
+    EXPECT_EQ(strs, 1);
+    EXPECT_EQ(chrs, 1);
+}
+
+TEST(Lexer, RawStringsWithPrefixes)
+{
+    LexedFile lx = lex("auto j = R\"x(no ; tokens \"here\")x\"; int k;\n");
+    int strs = 0;
+    for (const Token &t : lx.tokens)
+        strs += t.kind == Tok::Str;
+    EXPECT_EQ(strs, 1);
+    // Lexing resumes correctly after the custom delimiter.
+    EXPECT_EQ(texts(lx).back(), ";");
+    ASSERT_GE(lx.tokens.size(), 3u);
+    EXPECT_EQ(lx.tokens[lx.tokens.size() - 2].text, "k");
+}
+
+TEST(Lexer, DigitSeparatorsAndMultiCharPuncts)
+{
+    LexedFile lx = lex("x <<= 1'000'000; p->q; a >>= b; c <=> d;\n");
+    std::vector<std::string> t = texts(lx);
+    EXPECT_NE(std::find(t.begin(), t.end(), "<<="), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "1'000'000"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), ">>="), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "<=>"), t.end());
+}
+
+TEST(Lexer, DefineBodiesAreRelexedIntoTheStream)
+{
+    LexedFile lx = lex("#define MK(T) (new T())\nint x;\n");
+    bool sawNew = false;
+    for (const Token &t : lx.tokens)
+        sawNew = sawNew || (t.kind == Tok::Ident && t.text == "new");
+    EXPECT_TRUE(sawNew) << "macro replacement lists must be visible";
+    ASSERT_FALSE(lx.pp.empty());
+    EXPECT_EQ(lx.pp[0].line, 1);
+}
+
+TEST(Lexer, ContinuationsSpliceDirectives)
+{
+    LexedFile lx = lex("#define LONG \\\n  more \\\n  still\nint y;\n");
+    ASSERT_FALSE(lx.pp.empty());
+    EXPECT_NE(lx.pp[0].text.find("still"), std::string::npos);
+    // Line counting survives the continuation.
+    EXPECT_EQ(lx.tokens.back().line, 4);
+}
+
+TEST(Lexer, TokenLinesAreOneBased)
+{
+    LexedFile lx = lex("int a;\nint b;\n");
+    ASSERT_EQ(lx.tokens.size(), 6u);
+    EXPECT_EQ(lx.tokens[0].line, 1);
+    EXPECT_EQ(lx.tokens[3].line, 2);
+}
+
+} // namespace

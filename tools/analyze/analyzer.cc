@@ -1,0 +1,99 @@
+#include "analyze/analyzer.hh"
+
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "analyze/checks.hh"
+#include "analyze/source.hh"
+#include "analyze/suppress.hh"
+
+namespace fdp::analyze
+{
+
+std::vector<Finding>
+analyzeTree(const std::string &root)
+{
+    return runChecks(loadTree(root));
+}
+
+int
+runSelfTest(const std::string &corpusRoot, std::ostream &os)
+{
+    SourceTree tree = loadTree(corpusRoot);
+    int failures = 0;
+    if (tree.files.empty()) {
+        os << "self-test FAIL: no corpus files under " << corpusRoot << "\n";
+        return 1;
+    }
+
+    std::vector<Finding> findings = runChecks(tree);
+    std::map<std::string, std::set<std::string>> fired;
+    for (const Finding &f : findings)
+        fired[f.file].insert(f.rule);
+
+    std::set<std::string> seededRules;
+    for (const SourceFile &f : tree.files) {
+        std::vector<std::string> expected = parseExpectations(f.lx.comments);
+        if (expected.empty()) {
+            os << "self-test FAIL: " << f.relPath
+               << " has no fdp-analyze-expect annotation\n";
+            ++failures;
+            continue;
+        }
+        const std::set<std::string> &got = fired[f.relPath];
+        bool wantClean = false;
+        for (const std::string &rule : expected) {
+            if (rule == "clean") {
+                wantClean = true;
+                continue;
+            }
+            seededRules.insert(rule);
+            if (got.count(rule)) {
+                os << "self-test ok: " << rule << " flags " << f.relPath
+                   << "\n";
+            } else {
+                os << "self-test FAIL: " << rule
+                   << " missed the violation seeded in " << f.relPath
+                   << " (vacuous check)\n";
+                ++failures;
+            }
+        }
+        if (wantClean && !got.empty()) {
+            os << "self-test FAIL: " << f.relPath
+               << " expected clean but fired:";
+            for (const std::string &r : got)
+                os << " " << r;
+            os << "\n";
+            ++failures;
+        } else if (wantClean) {
+            os << "self-test ok: " << f.relPath << " stays clean\n";
+        }
+        // A rule firing with no expectation is a false positive the
+        // corpus must either expect or stop provoking.
+        for (const std::string &r : got) {
+            bool wasExpected = false;
+            for (const std::string &e : expected)
+                wasExpected = wasExpected || e == r;
+            if (!wasExpected && !wantClean) {
+                os << "self-test FAIL: " << f.relPath
+                   << " fired unexpected rule " << r << "\n";
+                ++failures;
+            }
+        }
+    }
+
+    for (const CheckInfo &info : checkCatalog()) {
+        if (!seededRules.count(info.rule)) {
+            os << "self-test FAIL: no corpus case seeds rule " << info.rule
+               << "\n";
+            ++failures;
+        }
+    }
+
+    if (failures == 0)
+        os << "self-test: every check catches its seeded violation\n";
+    return failures;
+}
+
+} // namespace fdp::analyze

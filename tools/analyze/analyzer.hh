@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Top-level fdp_analyze entry points: analyze a tree, and prove the
+ * checks non-vacuous against the seeded corpus.
+ */
+
+#ifndef FDP_ANALYZE_ANALYZER_HH
+#define FDP_ANALYZE_ANALYZER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyze/findings.hh"
+
+namespace fdp::analyze
+{
+
+/** Lex root/src and root/tools, run every check, return findings. */
+std::vector<Finding> analyzeTree(const std::string &root);
+
+/**
+ * Self-test over a seeded known-bad corpus (tests/analyze/corpus).
+ *
+ * Every corpus file declares its own contract in comments:
+ * `// fdp-analyze-expect: <rule>` lines (one per rule it must
+ * trigger), or `// fdp-analyze-expect: clean` for files that must
+ * stay finding-free. The self-test fails when a rule misses its
+ * seeded violation (vacuous check), when a file fires a rule it did
+ * not expect (false positive), when a corpus file carries no
+ * expectation at all, or when a catalog rule has no corpus case.
+ *
+ * Returns the number of failures; prints one line per verdict.
+ */
+int runSelfTest(const std::string &corpusRoot, std::ostream &os);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_ANALYZER_HH

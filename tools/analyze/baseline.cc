@@ -1,0 +1,251 @@
+#include "analyze/baseline.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace fdp::analyze
+{
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON reader — just enough for the
+ * fdp-findings-v1 shape, so the analyzer stays dependency-free.
+ */
+struct JsonReader
+{
+    const std::string &s;
+    std::size_t i = 0;
+    std::string err;
+
+    explicit JsonReader(const std::string &text) : s(text) {}
+
+    bool fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(i);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+    }
+
+    bool expect(char c)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++i;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipWs();
+        return i < s.size() && s[i] == c;
+    }
+
+    bool readString(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        out->clear();
+        while (i < s.size() && s[i] != '"') {
+            char c = s[i++];
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (i >= s.size())
+                return fail("truncated escape");
+            char e = s[i++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'n': *out += '\n'; break;
+              case 't': *out += '\t'; break;
+              case 'r': *out += '\r'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'u': {
+                if (i + 4 > s.size())
+                    return fail("truncated \\u escape");
+                int code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s[i++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code += h - 'A' + 10;
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Findings are ASCII; anything exotic round-trips lossily
+                // but never crashes.
+                *out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (i >= s.size())
+            return fail("unterminated string");
+        ++i;
+        return true;
+    }
+
+    bool readInt(long *out)
+    {
+        skipWs();
+        std::size_t from = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
+            ++i;
+        while (i < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i == from)
+            return fail("expected integer");
+        *out = std::stol(s.substr(from, i - from));
+        return true;
+    }
+
+    bool readFinding(Finding *f)
+    {
+        if (!expect('{'))
+            return false;
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first && !expect(','))
+                return false;
+            first = false;
+            std::string key;
+            if (!readString(&key) || !expect(':'))
+                return false;
+            if (key == "line") {
+                long line = 0;
+                if (!readInt(&line))
+                    return false;
+                f->line = static_cast<int>(line);
+            } else {
+                std::string value;
+                if (!readString(&value))
+                    return false;
+                if (key == "file")
+                    f->file = value;
+                else if (key == "rule")
+                    f->rule = value;
+                else if (key == "message")
+                    f->message = value;
+                else
+                    return fail("unknown finding key `" + key + "'");
+            }
+        }
+        return expect('}');
+    }
+};
+
+} // namespace
+
+bool
+parseFindingsJson(const std::string &text, std::vector<Finding> *out,
+                  std::string *err)
+{
+    out->clear();
+    JsonReader r(text);
+    std::string schema;
+    bool sawFindings = false;
+
+    if (!r.expect('{'))
+        goto bad;
+    {
+        bool first = true;
+        while (!r.peekIs('}')) {
+            if (!first && !r.expect(','))
+                goto bad;
+            first = false;
+            std::string key;
+            if (!r.readString(&key) || !r.expect(':'))
+                goto bad;
+            if (key == "schema") {
+                if (!r.readString(&schema))
+                    goto bad;
+            } else if (key == "findings") {
+                sawFindings = true;
+                if (!r.expect('['))
+                    goto bad;
+                while (!r.peekIs(']')) {
+                    if (!out->empty() && !r.expect(','))
+                        goto bad;
+                    Finding f;
+                    if (!r.readFinding(&f))
+                        goto bad;
+                    out->push_back(std::move(f));
+                }
+                if (!r.expect(']'))
+                    goto bad;
+            } else {
+                r.fail("unknown top-level key `" + key + "'");
+                goto bad;
+            }
+        }
+        if (!r.expect('}'))
+            goto bad;
+    }
+    if (schema != "fdp-findings-v1") {
+        *err = "schema is `" + schema + "', want fdp-findings-v1";
+        return false;
+    }
+    if (!sawFindings) {
+        *err = "document has no `findings' array";
+        return false;
+    }
+    return true;
+
+bad:
+    *err = r.err.empty() ? "malformed JSON" : r.err;
+    return false;
+}
+
+BaselineDiff
+diffAgainstBaseline(const std::vector<Finding> &current,
+                    const std::vector<Finding> &baseline)
+{
+    std::map<std::string, int> budget;
+    for (const Finding &f : baseline)
+        ++budget[findingKey(f)];
+
+    BaselineDiff diff;
+    std::vector<Finding> sorted = current;
+    std::sort(sorted.begin(), sorted.end(), findingLess);
+    for (const Finding &f : sorted) {
+        auto it = budget.find(findingKey(f));
+        if (it != budget.end() && it->second > 0)
+            --it->second;
+        else
+            diff.fresh.push_back(f);
+    }
+    std::vector<Finding> base = baseline;
+    std::sort(base.begin(), base.end(), findingLess);
+    std::map<std::string, int> unspent = budget;
+    for (const Finding &f : base) {
+        auto it = unspent.find(findingKey(f));
+        if (it != unspent.end() && it->second > 0) {
+            --it->second;
+            diff.fixed.push_back(f);
+        }
+    }
+    return diff;
+}
+
+} // namespace fdp::analyze

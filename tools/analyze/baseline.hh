@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Baseline loading and diffing.
+ *
+ * The committed baseline (`tools/analyze/baseline.json`) is an
+ * `fdp-findings-v1` document listing findings that predate a rule and
+ * are tolerated until cleaned up. CI gates on *regressions*: a current
+ * finding whose key (file, rule, message — line excluded) is not
+ * covered by the baseline fails the build; a baselined finding that no
+ * longer fires is reported so the baseline can shrink.
+ */
+
+#ifndef FDP_ANALYZE_BASELINE_HH
+#define FDP_ANALYZE_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "analyze/findings.hh"
+
+namespace fdp::analyze
+{
+
+/** Result of diffing current findings against a baseline. */
+struct BaselineDiff
+{
+    std::vector<Finding> fresh;  ///< current, not covered by baseline
+    std::vector<Finding> fixed;  ///< baselined, no longer firing
+};
+
+/**
+ * Parse an `fdp-findings-v1` document. On malformed input or a wrong
+ * schema tag, returns false and sets `err`.
+ */
+bool parseFindingsJson(const std::string &text, std::vector<Finding> *out,
+                       std::string *err);
+
+/**
+ * Match current findings against baselined ones by key; duplicate keys
+ * match by count (N baselined occurrences cover at most N current).
+ */
+BaselineDiff diffAgainstBaseline(const std::vector<Finding> &current,
+                                 const std::vector<Finding> &baseline);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_BASELINE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Findings: what every fdp_analyze check emits, and the
+ * `fdp-findings-v1` JSON serialization CI archives and the baseline
+ * differ consumes.
+ */
+
+#ifndef FDP_ANALYZE_FINDINGS_HH
+#define FDP_ANALYZE_FINDINGS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdp::analyze
+{
+
+/** One rule violation at one source location. */
+struct Finding
+{
+    std::string file;  ///< path relative to the analyzed root
+    int line = 0;      ///< 1-based
+    std::string rule;  ///< rule id, e.g. "unordered-iter"
+    std::string message;
+
+    friend bool operator==(const Finding &, const Finding &) = default;
+};
+
+/** Stable order: file, line, rule, message. */
+bool findingLess(const Finding &a, const Finding &b);
+
+/**
+ * Baseline identity of a finding. Deliberately excludes the line
+ * number so unrelated edits that shift code do not churn the
+ * baseline; two findings with the same key are matched by count.
+ */
+std::string findingKey(const Finding &f);
+
+/** Serialize as an `fdp-findings-v1` document (sorted, trailing \n). */
+std::string toFindingsJson(const std::vector<Finding> &findings);
+
+/** Print one finding per line in file:line: [rule] message form. */
+void printFindings(std::ostream &os, const std::vector<Finding> &findings);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_FINDINGS_HH

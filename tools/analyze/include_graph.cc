@@ -1,0 +1,284 @@
+#include "analyze/include_graph.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace fdp::analyze
+{
+
+namespace
+{
+
+/** Subsystem ranks under src/ (see header comment). */
+const std::map<std::string, int> &
+layerRanks()
+{
+    static const std::map<std::string, int> ranks = {
+        {"sim", 0},  {"prefetch", 1}, {"workload", 1}, {"core", 2},
+        {"mem", 3},  {"trace", 3},    {"cpu", 4},      {"harness", 5},
+        {"mc", 6},
+    };
+    return ranks;
+}
+
+/** The quoted path of an `include "..."` directive, or empty. */
+std::string
+quotedIncludeTarget(const PpDirective &pp)
+{
+    std::size_t p = 0;
+    while (p < pp.text.size() &&
+           std::isspace(static_cast<unsigned char>(pp.text[p])))
+        ++p;
+    if (pp.text.compare(p, 7, "include") != 0)
+        return "";
+    std::size_t open = pp.text.find('"', p + 7);
+    if (open == std::string::npos)
+        return "";
+    std::size_t close = pp.text.find('"', open + 1);
+    if (close == std::string::npos)
+        return "";
+    return pp.text.substr(open + 1, close - open - 1);
+}
+
+} // namespace
+
+IncludeGraph
+buildIncludeGraph(const SourceTree &tree)
+{
+    IncludeGraph graph;
+    for (const SourceFile &f : tree.files) {
+        for (const PpDirective &pp : f.lx.pp) {
+            std::string target = quotedIncludeTarget(pp);
+            if (target.empty())
+                continue;
+            for (const char *top : {"src/", "tools/"}) {
+                std::string resolved = top + target;
+                if (tree.find(resolved)) {
+                    graph.edges[f.relPath].push_back({resolved, pp.line});
+                    break;
+                }
+            }
+        }
+    }
+    return graph;
+}
+
+namespace
+{
+
+struct CycleFinder
+{
+    const IncludeGraph &graph;
+    std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::set<std::string> reported;  // normalized cycle keys
+    std::vector<Finding> *findings;
+
+    void visit(const std::string &node)
+    {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = graph.edges.find(node);
+        if (it != graph.edges.end()) {
+            for (const IncludeEdge &e : it->second) {
+                int c = color[e.to];
+                if (c == 1)
+                    report(e.to);
+                else if (c == 0)
+                    visit(e.to);
+            }
+        }
+        stack.pop_back();
+        color[node] = 2;
+    }
+
+    void report(const std::string &back)
+    {
+        auto at = std::find(stack.begin(), stack.end(), back);
+        std::vector<std::string> cycle(at, stack.end());
+        // Rotate so the lexicographically smallest node leads: one
+        // canonical report per cycle, wherever the DFS entered it.
+        auto lead = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), lead, cycle.end());
+        std::string key;
+        std::string path;
+        for (const std::string &n : cycle) {
+            key += n + "|";
+            path += n + " -> ";
+        }
+        path += cycle.front();
+        if (!reported.insert(key).second)
+            return;
+        findings->push_back({cycle.front(), 1, "include-cycle",
+                             "include cycle: " + path});
+    }
+};
+
+} // namespace
+
+void
+checkIncludeCycles(const IncludeGraph &graph, std::vector<Finding> *findings)
+{
+    CycleFinder cf{graph, {}, {}, {}, findings};
+    for (const auto &[node, edges] : graph.edges)
+        if (cf.color[node] == 0)
+            cf.visit(node);
+}
+
+std::string
+expectedGuard(const std::string &relPath)
+{
+    // src/mem/cache.hh -> FDP_MEM_CACHE_HH;
+    // tools/analyze/lexer.hh -> FDP_ANALYZE_LEXER_HH.
+    std::string guard = "FDP";
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < relPath.size()) {
+        std::size_t next = relPath.find('/', pos);
+        std::string part = relPath.substr(
+            pos, next == std::string::npos ? next : next - pos);
+        pos = next == std::string::npos ? relPath.size() : next + 1;
+        if (first && (part == "src" || part == "tools")) {
+            first = false;
+            continue;
+        }
+        first = false;
+        if (pos >= relPath.size()) {  // filename: strip extension
+            std::size_t dot = part.rfind('.');
+            if (dot != std::string::npos)
+                part = part.substr(0, dot);
+        }
+        guard += '_';
+        for (char c : part)
+            guard += std::isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(
+                               std::toupper(static_cast<unsigned char>(c)))
+                         : '_';
+    }
+    return guard + "_HH";
+}
+
+void
+checkIncludeGuards(const SourceTree &tree, std::vector<Finding> *findings)
+{
+    for (const SourceFile &f : tree.files) {
+        if (!f.isHeader())
+            continue;
+        const std::string want = expectedGuard(f.relPath);
+        const PpDirective *ifndef = nullptr;
+        for (const PpDirective &pp : f.lx.pp) {
+            std::string t = pp.text;
+            std::size_t p = t.find_first_not_of(" \t");
+            if (p == std::string::npos)
+                continue;
+            t = t.substr(p);
+            if (t.rfind("ifndef", 0) == 0) {
+                ifndef = &pp;
+                break;
+            }
+            if (t.rfind("pragma", 0) == 0 &&
+                t.find("once") != std::string::npos) {
+                findings->push_back({f.relPath, pp.line, "include-guard",
+                                     "#pragma once: this tree uses named "
+                                     "guards (" + want + ")"});
+                break;
+            }
+        }
+        if (!ifndef) {
+            if (findings->empty() || findings->back().file != f.relPath ||
+                findings->back().rule != "include-guard")
+                findings->push_back({f.relPath, 1, "include-guard",
+                                     "missing include guard " + want});
+            continue;
+        }
+        auto word = [](const std::string &text, std::size_t skip) {
+            std::size_t a = text.find_first_not_of(" \t", skip);
+            if (a == std::string::npos)
+                return std::string();
+            std::size_t b = text.find_first_of(" \t", a);
+            return text.substr(a, b == std::string::npos ? b : b - a);
+        };
+        std::string t = ifndef->text;
+        std::string got = word(t, t.find("ifndef") + 6);
+        if (got != want) {
+            findings->push_back({f.relPath, ifndef->line, "include-guard",
+                                 "guard " + got + " should be " + want});
+            continue;
+        }
+        // The matching #define must follow.
+        bool defined = false;
+        for (const PpDirective &pp : f.lx.pp) {
+            if (pp.line < ifndef->line)
+                continue;
+            std::size_t d = pp.text.find("define");
+            if (pp.text.find_first_not_of(" \t") == d && d != std::string::npos) {
+                defined = word(pp.text, d + 6) == want;
+                break;
+            }
+        }
+        if (!defined)
+            findings->push_back({f.relPath, ifndef->line, "include-guard",
+                                 "#define does not match guard " + want});
+    }
+}
+
+void
+checkLayering(const IncludeGraph &graph, std::vector<Finding> *findings)
+{
+    const auto &ranks = layerRanks();
+    for (const auto &[from, edges] : graph.edges) {
+        const bool fromSrc = pathUnder(from, "src");
+        const bool fromAnalyze = pathUnder(from, "tools/analyze") ||
+                                 from == "tools/fdp_analyze.cc";
+        const std::string fromDir = dirOf(from, 2);
+        for (const IncludeEdge &e : edges) {
+            const bool toSrc = pathUnder(e.to, "src");
+            const bool toAnalyze = pathUnder(e.to, "tools/analyze");
+            if (fromAnalyze) {
+                if (!toAnalyze)
+                    findings->push_back(
+                        {from, e.line, "layering",
+                         "fdp_analyze is self-contained and must not "
+                         "include " + e.to});
+                continue;
+            }
+            if (fromSrc && !toSrc) {
+                findings->push_back({from, e.line, "layering",
+                                     "src/ must not include tools/ (" +
+                                         e.to + ")"});
+                continue;
+            }
+            if (!fromSrc || !toSrc)
+                continue;  // other tools/ may include anything
+            const std::string toDir = dirOf(e.to, 2);
+            if (fromDir == toDir)
+                continue;
+            auto fr = ranks.find(fromDir.substr(4));
+            auto tr = ranks.find(toDir.substr(4));
+            if (fr == ranks.end()) {
+                findings->push_back(
+                    {from, e.line, "layering",
+                     "directory " + fromDir + " has no layer rank; add it "
+                     "to the layer map in tools/analyze/include_graph.cc"});
+                continue;
+            }
+            if (tr == ranks.end()) {
+                findings->push_back(
+                    {from, e.line, "layering",
+                     "directory " + toDir + " has no layer rank; add it "
+                     "to the layer map in tools/analyze/include_graph.cc"});
+                continue;
+            }
+            if (tr->second >= fr->second)
+                findings->push_back(
+                    {from, e.line, "layering",
+                     fromDir + " (rank " + std::to_string(fr->second) +
+                         ") must not include " + e.to + " (rank " +
+                         std::to_string(tr->second) +
+                         "); only strictly lower layers are visible"});
+        }
+    }
+}
+
+} // namespace fdp::analyze

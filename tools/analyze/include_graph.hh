@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Include-graph checks: cycles, guard naming, and layering.
+ *
+ * The layering contract (rule `layering`) is the subsystem partial
+ * order the build's library graph implies, lowest first:
+ *
+ *   rank 0  sim
+ *   rank 1  prefetch, workload
+ *   rank 2  core
+ *   rank 3  mem, trace
+ *   rank 4  cpu
+ *   rank 5  harness
+ *   rank 6  mc
+ *
+ * A file may include its own directory or any strictly lower rank;
+ * same-rank cross-directory includes (mem <-> trace) and upward
+ * includes (mem -> harness) are findings. Directories absent from the
+ * map are findings too, so a new subsystem (prefetcher zoo, DRAM
+ * controller, RL throttler) must take a conscious layering position
+ * before it can include anything. `tools/analyze/` must stay
+ * self-contained: including any simulator header from it — or any
+ * tools header from `src/` — is a violation.
+ */
+
+#ifndef FDP_ANALYZE_INCLUDE_GRAPH_HH
+#define FDP_ANALYZE_INCLUDE_GRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/findings.hh"
+#include "analyze/source.hh"
+
+namespace fdp::analyze
+{
+
+/** One `#include "..."` whose target resolves inside the tree. */
+struct IncludeEdge
+{
+    std::string to;  ///< resolved relPath, e.g. "src/sim/check.hh"
+    int line;
+};
+
+/** Quoted-include edges per file, for files with at least one. */
+struct IncludeGraph
+{
+    std::map<std::string, std::vector<IncludeEdge>> edges;
+};
+
+/**
+ * Resolve every `#include "P"` against src/P then tools/P (matching
+ * the build's include directories). Unresolved includes are external
+ * headers and carry no edge.
+ */
+IncludeGraph buildIncludeGraph(const SourceTree &tree);
+
+/** Rule `include-cycle`: report each include cycle once. */
+void checkIncludeCycles(const IncludeGraph &graph,
+                        std::vector<Finding> *findings);
+
+/** Rule `include-guard`: FDP_<DIR>_<STEM>_HH, #ifndef then #define. */
+void checkIncludeGuards(const SourceTree &tree,
+                        std::vector<Finding> *findings);
+
+/** Rule `layering`: enforce the subsystem partial order above. */
+void checkLayering(const IncludeGraph &graph, std::vector<Finding> *findings);
+
+/** Expected guard for a header path (exposed for tests). */
+std::string expectedGuard(const std::string &relPath);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_INCLUDE_GRAPH_HH

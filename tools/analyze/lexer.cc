@@ -1,0 +1,344 @@
+#include "analyze/lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace fdp::analyze
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+digit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Multi-char punctuators, longest first so greedy matching is right. */
+constexpr std::string_view kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  "##",
+};
+
+struct Lexer
+{
+    std::string_view s;
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;  ///< only whitespace seen on this line
+    bool allowPp;             ///< recognize # directives (off in macro bodies)
+    LexedFile out;
+
+    explicit Lexer(std::string_view text, bool pp) : s(text), allowPp(pp) {}
+
+    char cur() const { return i < s.size() ? s[i] : '\0'; }
+    char peek(std::size_t k = 1) const
+    {
+        return i + k < s.size() ? s[i + k] : '\0';
+    }
+
+    void run();
+    void lexLineComment();
+    void lexBlockComment();
+    void lexString();
+    void lexRawString();
+    void lexChar();
+    void lexNumber();
+    void lexIdentOrLiteral();
+    void lexDirective();
+    void tokenizeMacroBody(const std::string &text, int atLine);
+};
+
+void
+Lexer::lexLineComment()
+{
+    const int start = line;
+    i += 2;
+    std::size_t from = i;
+    while (i < s.size() && s[i] != '\n')
+        ++i;
+    out.comments.push_back({start, std::string(s.substr(from, i - from))});
+}
+
+void
+Lexer::lexBlockComment()
+{
+    const int start = line;
+    i += 2;
+    std::size_t from = i;
+    while (i < s.size() && !(s[i] == '*' && peek() == '/')) {
+        if (s[i] == '\n')
+            ++line;
+        ++i;
+    }
+    out.comments.push_back({start, std::string(s.substr(from, i - from))});
+    i += 2;  // past the terminator (harmless at EOF)
+}
+
+void
+Lexer::lexString()
+{
+    const int start = line;
+    ++i;  // opening quote
+    std::size_t from = i;
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size())
+            ++i;
+        if (s[i] == '\n')
+            ++line;
+        ++i;
+    }
+    out.tokens.push_back({Tok::Str, std::string(s.substr(from, i - from)),
+                          start});
+    ++i;  // closing quote
+}
+
+void
+Lexer::lexRawString()
+{
+    // At the opening quote of R"delim( ... )delim".
+    const int start = line;
+    ++i;
+    std::size_t d0 = i;
+    while (i < s.size() && s[i] != '(')
+        ++i;
+    std::string close = ")" + std::string(s.substr(d0, i - d0)) + "\"";
+    ++i;  // past '('
+    std::size_t from = i;
+    while (i < s.size() && s.substr(i, close.size()) != close) {
+        if (s[i] == '\n')
+            ++line;
+        ++i;
+    }
+    out.tokens.push_back({Tok::Str, std::string(s.substr(from, i - from)),
+                          start});
+    i += close.size();
+}
+
+void
+Lexer::lexChar()
+{
+    const int start = line;
+    ++i;
+    std::size_t from = i;
+    while (i < s.size() && s[i] != '\'') {
+        if (s[i] == '\\' && i + 1 < s.size())
+            ++i;
+        if (s[i] == '\n')
+            ++line;
+        ++i;
+    }
+    out.tokens.push_back({Tok::Chr, std::string(s.substr(from, i - from)),
+                          start});
+    ++i;
+}
+
+void
+Lexer::lexNumber()
+{
+    const int start = line;
+    std::size_t from = i;
+    while (i < s.size()) {
+        char c = s[i];
+        if (identChar(c) || c == '.') {
+            // Exponent sign: 1e+9, 0x1p-3.
+            if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+                (peek() == '+' || peek() == '-') && from < i) {
+                i += 2;
+                continue;
+            }
+            ++i;
+        } else if (c == '\'' && identChar(peek())) {
+            i += 2;  // digit separator
+        } else {
+            break;
+        }
+    }
+    out.tokens.push_back({Tok::Number, std::string(s.substr(from, i - from)),
+                          start});
+}
+
+void
+Lexer::lexIdentOrLiteral()
+{
+    const int start = line;
+    std::size_t from = i;
+    while (i < s.size() && identChar(s[i]))
+        ++i;
+    std::string_view id = s.substr(from, i - from);
+    // Encoding/raw prefixes glue an identifier to a literal.
+    if (cur() == '"') {
+        if (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+            id == "LR") {
+            lexRawString();
+            return;
+        }
+        if (id == "u8" || id == "u" || id == "U" || id == "L") {
+            lexString();
+            return;
+        }
+    }
+    if (cur() == '\'' && (id == "u8" || id == "u" || id == "U" || id == "L")) {
+        lexChar();
+        return;
+    }
+    out.tokens.push_back({Tok::Ident, std::string(id), start});
+}
+
+void
+Lexer::tokenizeMacroBody(const std::string &text, int atLine)
+{
+    Lexer body(text, false);
+    body.run();
+    for (Token t : body.out.tokens) {
+        t.line = atLine;  // continuations collapse to the directive line
+        out.tokens.push_back(t);
+    }
+    for (Comment c : body.out.comments) {
+        c.line = atLine;
+        out.comments.push_back(c);
+    }
+}
+
+void
+Lexer::lexDirective()
+{
+    const int start = line;
+    ++i;  // '#'
+    std::string text;
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '\n')
+            break;
+        if (c == '\\' && peek() == '\n') {
+            text += ' ';
+            i += 2;
+            ++line;
+            continue;
+        }
+        if (c == '/' && peek() == '/') {
+            lexLineComment();
+            break;
+        }
+        if (c == '/' && peek() == '*') {
+            lexBlockComment();
+            text += ' ';
+            continue;
+        }
+        text += c;
+        ++i;
+    }
+    out.pp.push_back({start, text});
+
+    // Re-lex #define replacement lists so token checks see macro bodies.
+    std::size_t p = 0;
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+    if (text.compare(p, 6, "define") != 0 ||
+        (p + 6 < text.size() && identChar(text[p + 6])))
+        return;
+    p += 6;
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+    while (p < text.size() && identChar(text[p]))
+        ++p;  // macro name
+    if (p < text.size() && text[p] == '(') {
+        int depth = 0;
+        do {
+            if (text[p] == '(')
+                ++depth;
+            else if (text[p] == ')')
+                --depth;
+            ++p;
+        } while (p < text.size() && depth > 0);
+    }
+    if (p < text.size())
+        tokenizeMacroBody(text.substr(p), start);
+}
+
+void
+Lexer::run()
+{
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek() == '/') {
+            lexLineComment();
+            continue;
+        }
+        if (c == '/' && peek() == '*') {
+            lexBlockComment();
+            continue;
+        }
+        if (c == '#' && allowPp && atLineStart) {
+            lexDirective();
+            atLineStart = false;
+            continue;
+        }
+        atLineStart = false;
+        if (identStart(c)) {
+            lexIdentOrLiteral();
+            continue;
+        }
+        if (digit(c) || (c == '.' && digit(peek()))) {
+            lexNumber();
+            continue;
+        }
+        if (c == '"') {
+            lexString();
+            continue;
+        }
+        if (c == '\'') {
+            lexChar();
+            continue;
+        }
+        bool matched = false;
+        for (std::string_view p : kPuncts) {
+            if (s.substr(i, p.size()) == p) {
+                out.tokens.push_back({Tok::Punct, std::string(p), line});
+                i += p.size();
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            out.tokens.push_back({Tok::Punct, std::string(1, c), line});
+            ++i;
+        }
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(std::string_view text)
+{
+    Lexer lx(text, true);
+    lx.run();
+    return std::move(lx.out);
+}
+
+} // namespace fdp::analyze

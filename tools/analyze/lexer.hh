@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A small real C++ lexer shared by every fdp_analyze check.
+ *
+ * Handles // and block comments, ordinary/char/raw string literals
+ * (with encoding prefixes), digit separators, multi-char operators,
+ * and preprocessor directives with backslash continuations. `#define`
+ * replacement lists are re-lexed into the main token stream so checks
+ * see code hidden in macro bodies.
+ */
+
+#ifndef FDP_ANALYZE_LEXER_HH
+#define FDP_ANALYZE_LEXER_HH
+
+#include <string_view>
+
+#include "analyze/token.hh"
+
+namespace fdp::analyze
+{
+
+/** Lex one translation unit. Never fails: bad input lexes best-effort. */
+LexedFile lex(std::string_view text);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_LEXER_HH

@@ -1,0 +1,113 @@
+#include "analyze/suppress.hh"
+
+#include <cctype>
+
+namespace fdp::analyze
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+} // namespace
+
+bool
+Suppressions::covers(const Finding &f) const
+{
+    if (wholeFile.count(f.rule))
+        return true;
+    return atLine.count({f.line, f.rule}) ||
+           atLine.count({f.line - 1, f.rule});
+}
+
+Suppressions
+parseSuppressions(const std::string &file,
+                  const std::vector<Comment> &comments,
+                  std::vector<Finding> *findings)
+{
+    Suppressions sup;
+    for (std::size_t ci = 0; ci < comments.size(); ++ci) {
+        const Comment &c = comments[ci];
+        std::size_t at = c.text.find("fdp-analyze:");
+        if (at == std::string::npos)
+            continue;
+        std::string rest = trim(c.text.substr(at + 12));
+        bool fileWide = false;
+        if (rest.rfind("suppress-file(", 0) == 0) {
+            fileWide = true;
+            rest = rest.substr(14);
+        } else if (rest.rfind("suppress(", 0) == 0) {
+            rest = rest.substr(9);
+        } else {
+            findings->push_back(
+                {file, c.line, "suppression",
+                 "malformed fdp-analyze annotation (want "
+                 "suppress(rule, reason) or suppress-file(rule, reason))"});
+            continue;
+        }
+        // A reason is prose; let it wrap across `//' comments on
+        // consecutive lines until the closing paren.
+        int prevLine = c.line;
+        while (rest.find(')') == std::string::npos &&
+               ci + 1 < comments.size() &&
+               comments[ci + 1].line == prevLine + 1) {
+            ++ci;
+            prevLine = comments[ci].line;
+            rest += " " + trim(comments[ci].text);
+        }
+        std::size_t close = rest.rfind(')');
+        std::size_t comma = rest.find(',');
+        if (close == std::string::npos || comma == std::string::npos ||
+            comma > close) {
+            findings->push_back(
+                {file, c.line, "suppression",
+                 "suppression lacks a reason: use "
+                 "suppress(rule, why this is acceptable)"});
+            continue;
+        }
+        std::string rule = trim(rest.substr(0, comma));
+        std::string reason = trim(rest.substr(comma + 1, close - comma - 1));
+        if (rule.empty() || reason.empty()) {
+            findings->push_back({file, c.line, "suppression",
+                                 "suppression needs a nonempty rule id "
+                                 "and reason"});
+            continue;
+        }
+        if (fileWide)
+            sup.wholeFile.insert(rule);
+        else
+            sup.atLine.insert({prevLine, rule});  // last line of annotation
+    }
+    return sup;
+}
+
+std::vector<std::string>
+parseExpectations(const std::vector<Comment> &comments)
+{
+    std::vector<std::string> rules;
+    for (const Comment &c : comments) {
+        std::size_t at = c.text.find("fdp-analyze-expect:");
+        if (at == std::string::npos)
+            continue;
+        std::string rule = trim(c.text.substr(at + 19));
+        // Allow trailing prose after the rule id.
+        std::size_t sp = rule.find_first_of(" \t");
+        if (sp != std::string::npos)
+            rule = rule.substr(0, sp);
+        if (!rule.empty())
+            rules.push_back(rule);
+    }
+    return rules;
+}
+
+} // namespace fdp::analyze

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * In-source annotations the analyzer understands.
+ *
+ * Suppressions silence one rule with a recorded reason:
+ *
+ *   // fdp-analyze: suppress(rule-id, why this is fine)          same or
+ *                                                                next line
+ *   // fdp-analyze: suppress-file(rule-id, why this is fine)     whole file
+ *
+ * A suppression without a reason is itself a finding (rule
+ * `suppression`) — silent opt-outs are exactly what the analyzer
+ * exists to prevent.
+ *
+ * The self-test corpus uses expectation annotations:
+ *
+ *   // fdp-analyze-expect: rule-id     this file must trigger rule-id
+ *   // fdp-analyze-expect: clean       this file must produce no findings
+ */
+
+#ifndef FDP_ANALYZE_SUPPRESS_HH
+#define FDP_ANALYZE_SUPPRESS_HH
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/findings.hh"
+#include "analyze/token.hh"
+
+namespace fdp::analyze
+{
+
+/** Parsed suppressions of one file. */
+struct Suppressions
+{
+    /** (line, rule) pairs: suppress `rule` on that line or the next. */
+    std::set<std::pair<int, std::string>> atLine;
+    /** Rules suppressed for the whole file. */
+    std::set<std::string> wholeFile;
+
+    bool covers(const Finding &f) const;
+};
+
+/**
+ * Parse a file's comments. Malformed annotations (missing rule or
+ * reason) are appended to `findings` under rule `suppression`.
+ */
+Suppressions parseSuppressions(const std::string &file,
+                               const std::vector<Comment> &comments,
+                               std::vector<Finding> *findings);
+
+/** Corpus expectations: rule ids, or the single entry "clean". */
+std::vector<std::string> parseExpectations(
+    const std::vector<Comment> &comments);
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_SUPPRESS_HH

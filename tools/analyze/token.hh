@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Token and lexed-file types for fdp_analyze.
+ *
+ * The analyzer is deliberately self-contained (no simulator headers, no
+ * libclang): every check runs over this token stream, so checks see
+ * through comments, string literals, line breaks, and macro bodies —
+ * the false-negative classes a line-regex linter cannot close.
+ */
+
+#ifndef FDP_ANALYZE_TOKEN_HH
+#define FDP_ANALYZE_TOKEN_HH
+
+#include <string>
+#include <vector>
+
+namespace fdp::analyze
+{
+
+/** Lexical class of one token. */
+enum class Tok
+{
+    Ident,   ///< identifier or keyword
+    Number,  ///< numeric literal (incl. digit separators, exponents)
+    Punct,   ///< operator / punctuator (multi-char ops are one token)
+    Str,     ///< string literal (ordinary or raw, any prefix)
+    Chr,     ///< character literal
+};
+
+/** One lexed token with its 1-based source line. */
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line;
+};
+
+/**
+ * One preprocessor directive, captured as a single logical line:
+ * backslash continuations are spliced and comments stripped. `text`
+ * starts after the `#` (e.g. `include "mem/cache.hh"`).
+ */
+struct PpDirective
+{
+    int line;  ///< line of the `#`
+    std::string text;
+};
+
+/** One comment, attributed to the line where it starts. */
+struct Comment
+{
+    int line;
+    std::string text;  ///< body without the // or block delimiters
+};
+
+/**
+ * A fully lexed translation unit. `#define` replacement lists are
+ * tokenized into `tokens` (attributed to the directive's line) so
+ * token checks reach inside macro bodies.
+ */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<PpDirective> pp;
+    std::vector<Comment> comments;
+};
+
+} // namespace fdp::analyze
+
+#endif // FDP_ANALYZE_TOKEN_HH

@@ -131,7 +131,10 @@ stage_tsan() {
 
 stage_static() {
     echo "==== stage static: static analysis ===="
-    BUILD_DIR="$ROOT/build-ci" "$ROOT/tools/run_static_analysis.sh"
+    # The findings JSON lands in the build dir so CI can archive it.
+    BUILD_DIR="$ROOT/build-ci" \
+        FDP_FINDINGS_JSON="$ROOT/build-ci/fdp-findings.json" \
+        "$ROOT/tools/run_static_analysis.sh"
 }
 
 stage_bench() {

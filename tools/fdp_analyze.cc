@@ -1,0 +1,176 @@
+/**
+ * @file
+ * fdp_analyze: semantic static analysis for the FDP simulator.
+ *
+ * A self-contained C++20 analyzer (no libclang/clang-tidy/cppcheck
+ * dependency) enforcing the repo's determinism, layering, and audit
+ * contracts over a real token stream. See tools/analyze/checks.hh for
+ * the rule catalog and DESIGN.md section 14 for the architecture.
+ *
+ * Usage:
+ *   fdp_analyze [--root DIR]                 analyze, print findings
+ *   fdp_analyze --root DIR --baseline FILE   gate on regressions only
+ *   fdp_analyze --json FILE                  write fdp-findings-v1 JSON
+ *   fdp_analyze --write-baseline FILE        snapshot current findings
+ *   fdp_analyze --self-test [--corpus DIR]   prove checks non-vacuous
+ *   fdp_analyze --list-checks                print the rule catalog
+ *
+ * Exit status: 0 clean (or baseline-covered), 1 findings/regressions/
+ * self-test failures, 2 usage or I/O errors.
+ */
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hh"
+#include "analyze/baseline.hh"
+#include "analyze/checks.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: fdp_analyze [--root DIR] [--baseline FILE]\n"
+                 "                   [--json FILE] [--write-baseline FILE]\n"
+                 "                   [--self-test] [--corpus DIR]\n"
+                 "                   [--list-checks]\n";
+    return 2;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    out.flush();
+    if (!out) {
+        std::cerr << "fdp_analyze: cannot write " << path << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fdp::analyze;
+
+    std::string root = ".";
+    std::string baselinePath, jsonPath, writeBaselinePath, corpus;
+    bool selfTest = false, listChecks = false;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::cerr << "fdp_analyze: " << flag << " needs a value\n";
+                std::exit(usage());
+            }
+            return args[++i];
+        };
+        if (args[i] == "--root")
+            root = value("--root");
+        else if (args[i] == "--baseline")
+            baselinePath = value("--baseline");
+        else if (args[i] == "--json")
+            jsonPath = value("--json");
+        else if (args[i] == "--write-baseline")
+            writeBaselinePath = value("--write-baseline");
+        else if (args[i] == "--corpus")
+            corpus = value("--corpus");
+        else if (args[i] == "--self-test")
+            selfTest = true;
+        else if (args[i] == "--list-checks")
+            listChecks = true;
+        else
+            return usage();
+    }
+
+    if (listChecks) {
+        for (const CheckInfo &c : checkCatalog())
+            std::cout << c.rule << "  -  " << c.summary << "\n";
+        return 0;
+    }
+
+    try {
+        if (selfTest) {
+            if (corpus.empty())
+                corpus = root + "/tests/analyze/corpus";
+            return runSelfTest(corpus, std::cout) == 0 ? 0 : 1;
+        }
+
+        std::vector<Finding> findings = analyzeTree(root);
+
+        if (!jsonPath.empty() &&
+            !writeFile(jsonPath, toFindingsJson(findings)))
+            return 2;
+        if (!writeBaselinePath.empty()) {
+            if (!writeFile(writeBaselinePath, toFindingsJson(findings)))
+                return 2;
+            std::cout << "fdp_analyze: wrote baseline ("
+                      << findings.size() << " finding(s)) to "
+                      << writeBaselinePath << "\n";
+            return 0;
+        }
+
+        if (baselinePath.empty()) {
+            printFindings(std::cout, findings);
+            if (!findings.empty()) {
+                std::cout << "fdp_analyze: " << findings.size()
+                          << " finding(s)\n";
+                return 1;
+            }
+            std::cout << "fdp_analyze: clean\n";
+            return 0;
+        }
+
+        std::ifstream in(baselinePath, std::ios::binary);
+        if (!in) {
+            std::cerr << "fdp_analyze: cannot read baseline "
+                      << baselinePath << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Finding> baseline;
+        std::string err;
+        if (!parseFindingsJson(buf.str(), &baseline, &err)) {
+            std::cerr << "fdp_analyze: bad baseline " << baselinePath
+                      << ": " << err << "\n";
+            return 2;
+        }
+
+        BaselineDiff diff = diffAgainstBaseline(findings, baseline);
+        if (!diff.fresh.empty()) {
+            std::cout << "fdp_analyze: " << diff.fresh.size()
+                      << " new finding(s) not covered by the baseline:\n";
+            printFindings(std::cout, diff.fresh);
+            std::cout << "fix them, suppress with a reason, or (for "
+                         "pre-existing debt) add them to "
+                      << baselinePath << "\n";
+            return 1;
+        }
+        if (!diff.fixed.empty()) {
+            std::cout << "fdp_analyze: " << diff.fixed.size()
+                      << " baselined finding(s) no longer fire - shrink "
+                      << baselinePath << ":\n";
+            printFindings(std::cout, diff.fixed);
+        }
+        std::cout << "fdp_analyze: clean ("
+                  << (findings.size() - diff.fresh.size())
+                  << " baselined, " << diff.fixed.size()
+                  << " fixable)\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "fdp_analyze: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,48 +1,42 @@
 #!/usr/bin/env python3
-"""Repo-specific lint for the FDP simulator.
+"""Repo-specific lint entry point for the FDP simulator.
 
-Enforces conventions a generic linter cannot know:
+Most semantic rules live in fdp_analyze (tools/analyze/), a compiled
+token-level analyzer: rng-only, wall-clock, no-raw-new,
+pool-only-threading, file-io, typed-core-id, include-guard,
+include-cycle, layering, unordered-iter, pointer-order, audit-coverage,
+unit-mixing, suppression. This script stays the single lint entry point:
+it runs its two native rules, then delegates to the fdp_analyze binary
+(gated against tools/analyze/baseline.json).
 
-  rng-only        all randomness goes through fdp::Rng: std::mt19937,
-                  std::random_device, rand()/srand()/time() are banned
-                  outside src/sim/rng.hh (determinism: a stray seed source
-                  breaks reproducible simulations).
-  no-raw-new      no raw new/delete; components own state via containers
-                  and std::unique_ptr (`= delete` declarations are fine).
+Native rules (line-oriented by nature, so they stay in Python):
+
   logging-only    no printf-family calls in src/ outside sim/logging.hh
                   and sim/table.cc; everything else reports through
                   panic/fatal/warn/inform or writes to a std::ostream.
-  include-guard   src/<dir>/<file>.hh uses guard FDP_<DIR>_<FILE>_HH.
   test-pairing    every src/<dir>/<file>.cc has tests/<dir>/test_<file>.cc.
-  pool-only-threading
-                  no raw std::thread/std::jthread/std::async or
-                  pthread_create outside src/harness/sweep_pool.* — all
-                  threading goes through the sweep pool so there is one
-                  audited place where concurrency enters the simulator.
-  file-io         no raw file I/O (std::ifstream/ofstream/fstream,
-                  fopen/freopen/tmpfile) outside src/trace/ and
-                  src/harness/reporting.* — trace files and results
-                  files are the only artifacts the simulator touches,
-                  and both ends must fatal() cleanly on I/O failure.
-  typed-core-id   core identities travel as the typed CoreId
-                  (sim/types.hh), never as raw integers: declaring a
-                  core id with an integer type, or doing arithmetic on
-                  .index(), is banned outside src/mc/ (the co-run
-                  subsystem owns core enumeration). Using .index() to
-                  subscript a per-core container or compare ids stays
-                  legal everywhere.
 
 Comments and string literals are stripped before the regex rules run, so
-prose like "transfer time (bandwidth)" cannot trip the time() ban.
+prose like "printf-style" cannot trip the ban.
 
 Usage:
-  tools/fdp_lint.py [--root DIR]   lint the tree (exit 1 on findings)
-  tools/fdp_lint.py --self-test    verify each rule catches a seeded
-                                   violation (exit 1 on a vacuous rule)
+  tools/fdp_lint.py [--root DIR]      lint the tree (exit 1 on findings)
+  tools/fdp_lint.py --self-test       verify each native rule catches a
+                                      seeded violation and that delegation
+                                      to fdp_analyze actually runs
+  tools/fdp_lint.py --require-analyze fail (exit 2) when the fdp_analyze
+                                      binary cannot be found instead of
+                                      warning and running native rules only
+  tools/fdp_lint.py --analyze-bin P   explicit fdp_analyze binary (else
+                                      $FDP_ANALYZE, else build*/tools/
+                                      analyze/fdp_analyze under --root)
+  tools/fdp_lint.py --findings-json F forward to fdp_analyze --json F
 """
 
 import argparse
+import os
 import re
+import subprocess
 import sys
 import tempfile
 from pathlib import Path
@@ -95,26 +89,8 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-RNG_BAN = re.compile(
-    r"std::mt19937(?:_64)?\b|std::random_device\b|std::minstd_rand\b"
-    r"|\b(?:rand|srand|time)\s*\(")
-NEW_BAN = re.compile(r"\bnew\b")
-DELETED_DECL = re.compile(r"=\s*delete\b")
 PRINTF_BAN = re.compile(
     r"\b(?:f|s|sn|v|vf|vs|vsn)?printf\s*\(|\bf?puts\s*\(|\bputchar\s*\(")
-THREAD_BAN = re.compile(
-    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
-FILE_IO_BAN = re.compile(
-    r"\bstd::[iow]?fstream\b|\b(?:fopen|freopen|tmpfile)\s*\(")
-INT_CORE_DECL = re.compile(
-    r"\b(?:unsigned(?:\s+int)?|int|short|long|std::size_t|size_t"
-    r"|std::u?int(?:8|16|32|64)_t|u?int(?:8|16|32|64)_t)"
-    r"\s+(?:core|core_?[iI][dD]\w*|core_?[iI]dx\w*|core_?index\w*)"
-    r"\s*[=;,)]")
-CORE_INDEX_ARITH = re.compile(
-    r"\.index\(\)\s*[-+*/%]|[-+*/%]\s*[A-Za-z_]\w*\.index\(\)")
-GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
-DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
 
 
 def _regex_findings(path, rel, code, pattern, rule, message, findings):
@@ -122,32 +98,6 @@ def _regex_findings(path, rel, code, pattern, rule, message, findings):
         line = code.count("\n", 0, m.start()) + 1
         findings.append(Finding(rel, line, rule,
                                 f"{message} (matched `{m.group(0).strip()}')"))
-
-
-def lint_rng(root, findings):
-    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
-        if rel == Path("src/sim/rng.hh"):
-            continue
-        code = strip_comments_and_strings(path.read_text())
-        _regex_findings(path, rel, code, RNG_BAN, "rng-only",
-                        "randomness outside fdp::Rng (use sim/rng.hh)",
-                        findings)
-
-
-def lint_new_delete(root, findings):
-    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
-        code = strip_comments_and_strings(path.read_text())
-        # `= delete`d declarations are idiomatic, not memory management;
-        # blank them out without disturbing line numbers.
-        code = DELETED_DECL.sub(
-            lambda m: re.sub(r"\S", " ", m.group(0)), code)
-        _regex_findings(path, rel, code, NEW_BAN, "no-raw-new",
-                        "raw new (own state in containers/unique_ptr)",
-                        findings)
-        for m in re.finditer(r"\bdelete\b", code):
-            line = code.count("\n", 0, m.start()) + 1
-            findings.append(Finding(rel, line, "no-raw-new",
-                                    "raw delete (use RAII ownership)"))
 
 
 PRINTF_OK = {Path("src/sim/logging.hh"), Path("src/sim/logging.cc"),
@@ -162,80 +112,6 @@ def lint_printf(root, findings):
         _regex_findings(path, rel, code, PRINTF_BAN, "logging-only",
                         "printf-family call (use panic/fatal/warn/inform "
                         "or a std::ostream)", findings)
-
-
-THREAD_OK = {Path("src/harness/sweep_pool.hh"),
-             Path("src/harness/sweep_pool.cc")}
-
-
-def lint_threading(root, findings):
-    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
-        if rel in THREAD_OK:
-            continue
-        code = strip_comments_and_strings(path.read_text())
-        _regex_findings(path, rel, code, THREAD_BAN, "pool-only-threading",
-                        "raw threading primitive (go through "
-                        "harness/sweep_pool.hh)", findings)
-
-
-FILE_IO_OK = {Path("src/harness/reporting.cc"),
-              Path("src/harness/reporting.hh")}
-
-
-def lint_file_io(root, findings):
-    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
-        if rel in FILE_IO_OK or rel.parts[:2] == ("src", "trace"):
-            continue
-        code = strip_comments_and_strings(path.read_text())
-        _regex_findings(path, rel, code, FILE_IO_BAN, "file-io",
-                        "raw file I/O outside src/trace/ and "
-                        "harness/reporting (route through TraceReader/"
-                        "TraceWriter or ResultsJson)", findings)
-
-
-CORE_ID_OK = {Path("src/sim/types.hh")}
-
-
-def lint_core_id(root, findings):
-    for path, rel in _sources(root, ("src", "tools"), (".cc", ".hh")):
-        if rel in CORE_ID_OK or rel.parts[:2] == ("src", "mc"):
-            continue
-        code = strip_comments_and_strings(path.read_text())
-        _regex_findings(path, rel, code, INT_CORE_DECL, "typed-core-id",
-                        "raw integer core id (use fdp::CoreId from "
-                        "sim/types.hh)", findings)
-        _regex_findings(path, rel, code, CORE_INDEX_ARITH, "typed-core-id",
-                        "arithmetic on CoreId::index() outside src/mc/ "
-                        "(subscripting and comparison stay legal)",
-                        findings)
-
-
-def expected_guard(rel):
-    # src/mem/cache.hh -> FDP_MEM_CACHE_HH
-    parts = [p.upper() for p in rel.parts[1:-1]]
-    stem = re.sub(r"\W", "_", rel.stem).upper()
-    return "_".join(["FDP"] + parts + [stem, "HH"])
-
-
-def lint_include_guards(root, findings):
-    for path, rel in _sources(root, ("src",), (".hh",)):
-        text = path.read_text()
-        want = expected_guard(rel)
-        ifndef = GUARD_RE.search(text)
-        if not ifndef:
-            findings.append(Finding(rel, 1, "include-guard",
-                                    f"missing include guard {want}"))
-            continue
-        if ifndef.group(1) != want:
-            line = text.count("\n", 0, ifndef.start()) + 1
-            findings.append(Finding(
-                rel, line, "include-guard",
-                f"guard {ifndef.group(1)} should be {want}"))
-            continue
-        define = DEFINE_RE.search(text, ifndef.end())
-        if not define or define.group(1) != want:
-            findings.append(Finding(rel, 1, "include-guard",
-                                    f"#define does not match guard {want}"))
 
 
 def lint_test_pairing(root, findings):
@@ -258,9 +134,7 @@ def _sources(root, top_dirs, suffixes):
                 yield path, path.relative_to(root)
 
 
-RULES = [lint_rng, lint_new_delete, lint_printf, lint_threading,
-         lint_file_io, lint_core_id, lint_include_guards,
-         lint_test_pairing]
+RULES = [lint_printf, lint_test_pairing]
 
 
 def run_lint(root):
@@ -271,35 +145,49 @@ def run_lint(root):
 
 
 # ---------------------------------------------------------------------------
-# Self-test: seed one violation per rule in a scratch tree and check that
-# the rule flags it (and that a clean file stays clean).
+# Delegation to fdp_analyze.
+# ---------------------------------------------------------------------------
+
+
+def find_analyze_bin(root, explicit):
+    """Locate the fdp_analyze binary: --analyze-bin, then $FDP_ANALYZE,
+    then any build*/tools/analyze/fdp_analyze under the root."""
+    if explicit:
+        return Path(explicit)
+    env = os.environ.get("FDP_ANALYZE")
+    if env:
+        return Path(env)
+    hits = sorted(root.glob("build*/tools/analyze/fdp_analyze"))
+    return hits[0] if hits else None
+
+
+def run_analyze(root, bin_path, findings_json):
+    """Run fdp_analyze over `root`, baseline-gated when the committed
+    baseline exists. Returns the subprocess exit status."""
+    cmd = [str(bin_path), "--root", str(root)]
+    baseline = root / "tools" / "analyze" / "baseline.json"
+    if baseline.is_file():
+        cmd += ["--baseline", str(baseline)]
+    if findings_json:
+        cmd += ["--json", str(findings_json)]
+    print(f"fdp_lint: delegating to {bin_path}")
+    try:
+        return subprocess.run(cmd).returncode
+    except OSError as e:
+        print(f"fdp_lint: cannot run {bin_path}: {e}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one violation per native rule in a scratch tree and
+# check that the rule flags it, that a clean file stays clean, and that
+# delegation to fdp_analyze really runs (via a stub binary) and
+# propagates its exit status.
 # ---------------------------------------------------------------------------
 
 SELF_TEST_CASES = [
-    ("rng-only", "src/sim/bad_rng.cc",
-     "#include <random>\nstd::mt19937 gen(42);\n"),
-    ("rng-only", "src/core/bad_time.cc",
-     "#include <ctime>\nlong seed() { return time(nullptr); }\n"),
-    ("no-raw-new", "src/mem/bad_new.cc",
-     "int *leak() { return new int(7); }\n"),
-    ("no-raw-new", "src/mem/bad_delete.cc",
-     "void drop(int *p) { delete p; }\n"),
     ("logging-only", "src/cpu/bad_printf.cc",
      "#include <cstdio>\nvoid f() { std::printf(\"hi\\n\"); }\n"),
-    ("pool-only-threading", "src/mem/bad_thread.cc",
-     "#include <thread>\nvoid f() { std::thread t([] {}); t.join(); }\n"),
-    ("file-io", "src/mem/bad_io.cc",
-     "#include <fstream>\nint peek() { std::ifstream in(\"x\"); "
-     "return in.get(); }\n"),
-    ("file-io", "src/cpu/bad_fopen.cc",
-     "#include <cstdio>\nvoid *h() { return fopen(\"x\", \"r\"); }\n"),
-    ("typed-core-id", "src/mem/bad_core_decl.cc",
-     "void tag(unsigned core) { unsigned coreId = core; (void)coreId; }\n"),
-    ("typed-core-id", "src/mem/bad_core_arith.cc",
-     "unsigned next(CoreId id, unsigned n)\n"
-     "{ return (id.index() + 1) % n; }\n"),
-    ("include-guard", "src/mem/bad_guard.hh",
-     "#ifndef WRONG_GUARD_HH\n#define WRONG_GUARD_HH\n#endif\n"),
     ("test-pairing", "src/sim/orphan.cc",
      "int orphan() { return 1; }\n"),
 ]
@@ -308,17 +196,29 @@ CLEAN_FILE = (
     "src/sim/clean.hh",
     "#ifndef FDP_SIM_CLEAN_HH\n"
     "#define FDP_SIM_CLEAN_HH\n"
-    "// a comment saying rand( and new and printf( and std::thread\n"
-    "// and std::ifstream and fopen(\n"
-    "// changes nothing\n"
-    "const char *s = \"delete this std::mt19937 string\";\n"
-    "struct NoCopy { NoCopy(const NoCopy &) = delete; };\n"
-    "inline int pick(const int *perCore, CoreId id)\n"
-    "{ return perCore[id.index()]; }\n"
-    "inline bool samePlace(CoreId a, CoreId b)\n"
-    "{ return a.index() == b.index(); }\n"
+    "// a comment saying printf( and puts( changes nothing\n"
+    "const char *s = \"and a printf( in a string is fine too\";\n"
     "#endif  // FDP_SIM_CLEAN_HH\n",
 )
+
+
+def _write(root, rel, content):
+    target = root / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content)
+    return target
+
+
+def _stub_analyze(root, name, exit_code):
+    """An executable stub standing in for fdp_analyze: records its argv
+    and exits with the given status."""
+    log = root / f"{name}.argv"
+    stub = root / name
+    stub.write_text("#!/bin/sh\n"
+                    f"printf '%s\\n' \"$@\" > {log}\n"
+                    f"exit {exit_code}\n")
+    stub.chmod(0o755)
+    return stub, log
 
 
 def self_test():
@@ -327,13 +227,9 @@ def self_test():
         root = Path(tmp)
         for _, rel, content in [(r, Path(p), c)
                                 for r, p, c in SELF_TEST_CASES]:
-            target = root / rel
-            target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_text(content)
+            _write(root, rel, content)
         clean_rel, clean_content = CLEAN_FILE
-        clean = root / clean_rel
-        clean.parent.mkdir(parents=True, exist_ok=True)
-        clean.write_text(clean_content)
+        _write(root, Path(clean_rel), clean_content)
 
         findings = run_lint(root)
         for rule, rel, _ in SELF_TEST_CASES:
@@ -353,6 +249,35 @@ def self_test():
             failures += 1
         else:
             print("self-test ok: clean file produces no findings")
+
+        # Delegation must actually invoke the analyzer, pass --root and
+        # the committed baseline, and surface its verdict.
+        _write(root, Path("tools/analyze/baseline.json"),
+               '{"schema": "fdp-findings-v1", "findings": []}\n')
+        ok_stub, ok_log = _stub_analyze(root, "stub_ok", 0)
+        status = run_analyze(root, ok_stub, None)
+        argv = ok_log.read_text().splitlines() if ok_log.exists() else []
+        if status == 0 and "--root" in argv and "--baseline" in argv:
+            print("self-test ok: delegation runs fdp_analyze with "
+                  "--root and --baseline")
+        else:
+            print(f"self-test FAIL: delegation did not run the analyzer "
+                  f"as expected (status {status}, argv {argv})")
+            failures += 1
+
+        bad_stub, _ = _stub_analyze(root, "stub_bad", 1)
+        if run_analyze(root, bad_stub, None) == 1:
+            print("self-test ok: analyzer failure propagates")
+        else:
+            print("self-test FAIL: analyzer failure was swallowed")
+            failures += 1
+
+        missing = find_analyze_bin(root, None)
+        if missing is None:
+            print("self-test ok: no analyzer binary found in empty tree")
+        else:
+            print(f"self-test FAIL: phantom analyzer binary {missing}")
+            failures += 1
     return failures
 
 
@@ -362,7 +287,15 @@ def main():
                     default=Path(__file__).resolve().parent.parent,
                     help="repository root (default: this script's repo)")
     ap.add_argument("--self-test", action="store_true",
-                    help="verify every rule catches a seeded violation")
+                    help="verify every native rule catches a seeded "
+                         "violation and delegation runs")
+    ap.add_argument("--analyze-bin", type=Path, default=None,
+                    help="fdp_analyze binary (default: $FDP_ANALYZE or "
+                         "build*/tools/analyze/fdp_analyze)")
+    ap.add_argument("--require-analyze", action="store_true",
+                    help="error out when fdp_analyze cannot be found")
+    ap.add_argument("--findings-json", type=Path, default=None,
+                    help="forward to fdp_analyze --json")
     args = ap.parse_args()
 
     if args.self_test:
@@ -377,9 +310,27 @@ def main():
     findings = run_lint(args.root)
     for f in findings:
         print(f)
+
+    analyze_status = 0
+    bin_path = find_analyze_bin(args.root, args.analyze_bin)
+    if bin_path is None or not bin_path.exists():
+        msg = ("fdp_lint: fdp_analyze binary not found (build it: "
+               "cmake --build build --target fdp_analyze)")
+        if args.require_analyze:
+            print(msg, file=sys.stderr)
+            return 2
+        print(f"{msg}; running native rules only", file=sys.stderr)
+    else:
+        analyze_status = run_analyze(args.root, bin_path,
+                                     args.findings_json)
+        if analyze_status >= 2:
+            return analyze_status
+
     if findings:
-        print(f"fdp_lint: {len(findings)} finding(s)")
+        print(f"fdp_lint: {len(findings)} native finding(s)")
         return 1
+    if analyze_status:
+        return analyze_status
     print("fdp_lint: clean")
     return 0
 
