@@ -19,6 +19,7 @@ main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 8'000'000);
     const unsigned jobs = sweepJobs(argc, argv);
+    configureSweepStore(argc, argv);
     const auto &benches = memoryIntensiveBenchmarks();
 
     std::vector<LabeledConfig> configs = {

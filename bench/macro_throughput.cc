@@ -8,6 +8,14 @@
  * Emits one fdp-results-v1 JSON document on stdout so tools/bench.sh
  * can merge it with the micro_structures numbers into BENCH_<rev>.json.
  * The simulated output is deterministic; only the wall-clock varies.
+ *
+ * Besides the timing rates, the document carries the full deterministic
+ * metric set of every simulated run (sim/<bench>/... and the mc2
+ * co-run) — these are bit-identical across hosts and feed the ci.sh
+ * bench-diff trajectory gate, which diffs them exactly against the
+ * committed quick baseline. A drift there is a simulation-semantics
+ * change: either a bug, or an intended change that must come with a
+ * baseline regen plus a result_store.hh kSimCoreVersion bump.
  */
 
 #include <chrono>
@@ -18,6 +26,7 @@
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "mc/mc_machine.hh"
+#include "mc/mix_runner.hh"
 #include "mc/workload_mix.hh"
 
 using namespace fdp;
@@ -57,6 +66,13 @@ main(int argc, char **argv)
         if (b == "swim")
             swim_rate = rate;
         json.add("macro/" + b + "/insts_per_s", "insts/s", rate, "higher");
+        json.addRunResult("sim/" + b, r);
+        json.add("sim/" + b + "/insts", "count",
+                 static_cast<double>(r.insts), "higher");
+        json.add("sim/" + b + "/l2_misses", "count",
+                 static_cast<double>(r.l2Misses), "lower");
+        json.add("sim/" + b + "/pref_sent", "count",
+                 static_cast<double>(r.prefSent), "higher");
     }
     json.add("macro/insts_per_s", "insts/s",
              static_cast<double>(total_insts) / total_wall, "higher");
@@ -75,6 +91,10 @@ main(int argc, char **argv)
              "higher");
     json.add("macro/trace_replay/speedup_vs_live", "x",
              replay_rate / swim_rate, "higher");
+    // Replay must reproduce the live run exactly; exporting its
+    // deterministic metrics means the bench-diff gate also notices a
+    // trace frontend divergence.
+    json.addRunResult("sim/trace_replay", replayed);
 
     // Multi-core throughput: a 2-core bandwidth-bound co-run (shared
     // L2 + DRAM, per-core FDP). Rate is total retired instructions
@@ -93,6 +113,7 @@ main(int argc, char **argv)
         mc_insts += c.insts;
     json.add("macro/mc2/insts_per_s", "insts/s",
              static_cast<double>(mc_insts) / mc_wall.count(), "higher");
+    addMcRunResult(json, corun);
 
     json.write(std::cout);
     return 0;

@@ -63,6 +63,7 @@ main(int argc, char **argv)
 {
     const std::uint64_t insts = instructionBudget(argc, argv, 4'000'000);
     const unsigned jobs = sweepJobs(argc, argv);
+    configureSweepStore(argc, argv);
     const std::string outPath = resultsOutPath(argc, argv);
     ResultsJson out("tab07_sensitivity");
 

@@ -1,5 +1,6 @@
 #include "harness/reporting.hh"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -191,13 +192,19 @@ ResultsJson::write(std::ostream &os) const
 void
 ResultsJson::writeFile(const std::string &path) const
 {
+    // An unwritable results path is a user/environment error (typo'd
+    // directory, full disk), not a harness bug: report which path and
+    // why, and exit instead of aborting.
+    errno = 0;
     std::ofstream os(path);
     if (!os)
-        panic("cannot open results file %s for writing", path.c_str());
+        fatal("cannot open results file %s for writing: %s", path.c_str(),
+              std::strerror(errno));
     write(os);
     os.flush();
     if (!os)
-        panic("failed writing results file %s", path.c_str());
+        fatal("failed writing results file %s: %s", path.c_str(),
+              std::strerror(errno));
 }
 
 std::string

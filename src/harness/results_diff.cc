@@ -1,0 +1,360 @@
+#include "harness/results_diff.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "harness/json_value.hh"
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+std::string
+fmtDoubleExact(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+    return os.str();
+}
+
+std::string
+jsonEscapeMinimal(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Human rendering of a relative delta, sign included. */
+std::string
+fmtRelDelta(double rel)
+{
+    if (std::isinf(rel))
+        return rel > 0 ? "+inf" : "-inf";
+    std::ostringstream os;
+    os << (rel >= 0 ? "+" : "") << std::fixed << std::setprecision(2)
+       << rel * 100.0 << "%";
+    return os.str();
+}
+
+} // namespace
+
+const ResultsFile::Entry *
+ResultsFile::find(const std::string &name) const
+{
+    for (const Entry &e : entries)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+bool
+loadResultsFile(const std::string &path, ResultsFile *out,
+                std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        *error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (is.bad()) {
+        *error = path + ": read failed";
+        return false;
+    }
+
+    JsonValue doc;
+    if (!parseJson(buffer.str(), &doc, error)) {
+        *error = path + ": " + *error;
+        return false;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->asString() != "fdp-results-v1") {
+        *error = path + ": schema is not fdp-results-v1";
+        return false;
+    }
+    const JsonValue *entries = doc.find("entries");
+    if (!entries || entries->kind != JsonValue::Kind::Array) {
+        *error = path + ": missing entries array";
+        return false;
+    }
+
+    out->path = path;
+    out->source = doc.find("source") ? doc.find("source")->asString() : "";
+    out->entries.clear();
+    out->entries.reserve(entries->items.size());
+    std::set<std::string> seen;
+    for (const JsonValue &item : entries->items) {
+        const JsonValue *name = item.find("name");
+        const JsonValue *value = item.find("value");
+        const JsonValue *better = item.find("better");
+        if (!name || name->kind != JsonValue::Kind::String || !value ||
+            value->kind != JsonValue::Kind::Number) {
+            *error = path + ": entry without string name / numeric value";
+            return false;
+        }
+        const std::string betterStr =
+            better ? better->asString() : "higher";
+        if (betterStr != "higher" && betterStr != "lower") {
+            *error = path + ": entry " + name->asString() +
+                     ": better must be higher|lower";
+            return false;
+        }
+        if (!seen.insert(name->asString()).second) {
+            *error = path + ": duplicate entry " + name->asString();
+            return false;
+        }
+        out->entries.push_back(
+            {name->asString(),
+             item.find("unit") ? item.find("unit")->asString() : "",
+             betterStr, value->number});
+    }
+    error->clear();
+    return true;
+}
+
+MetricClass
+classifyMetric(const std::string &name, const std::string &unit)
+{
+    static const std::set<std::string> timingUnits = {
+        "ns/op", "insts/s", "x", "s", "runs/s"};
+    if (timingUnits.count(unit))
+        return MetricClass::Timing;
+    auto endsWith = [&](const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    // Simulated speedups (IPC ratios) carry unit "ratio" and stay
+    // deterministic; only the unit "x" wall-clock kind is timing.
+    if (endsWith("/ns") || endsWith("_per_s") ||
+        name.find("wall") != std::string::npos)
+        return MetricClass::Timing;
+    return MetricClass::Deterministic;
+}
+
+const char *
+diffStatusName(DiffStatus status)
+{
+    switch (status) {
+      case DiffStatus::Ok:
+        return "ok";
+      case DiffStatus::Improved:
+        return "improved";
+      case DiffStatus::Noise:
+        return "noise";
+      case DiffStatus::Regressed:
+        return "regressed";
+      case DiffStatus::Missing:
+        return "missing";
+      case DiffStatus::Added:
+        return "added";
+    }
+    return "?";
+}
+
+DiffReport
+diffResults(const ResultsFile &base, const ResultsFile &fresh,
+            const DiffOptions &options)
+{
+    DiffReport report;
+    for (const ResultsFile::Entry &b : base.entries) {
+        DiffEntry d;
+        d.name = b.name;
+        d.unit = b.unit;
+        d.cls = classifyMetric(b.name, b.unit);
+        d.baseValue = b.value;
+        const ResultsFile::Entry *f = fresh.find(b.name);
+        if (!f) {
+            d.status = DiffStatus::Missing;
+            ++report.missing;
+            report.entries.push_back(std::move(d));
+            continue;
+        }
+        d.freshValue = f->value;
+        if (b.value == f->value) {
+            d.relDelta = 0.0;
+            d.status = DiffStatus::Ok;
+        } else if (b.value == 0.0) {
+            d.relDelta = f->value > 0
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+        } else {
+            d.relDelta = (f->value - b.value) / std::fabs(b.value);
+        }
+        if (b.value != f->value) {
+            const double tol = d.cls == MetricClass::Deterministic
+                                   ? options.detTol
+                                   : options.timingTol;
+            const bool within = std::fabs(d.relDelta) <= tol;
+            if (within) {
+                d.status = DiffStatus::Ok;
+            } else if (d.cls == MetricClass::Deterministic) {
+                // Direction is irrelevant: a deterministic counter
+                // moving at all is simulation-behavior drift.
+                d.status = DiffStatus::Regressed;
+            } else {
+                const bool worse = b.better == "higher"
+                                       ? f->value < b.value
+                                       : f->value > b.value;
+                if (!worse)
+                    d.status = DiffStatus::Improved;
+                else
+                    d.status = options.strictTiming
+                                   ? DiffStatus::Regressed
+                                   : DiffStatus::Noise;
+            }
+        }
+        switch (d.status) {
+          case DiffStatus::Ok:
+            ++report.ok;
+            break;
+          case DiffStatus::Improved:
+            ++report.improved;
+            break;
+          case DiffStatus::Noise:
+            ++report.noise;
+            break;
+          case DiffStatus::Regressed:
+            ++report.regressed;
+            break;
+          default:
+            break;
+        }
+        report.entries.push_back(std::move(d));
+    }
+    for (const ResultsFile::Entry &f : fresh.entries) {
+        if (base.find(f.name))
+            continue;
+        DiffEntry d;
+        d.name = f.name;
+        d.unit = f.unit;
+        d.cls = classifyMetric(f.name, f.unit);
+        d.status = DiffStatus::Added;
+        d.freshValue = f.value;
+        ++report.added;
+        report.entries.push_back(std::move(d));
+    }
+    return report;
+}
+
+Table
+buildDiffTable(const DiffReport &report, bool everything)
+{
+    Table table("results diff: " + std::to_string(report.regressed) +
+                " regressed, " + std::to_string(report.missing) +
+                " missing, " + std::to_string(report.noise) + " noise, " +
+                std::to_string(report.improved) + " improved, " +
+                std::to_string(report.added) + " added, " +
+                std::to_string(report.ok) + " ok");
+    table.setHeader(
+        {"metric", "class", "status", "baseline", "fresh", "delta"});
+
+    // Blocking rows first so a failing CI log leads with the cause.
+    auto severity = [](DiffStatus s) {
+        switch (s) {
+          case DiffStatus::Regressed: return 0;
+          case DiffStatus::Missing: return 1;
+          case DiffStatus::Noise: return 2;
+          case DiffStatus::Improved: return 3;
+          case DiffStatus::Added: return 4;
+          case DiffStatus::Ok: return 5;
+        }
+        return 6;
+    };
+    std::vector<const DiffEntry *> rows;
+    for (const DiffEntry &d : report.entries)
+        if (everything || d.status != DiffStatus::Ok)
+            rows.push_back(&d);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const DiffEntry *a, const DiffEntry *b) {
+                         return severity(a->status) < severity(b->status);
+                     });
+    for (const DiffEntry *d : rows) {
+        const bool det = d->cls == MetricClass::Deterministic;
+        table.addRow({d->name, det ? "det" : "timing",
+                      diffStatusName(d->status),
+                      d->status == DiffStatus::Added
+                          ? "-"
+                          : fmtDoubleExact(d->baseValue),
+                      d->status == DiffStatus::Missing
+                          ? "-"
+                          : fmtDoubleExact(d->freshValue),
+                      d->status == DiffStatus::Added ||
+                              d->status == DiffStatus::Missing
+                          ? "-"
+                          : fmtRelDelta(d->relDelta)});
+    }
+    return table;
+}
+
+void
+writeVerdictFile(const std::string &path, const DiffReport &report,
+                 const ResultsFile &base, const ResultsFile &fresh,
+                 const DiffOptions &options)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"schema\": \"fdp-diff-v1\",\n";
+    os << "  \"base\": \"" << jsonEscapeMinimal(base.path) << "\",\n";
+    os << "  \"fresh\": \"" << jsonEscapeMinimal(fresh.path) << "\",\n";
+    os << "  \"options\": {\"timing_tol\": " << options.timingTol
+       << ", \"det_tol\": " << options.detTol << ", \"strict_timing\": "
+       << (options.strictTiming ? "true" : "false") << "},\n";
+    os << "  \"verdict\": \"" << (report.blocking() ? "fail" : "pass")
+       << "\",\n";
+    os << "  \"counts\": {\"ok\": " << report.ok << ", \"improved\": "
+       << report.improved << ", \"noise\": " << report.noise
+       << ", \"regressed\": " << report.regressed << ", \"missing\": "
+       << report.missing << ", \"added\": " << report.added << "},\n";
+    os << "  \"entries\": [";
+    bool first = true;
+    for (const DiffEntry &d : report.entries) {
+        if (d.status == DiffStatus::Ok)
+            continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"name\": \"" << jsonEscapeMinimal(d.name)
+           << "\", \"class\": \""
+           << (d.cls == MetricClass::Deterministic ? "det" : "timing")
+           << "\", \"status\": \"" << diffStatusName(d.status) << "\"";
+        if (d.status != DiffStatus::Added)
+            os << ", \"base\": " << fmtDoubleExact(d.baseValue);
+        if (d.status != DiffStatus::Missing)
+            os << ", \"fresh\": " << fmtDoubleExact(d.freshValue);
+        if (d.status != DiffStatus::Added &&
+            d.status != DiffStatus::Missing && !std::isinf(d.relDelta))
+            os << ", \"rel_delta\": " << fmtDoubleExact(d.relDelta);
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("cannot open verdict file %s for writing: %s", path.c_str(),
+              std::strerror(errno));
+    file << os.str();
+    file.flush();
+    if (!file)
+        fatal("failed writing verdict file %s: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+} // namespace fdp

@@ -7,8 +7,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
 
 #include "harness/reporting.hh"
+#include "harness/result_store.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
 
@@ -21,7 +25,51 @@ namespace
 // More workers than this is a configuration typo, not a machine.
 constexpr std::uint64_t kMaxSweepJobs = 4096;
 
+/** Process-wide store attachment (set once at startup, before any
+ *  sweep runs, so there is no cross-thread mutation to order). */
+SweepStoreConfig g_sweepStore;
+
 } // namespace
+
+SweepStoreConfig
+parseSweepStoreArgs(int argc, char **argv)
+{
+    SweepStoreConfig config;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0) {
+            if (i + 1 >= argc)
+                fatal("--store requires a directory path argument");
+            config.dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            config.resume = true;
+        }
+    }
+    if (config.resume && config.dir.empty())
+        fatal("--resume needs --store DIR (nothing to resume from)");
+    return config;
+}
+
+void
+setSweepStore(const SweepStoreConfig &config)
+{
+    if (config.resume && config.dir.empty())
+        fatal("sweep store: resume without a store directory");
+    g_sweepStore = config;
+}
+
+const SweepStoreConfig &
+sweepStore()
+{
+    return g_sweepStore;
+}
+
+SweepStoreConfig
+configureSweepStore(int argc, char **argv)
+{
+    const SweepStoreConfig config = parseSweepStoreArgs(argc, argv);
+    setSweepStore(config);
+    return config;
+}
 
 SweepPool::SweepPool(unsigned threads)
 {
@@ -126,13 +174,60 @@ runSweep(const std::vector<std::string> &benchmarks,
     for (auto &row : results)
         row.resize(benchmarks.size());
 
+    // Result-store attachment: resolve every cell's key up front (the
+    // workload trace hash is memoized per (benchmark, numInsts) pair),
+    // and serve resumable cells straight into their slots. All store
+    // lookups happen here on the main thread; workers only insert, and
+    // each insert touches its own entry file.
+    const SweepStoreConfig storeCfg = sweepStore();
+    std::unique_ptr<ResultStore> store;
+    std::vector<StoreKey> keys;
+    std::vector<char> cached;
+    std::size_t hits = 0;
+    if (storeCfg.enabled()) {
+        store = std::make_unique<ResultStore>(storeCfg.dir);
+        keys.resize(cells);
+        cached.assign(cells, 0);
+        std::map<std::pair<std::string, std::uint64_t>, std::uint64_t>
+            traceHashes;
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+            const std::size_t c = cell / benchmarks.size();
+            const std::size_t b = cell % benchmarks.size();
+            const auto hk = std::make_pair(benchmarks[b],
+                                           configs[c].second.numInsts);
+            auto it = traceHashes.find(hk);
+            if (it == traceHashes.end())
+                it = traceHashes
+                         .emplace(hk,
+                                  workloadTraceHash(hk.first, hk.second))
+                         .first;
+            keys[cell] = makeStoreKey(benchmarks[b], configs[c].second,
+                                      configs[c].first, it->second);
+            if (storeCfg.resume &&
+                store->lookup(keys[cell], &results[c][b])) {
+                cached[cell] = 1;
+                ++hits;
+            }
+        }
+    }
+    const auto isCached = [&](std::size_t cell) {
+        return !cached.empty() && cached[cell] != 0;
+    };
+
     if (jobs == 1) {
         // The pre-pool sequential path, byte for byte.
-        for (std::size_t c = 0; c < configs.size(); ++c)
-            for (std::size_t b = 0; b < benchmarks.size(); ++b)
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+                const std::size_t cell = c * benchmarks.size() + b;
+                if (isCached(cell))
+                    continue;
                 results[c][b] = runBenchmark(benchmarks[b],
                                              configs[c].second,
                                              configs[c].first);
+                if (store)
+                    store->insert(keys[cell], results[c][b]);
+            }
+        }
     } else {
         // A worker fatal is deferred (FatalThrowsGuard) and re-raised
         // here on the main thread — but only after the pool has left
@@ -144,9 +239,11 @@ runSweep(const std::vector<std::string> &benchmarks,
         // long run picked up last. Ties keep the c-major submission
         // order, and every result still lands in its pre-sized slot, so
         // the output tables are unaffected by the ordering.
-        std::vector<std::size_t> order(cells);
+        std::vector<std::size_t> order;
+        order.reserve(cells);
         for (std::size_t i = 0; i < cells; ++i)
-            order[i] = i;
+            if (!isCached(i))
+                order.push_back(i);
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t lhs, std::size_t rhs) {
                              const std::uint64_t li =
@@ -165,8 +262,12 @@ runSweep(const std::vector<std::string> &benchmarks,
                 RunResult *slot = &results[c][b];
                 const std::string *bench = &benchmarks[b];
                 const LabeledConfig *cfg = &configs[c];
-                pool.submit([slot, bench, cfg] {
+                const ResultStore *cellStore = store.get();
+                const StoreKey *key = cellStore ? &keys[cell] : nullptr;
+                pool.submit([slot, bench, cfg, cellStore, key] {
                     *slot = runBenchmark(*bench, cfg->second, cfg->first);
+                    if (cellStore)
+                        cellStore->insert(*key, *slot);
                 });
             }
             try {
@@ -183,10 +284,17 @@ runSweep(const std::vector<std::string> &benchmarks,
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
     SweepStats stats;
-    stats.runs = cells;
+    stats.runs = cells - hits;  // cells actually simulated
     stats.jobs = jobs;
     stats.wallSeconds = wall.count();
     printSweepThroughput(stats);
+    // Like the throughput line: stderr only, so stdout result tables
+    // stay bit-identical between cold and resumed runs.
+    if (store)
+        std::cerr << "sweep-store: dir=" << store->dir()
+                  << " resume=" << (storeCfg.resume ? 1 : 0)
+                  << " hits=" << hits << " misses=" << (cells - hits)
+                  << '\n';
     return results;
 }
 

@@ -87,6 +87,40 @@ class SweepPool
 using LabeledConfig = std::pair<std::string, RunConfig>;
 
 /**
+ * Result-store attachment for sweeps (see harness/result_store.hh).
+ * With a directory set, every fresh cell is persisted there; with
+ * resume also set, cells whose key is already present are served from
+ * the store instead of being re-simulated. Because stored results are
+ * bit-identical to freshly computed ones (determinism contract), the
+ * merged output is byte-for-byte the same as a cold run's.
+ */
+struct SweepStoreConfig
+{
+    std::string dir;     ///< empty = store disabled
+    bool resume = false; ///< reuse cells already present
+
+    bool enabled() const { return !dir.empty(); }
+};
+
+/**
+ * Parse "--store DIR" / "--resume" from a bench binary's command line.
+ * Fatal when --store is trailing or --resume appears without --store.
+ */
+SweepStoreConfig parseSweepStoreArgs(int argc, char **argv);
+
+/** Install @p config process-wide for subsequent runSweep calls. */
+void setSweepStore(const SweepStoreConfig &config);
+
+/** The installed store configuration (disabled by default). */
+const SweepStoreConfig &sweepStore();
+
+/**
+ * One-call adoption for bench binaries: parse --store/--resume from
+ * argv and install the result. Returns the parsed configuration.
+ */
+SweepStoreConfig configureSweepStore(int argc, char **argv);
+
+/**
  * Run every (benchmark, config) cell of a sweep, fanning the cells out
  * over @p jobs worker threads (0 = defaultSweepJobs(); 1 = the plain
  * sequential path with no threads created). results[c][b] is benchmark

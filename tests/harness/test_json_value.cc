@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the harness JSON document model and parser: the value
+ * accessors, exact number round-trips, escape decoding, and — the
+ * property the result store leans on — that no malformed input ever
+ * crashes or exits; it only returns false with a line-numbered error.
+ */
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/json_value.hh"
+
+namespace fdp
+{
+namespace
+{
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, &v, &error)) << error;
+    return v;
+}
+
+TEST(JsonValue, ParsesTheFiveShapesTheArtifactsUse)
+{
+    const JsonValue v = parsed(R"({"s": "x", "n": -2.5e3, "b": true,
+                                   "nil": null, "arr": [1, 2, 3],
+                                   "o": {"k": false}})");
+    EXPECT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("s")->asString(), "x");
+    EXPECT_EQ(v.find("n")->asNumber(0), -2500.0);
+    EXPECT_TRUE(v.find("b")->boolean);
+    EXPECT_EQ(v.find("nil")->kind, JsonValue::Kind::Null);
+    ASSERT_EQ(v.find("arr")->items.size(), 3u);
+    EXPECT_EQ(v.find("arr")->items[2].asNumber(0), 3.0);
+    EXPECT_EQ(v.find("o")->find("k")->boolean, false);
+    EXPECT_EQ(v.find("absent"), nullptr);
+    // Typed accessors fall back on kind mismatches instead of lying.
+    EXPECT_EQ(v.find("s")->asNumber(-1.0), -1.0);
+    EXPECT_EQ(v.find("n")->asString(), "");
+    EXPECT_EQ(v.find("n")->find("k"), nullptr);
+}
+
+TEST(JsonValue, NumbersRoundTripExactly)
+{
+    // The writers print max_digits10; parsing must recover the exact
+    // bit pattern or store lookups would not be bit-identical.
+    const double value = 0.9610639938319198;
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"v\": " << value << "}";
+    EXPECT_EQ(parsed(os.str()).find("v")->number, value);
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    const JsonValue v =
+        parsed(R"({"s": "a\"b\\c\n\tAé"})");
+    EXPECT_EQ(v.find("s")->asString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonValue, LastDuplicateKeyWins)
+{
+    EXPECT_EQ(parsed(R"({"k": 1, "k": 2})").find("k")->asNumber(0), 2.0);
+}
+
+TEST(JsonValue, MalformedInputFailsWithLineNumberedErrorNotACrash)
+{
+    JsonValue v;
+    std::string error;
+    for (const char *bad :
+         {"", "{", "{\"a\": }", "[1, 2", "{\"a\" 1}", "tru", "\"unterm",
+          "{\"a\": 01x}", "[1,]", "nullx"}) {
+        EXPECT_FALSE(parseJson(bad, &v, &error)) << bad;
+        EXPECT_NE(error.find("line"), std::string::npos) << bad;
+    }
+
+    // Trailing garbage after a valid document is rejected, with the
+    // line number pointing past the document.
+    EXPECT_FALSE(parseJson("{\"a\": 1}\n trailing", &v, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(JsonValue, DeepNestingTripsTheGuardNotTheStack)
+{
+    JsonValue v;
+    std::string error;
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(parseJson(deep, &v, &error));
+    EXPECT_NE(error.find("nest"), std::string::npos);
+}
+
+} // namespace
+} // namespace fdp

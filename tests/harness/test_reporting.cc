@@ -177,9 +177,13 @@ TEST(ResultsJsonDeath, BadBetterDirectionDies)
 
 TEST(ResultsJsonDeath, UnwritablePathDies)
 {
+    // A bad --out path is a user error: fatal (exit 1), naming the
+    // path and the errno reason, not an abort.
     ResultsJson json("bad-path");
-    EXPECT_DEATH(json.writeFile("/nonexistent-dir/results.json"),
-                 "cannot open results file");
+    EXPECT_EXIT(json.writeFile("/nonexistent-dir/results.json"),
+                testing::ExitedWithCode(1),
+                "cannot open results file /nonexistent-dir/results.json "
+                "for writing: No such file");
 }
 
 TEST(Reporting, ResultsOutPathFindsFlag)

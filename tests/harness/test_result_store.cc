@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the content-addressed sweep result store: key composition
+ * and stability, exact JSON round-trips, defensive reads (truncation,
+ * corruption, collisions all read as misses, never crashes), and the
+ * headline property — a resumed sweep's results are bit-identical to a
+ * cold run's at any --jobs value.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/result_store.hh"
+#include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
+
+namespace fdp
+{
+namespace
+{
+
+/** Fresh store directory per test (gtest's TempDir persists). */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::remove((dir + "/.placeholder").c_str());
+    return dir;
+}
+
+RunConfig
+quickConfig(std::uint64_t insts = 50'000)
+{
+    RunConfig c = RunConfig::fullFdp();
+    c.numInsts = insts;
+    return c;
+}
+
+RunResult
+denseResult()
+{
+    RunResult r;
+    r.benchmark = "swim";
+    r.config = "fdp";
+    r.insts = 123456789;
+    r.cycles = 987654321;
+    r.ipc = 1.0 / 3.0;  // not exactly representable in decimal
+    r.bpki = 14.07;
+    r.accuracy = 0.9610639938319198;
+    r.lateness = 0.7079823505816285;
+    r.pollution = 0.001;
+    r.prefSent = 11;
+    r.prefUsed = 7;
+    r.busAccesses = 2814;
+    r.l2Misses = 42;
+    r.demandAccesses = 1000;
+    r.demandGrants = 900;
+    r.prefetchGrants = 80;
+    r.writebackGrants = 20;
+    r.mshrStallCount = 5;
+    r.prefDropQueueFull = 3;
+    r.avgMissLatency = 5174.480135658915;
+    for (int i = 0; i < 5; ++i)
+        r.levelDist[i] = 0.1 * (i + 1) / 1.5;
+    for (int i = 0; i < 4; ++i)
+        r.insertDist[i] = 0.25 + i * 1e-17;
+    return r;
+}
+
+TEST(StoreKey, StableAcrossCallsAndSensitiveToEveryInput)
+{
+    const RunConfig config = quickConfig();
+    const StoreKey a = makeStoreKey("swim", config, "fdp");
+    const StoreKey b = makeStoreKey("swim", config, "fdp");
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.canonical, b.canonical);
+    EXPECT_EQ(a.fileName(), hashHex(a.hash) + ".json");
+
+    // Benchmark, label, and any config knob must all change the key.
+    EXPECT_NE(makeStoreKey("art", config, "fdp").hash, a.hash);
+    EXPECT_NE(makeStoreKey("swim", config, "no-pf").hash, a.hash);
+    RunConfig tweaked = config;
+    tweaked.machine.l2.sizeBytes *= 2;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, a.hash);
+    tweaked = config;
+    tweaked.numInsts += 1;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, a.hash);
+    tweaked = config;
+    tweaked.fdp.thresholds.aHigh += 1e-9;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, a.hash);
+}
+
+TEST(StoreKey, CanonicalStringNamesItsComponents)
+{
+    const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");
+    EXPECT_NE(key.canonical.find("fdp-store-v1"), std::string::npos);
+    EXPECT_NE(key.canonical.find("bench=swim"), std::string::npos);
+    EXPECT_NE(key.canonical.find("label=fdp"), std::string::npos);
+    EXPECT_NE(key.canonical.find("rev="), std::string::npos);
+    EXPECT_NE(key.canonical.find(
+                  "simcore=" + std::to_string(kSimCoreVersion)),
+              std::string::npos);
+}
+
+TEST(StoreKey, WorkloadTraceHashDependsOnBenchmarkAndLength)
+{
+    const std::uint64_t swim = workloadTraceHash("swim", 1000);
+    EXPECT_EQ(swim, workloadTraceHash("swim", 1000));
+    EXPECT_NE(swim, workloadTraceHash("art", 1000));
+    EXPECT_NE(swim, workloadTraceHash("swim", 1001));
+}
+
+TEST(ResultStore, RoundTripIsExact)
+{
+    const ResultStore store(freshDir("store_roundtrip"));
+    const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");
+    const RunResult in = denseResult();
+    store.insert(key, in);
+
+    RunResult out;
+    ASSERT_TRUE(store.lookup(key, &out));
+    EXPECT_EQ(out.benchmark, in.benchmark);
+    EXPECT_EQ(out.config, in.config);
+    EXPECT_EQ(out.insts, in.insts);
+    EXPECT_EQ(out.cycles, in.cycles);
+    // Bit-exact doubles: the store prints max_digits10.
+    EXPECT_EQ(out.ipc, in.ipc);
+    EXPECT_EQ(out.bpki, in.bpki);
+    EXPECT_EQ(out.accuracy, in.accuracy);
+    EXPECT_EQ(out.lateness, in.lateness);
+    EXPECT_EQ(out.pollution, in.pollution);
+    EXPECT_EQ(out.prefSent, in.prefSent);
+    EXPECT_EQ(out.prefUsed, in.prefUsed);
+    EXPECT_EQ(out.busAccesses, in.busAccesses);
+    EXPECT_EQ(out.l2Misses, in.l2Misses);
+    EXPECT_EQ(out.demandAccesses, in.demandAccesses);
+    EXPECT_EQ(out.demandGrants, in.demandGrants);
+    EXPECT_EQ(out.prefetchGrants, in.prefetchGrants);
+    EXPECT_EQ(out.writebackGrants, in.writebackGrants);
+    EXPECT_EQ(out.mshrStallCount, in.mshrStallCount);
+    EXPECT_EQ(out.prefDropQueueFull, in.prefDropQueueFull);
+    EXPECT_EQ(out.avgMissLatency, in.avgMissLatency);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out.levelDist[i], in.levelDist[i]) << i;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(out.insertDist[i], in.insertDist[i]) << i;
+}
+
+TEST(ResultStore, AbsentEntryIsAQuietMiss)
+{
+    const ResultStore store(freshDir("store_miss"));
+    RunResult out;
+    EXPECT_FALSE(store.lookup(makeStoreKey("swim", quickConfig(), "fdp"),
+                              &out));
+}
+
+TEST(ResultStore, TruncatedEntryReadsAsMissAndReinsertHeals)
+{
+    const ResultStore store(freshDir("store_truncated"));
+    const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");
+    store.insert(key, denseResult());
+
+    // Truncate the entry mid-document (a killed sweep, a bad disk).
+    const std::string path = store.dir() + "/" + key.fileName();
+    {
+        std::ifstream is(path);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        const std::string full = ss.str();
+        std::ofstream os(path, std::ios::trunc);
+        os << full.substr(0, full.size() / 2);
+    }
+
+    RunResult out;
+    EXPECT_FALSE(store.lookup(key, &out));  // miss, not a crash
+
+    // A rerun overwrites the corpse and the store is healthy again.
+    store.insert(key, denseResult());
+    EXPECT_TRUE(store.lookup(key, &out));
+    EXPECT_EQ(out.busAccesses, denseResult().busAccesses);
+}
+
+TEST(ResultStore, CanonicalMismatchReadsAsMiss)
+{
+    // Simulate a hash collision (or file-name tampering) by renaming a
+    // valid entry to a different key's slot: the canonical string
+    // stored inside no longer matches, so lookup must miss.
+    const ResultStore store(freshDir("store_collision"));
+    const StoreKey a = makeStoreKey("swim", quickConfig(), "fdp");
+    const StoreKey b = makeStoreKey("art", quickConfig(), "fdp");
+    store.insert(a, denseResult());
+    ASSERT_EQ(std::rename((store.dir() + "/" + a.fileName()).c_str(),
+                          (store.dir() + "/" + b.fileName()).c_str()),
+              0);
+    RunResult out;
+    EXPECT_FALSE(store.lookup(b, &out));
+}
+
+TEST(ResultStore, EntryFilesListsAndReadEntryDecodes)
+{
+    const ResultStore store(freshDir("store_ls"));
+    const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");
+    store.insert(key, denseResult());
+
+    const std::vector<std::string> files = store.entryFiles();
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files.front(), key.fileName());
+
+    StoreEntry entry;
+    std::string error;
+    ASSERT_TRUE(store.readEntry(files.front(), &entry, &error)) << error;
+    EXPECT_EQ(entry.benchmark, "swim");
+    EXPECT_EQ(entry.configLabel, "fdp");
+    EXPECT_EQ(entry.simCoreVersion, kSimCoreVersion);
+    EXPECT_EQ(entry.canonical, key.canonical);
+}
+
+TEST(ResultStore, CopyEntryToMergesAndRemoveEntryDeletes)
+{
+    const ResultStore src(freshDir("store_merge_src"));
+    const ResultStore dst(freshDir("store_merge_dst"));
+    const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");
+    src.insert(key, denseResult());
+
+    std::string error;
+    ASSERT_TRUE(src.copyEntryTo(key.fileName(), dst, &error)) << error;
+    RunResult out;
+    EXPECT_TRUE(dst.lookup(key, &out));
+
+    dst.removeEntry(key.fileName());
+    EXPECT_FALSE(dst.lookup(key, &out));
+    dst.removeEntry(key.fileName());  // second delete is a no-op
+}
+
+/** Render sweep results the way bench binaries do, for byte compares. */
+std::string
+sweepDigest(const std::vector<std::vector<RunResult>> &results)
+{
+    ResultsJson json("digest");
+    for (std::size_t c = 0; c < results.size(); ++c)
+        for (std::size_t b = 0; b < results[c].size(); ++b)
+            json.addRunResult(
+                "c" + std::to_string(c) + "/b" + std::to_string(b),
+                results[c][b]);
+    std::ostringstream os;
+    json.write(os);
+    return os.str();
+}
+
+TEST(ResultStoreSweep, ResumeIsBitIdenticalToColdRunAcrossJobs)
+{
+    const std::vector<std::string> benches = {"swim", "art"};
+    const std::vector<LabeledConfig> configs = {
+        {"fdp", quickConfig()},
+        {"no-pf", RunConfig::noPrefetching()},
+    };
+    // Keep the no-prefetching column cheap too.
+    std::vector<LabeledConfig> cfgs = configs;
+    cfgs[1].second.numInsts = 50'000;
+
+    // Cold reference, no store attached.
+    setSweepStore({});
+    const std::string cold = sweepDigest(runSweep(benches, cfgs, 2));
+
+    // Seed the store with half the cells (one config column).
+    const std::string dir = freshDir("store_resume");
+    setSweepStore({dir, false});
+    runSweep(benches, {cfgs[0]}, 1);
+
+    // Resume fills the other half; stdout-visible results must be
+    // byte-identical to the cold run at jobs=1 and jobs=4.
+    setSweepStore({dir, true});
+    EXPECT_EQ(sweepDigest(runSweep(benches, cfgs, 1)), cold);
+    EXPECT_EQ(sweepDigest(runSweep(benches, cfgs, 4)), cold);
+
+    // And a fully-warm resume (every cell cached) still matches.
+    EXPECT_EQ(sweepDigest(runSweep(benches, cfgs, 2)), cold);
+    setSweepStore({});
+}
+
+TEST(SweepStoreArgs, ParseAndValidation)
+{
+    {
+        const char *argv[] = {"prog", "--store", "/tmp/s", "--resume"};
+        const SweepStoreConfig c =
+            parseSweepStoreArgs(4, const_cast<char **>(argv));
+        EXPECT_EQ(c.dir, "/tmp/s");
+        EXPECT_TRUE(c.resume);
+        EXPECT_TRUE(c.enabled());
+    }
+    {
+        const char *argv[] = {"prog"};
+        const SweepStoreConfig c =
+            parseSweepStoreArgs(1, const_cast<char **>(argv));
+        EXPECT_FALSE(c.enabled());
+        EXPECT_FALSE(c.resume);
+    }
+}
+
+TEST(SweepStoreArgsDeath, TrailingStoreFlagDies)
+{
+    const char *argv[] = {"prog", "--store"};
+    EXPECT_EXIT(parseSweepStoreArgs(2, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1), "--store requires");
+}
+
+TEST(SweepStoreArgsDeath, ResumeWithoutStoreDies)
+{
+    const char *argv[] = {"prog", "--resume"};
+    EXPECT_EXIT(parseSweepStoreArgs(2, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1), "--resume needs --store");
+}
+
+} // namespace
+} // namespace fdp

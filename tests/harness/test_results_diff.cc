@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the cross-run regression differ: metric classification,
+ * the two tolerance regimes (exact deterministic, noise-tolerant
+ * timing), blocking semantics, the verdict file, the loader's error
+ * paths, and the underlying JSON parser's defensiveness.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/json_value.hh"
+#include "harness/results_diff.hh"
+
+namespace fdp
+{
+namespace
+{
+
+ResultsFile
+file(std::vector<ResultsFile::Entry> entries)
+{
+    ResultsFile f;
+    f.path = "test.json";
+    f.source = "test";
+    f.entries = std::move(entries);
+    return f;
+}
+
+std::string
+writeTemp(const std::string &name, const std::string &content)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream os(path, std::ios::trunc);
+    os << content;
+    return path;
+}
+
+const DiffEntry *
+entryNamed(const DiffReport &report, const std::string &name)
+{
+    for (const DiffEntry &d : report.entries)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+TEST(ClassifyMetric, TimingByUnitAndName)
+{
+    EXPECT_EQ(classifyMetric("micro/CacheAccessHit/ns", "ns/op"),
+              MetricClass::Timing);
+    EXPECT_EQ(classifyMetric("macro/insts_per_s", "insts/s"),
+              MetricClass::Timing);
+    EXPECT_EQ(classifyMetric("macro/trace_replay/speedup_vs_live", "x"),
+              MetricClass::Timing);
+    EXPECT_EQ(classifyMetric("suite/wall_seconds", "count"),
+              MetricClass::Timing);
+}
+
+TEST(ClassifyMetric, SimulatedMetricsAreDeterministic)
+{
+    EXPECT_EQ(classifyMetric("sim/swim/ipc", "insts/cycle"),
+              MetricClass::Deterministic);
+    EXPECT_EQ(classifyMetric("sim/swim/bus_accesses", "count"),
+              MetricClass::Deterministic);
+    EXPECT_EQ(classifyMetric("sim/swim/accuracy", "ratio"),
+              MetricClass::Deterministic);
+    // Simulated speedups (IPC ratios, unit "ratio") are deterministic;
+    // only the wall-clock "x" kind above is timing.
+    EXPECT_EQ(classifyMetric("mix2/fdp/c0/swim/speedup", "ratio"),
+              MetricClass::Deterministic);
+}
+
+TEST(DiffResults, IdenticalFilesAllOk)
+{
+    const ResultsFile base = file({{"sim/a/ipc", "insts/cycle", "higher",
+                                    1.5},
+                                   {"t/ns", "ns/op", "lower", 100.0}});
+    const DiffReport r = diffResults(base, base, {});
+    EXPECT_EQ(r.ok, 2u);
+    EXPECT_FALSE(r.blocking());
+}
+
+TEST(DiffResults, DeterministicDriftBlocksInEitherDirection)
+{
+    const ResultsFile base =
+        file({{"sim/a/bus_accesses", "count", "lower", 2814.0}});
+    // "Improvement" in a deterministic counter is still drift.
+    const ResultsFile fresh =
+        file({{"sim/a/bus_accesses", "count", "lower", 2813.0}});
+    const DiffReport r = diffResults(base, fresh, {});
+    ASSERT_EQ(r.regressed, 1u);
+    EXPECT_TRUE(r.blocking());
+    EXPECT_EQ(entryNamed(r, "sim/a/bus_accesses")->status,
+              DiffStatus::Regressed);
+}
+
+TEST(DiffResults, InjectedCounterRegressionProducesFailingVerdict)
+{
+    // The acceptance scenario for the CI trajectory gate: a fresh run
+    // whose deterministic counter moved must produce a blocking report
+    // and a "fail" verdict file.
+    const ResultsFile base =
+        file({{"sim/swim/l2_misses", "count", "lower", 42.0},
+              {"macro/insts_per_s", "insts/s", "higher", 1e6}});
+    const ResultsFile fresh =
+        file({{"sim/swim/l2_misses", "count", "lower", 49.0},
+              {"macro/insts_per_s", "insts/s", "higher", 1.4e6}});
+    const DiffReport r = diffResults(base, fresh, {});
+    EXPECT_TRUE(r.blocking());
+    EXPECT_EQ(r.regressed, 1u);
+
+    const std::string path = testing::TempDir() + "verdict_inj.json";
+    writeVerdictFile(path, r, base, fresh, {});
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"verdict\": \"fail\""), std::string::npos);
+    EXPECT_NE(doc.find("sim/swim/l2_misses"), std::string::npos);
+
+    // The verdict file is valid JSON with the advertised schema.
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.find("schema")->asString(), "fdp-diff-v1");
+}
+
+TEST(DiffResults, TimingNoiseDoesNotBlockByDefault)
+{
+    const ResultsFile base = file({{"t/ns", "ns/op", "lower", 100.0}});
+    const ResultsFile fresh = file({{"t/ns", "ns/op", "lower", 250.0}});
+    const DiffReport r = diffResults(base, fresh, {});
+    EXPECT_EQ(r.noise, 1u);
+    EXPECT_FALSE(r.blocking());
+}
+
+TEST(DiffResults, TimingWithinToleranceIsOk)
+{
+    const ResultsFile base = file({{"t/ns", "ns/op", "lower", 100.0}});
+    const ResultsFile fresh = file({{"t/ns", "ns/op", "lower", 150.0}});
+    EXPECT_EQ(diffResults(base, fresh, {}).ok, 1u);
+}
+
+TEST(DiffResults, TimingImprovementBeyondToleranceIsImproved)
+{
+    const ResultsFile base =
+        file({{"m/insts_per_s", "insts/s", "higher", 1e6}});
+    const ResultsFile fresh =
+        file({{"m/insts_per_s", "insts/s", "higher", 2e6}});
+    const DiffReport r = diffResults(base, fresh, {});
+    EXPECT_EQ(r.improved, 1u);
+    EXPECT_FALSE(r.blocking());
+}
+
+TEST(DiffResults, StrictTimingTurnsNoiseIntoRegression)
+{
+    const ResultsFile base = file({{"t/ns", "ns/op", "lower", 100.0}});
+    const ResultsFile fresh = file({{"t/ns", "ns/op", "lower", 250.0}});
+    DiffOptions strict;
+    strict.strictTiming = true;
+    const DiffReport r = diffResults(base, fresh, strict);
+    EXPECT_EQ(r.regressed, 1u);
+    EXPECT_TRUE(r.blocking());
+}
+
+TEST(DiffResults, DetToleranceAllowsBoundedDrift)
+{
+    const ResultsFile base =
+        file({{"sim/a/ipc", "insts/cycle", "higher", 1.0}});
+    const ResultsFile fresh =
+        file({{"sim/a/ipc", "insts/cycle", "higher", 1.005}});
+    DiffOptions loose;
+    loose.detTol = 0.01;
+    EXPECT_FALSE(diffResults(base, fresh, loose).blocking());
+    EXPECT_TRUE(diffResults(base, fresh, {}).blocking());
+}
+
+TEST(DiffResults, MissingEntryBlocksAddedDoesNot)
+{
+    const ResultsFile base =
+        file({{"sim/a/ipc", "insts/cycle", "higher", 1.0}});
+    const ResultsFile fresh =
+        file({{"sim/b/ipc", "insts/cycle", "higher", 1.0}});
+    const DiffReport r = diffResults(base, fresh, {});
+    EXPECT_EQ(r.missing, 1u);
+    EXPECT_EQ(r.added, 1u);
+    EXPECT_TRUE(r.blocking());
+    EXPECT_EQ(entryNamed(r, "sim/a/ipc")->status, DiffStatus::Missing);
+    EXPECT_EQ(entryNamed(r, "sim/b/ipc")->status, DiffStatus::Added);
+
+    const ResultsFile both = file({{"sim/a/ipc", "insts/cycle", "higher",
+                                    1.0},
+                                   {"sim/b/ipc", "insts/cycle", "higher",
+                                    1.0}});
+    EXPECT_FALSE(diffResults(base, both, {}).blocking());
+}
+
+TEST(DiffResults, ZeroBaselineDriftIsStillCaught)
+{
+    const ResultsFile base =
+        file({{"sim/a/pollution", "ratio", "lower", 0.0}});
+    const ResultsFile fresh =
+        file({{"sim/a/pollution", "ratio", "lower", 0.25}});
+    const DiffReport r = diffResults(base, fresh, {});
+    EXPECT_TRUE(r.blocking());
+}
+
+TEST(LoadResultsFile, RoundTripsAWellFormedDocument)
+{
+    const std::string path = writeTemp("diff_ok.json", R"({
+      "schema": "fdp-results-v1",
+      "source": "unit",
+      "entries": [
+        {"name": "a", "unit": "count", "better": "lower", "value": 3},
+        {"name": "b", "unit": "ns/op", "better": "lower", "value": 1.5}
+      ]
+    })");
+    ResultsFile f;
+    std::string error;
+    ASSERT_TRUE(loadResultsFile(path, &f, &error)) << error;
+    EXPECT_EQ(f.source, "unit");
+    ASSERT_EQ(f.entries.size(), 2u);
+    EXPECT_EQ(f.entries[0].name, "a");
+    EXPECT_EQ(f.entries[1].value, 1.5);
+    ASSERT_NE(f.find("b"), nullptr);
+    EXPECT_EQ(f.find("zzz"), nullptr);
+}
+
+TEST(LoadResultsFile, RejectsBadInputsWithDiagnostics)
+{
+    ResultsFile f;
+    std::string error;
+    EXPECT_FALSE(loadResultsFile(testing::TempDir() + "absent.json", &f,
+                                 &error));
+    EXPECT_NE(error.find("absent.json"), std::string::npos);
+
+    EXPECT_FALSE(loadResultsFile(
+        writeTemp("diff_syntax.json", "{\"schema\": "), &f, &error));
+    EXPECT_NE(error.find("line"), std::string::npos);
+
+    EXPECT_FALSE(loadResultsFile(
+        writeTemp("diff_schema.json", R"({"schema": "other-v9",
+                  "entries": []})"),
+        &f, &error));
+    EXPECT_NE(error.find("fdp-results-v1"), std::string::npos);
+
+    EXPECT_FALSE(loadResultsFile(
+        writeTemp("diff_noentry.json", R"({"schema": "fdp-results-v1"})"),
+        &f, &error));
+    EXPECT_NE(error.find("entries"), std::string::npos);
+
+    EXPECT_FALSE(loadResultsFile(
+        writeTemp("diff_dup.json", R"({"schema": "fdp-results-v1",
+          "entries": [
+            {"name": "a", "better": "lower", "value": 1},
+            {"name": "a", "better": "lower", "value": 2}
+          ]})"),
+        &f, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+
+    EXPECT_FALSE(loadResultsFile(
+        writeTemp("diff_badbetter.json", R"({"schema": "fdp-results-v1",
+          "entries": [
+            {"name": "a", "better": "sideways", "value": 1}
+          ]})"),
+        &f, &error));
+    EXPECT_NE(error.find("higher|lower"), std::string::npos);
+}
+
+} // namespace
+} // namespace fdp

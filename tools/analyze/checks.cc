@@ -744,9 +744,15 @@ checkThreading(const SourceFile &f, std::vector<Finding> *findings)
 void
 checkFileIo(const SourceFile &f, std::vector<Finding> *findings)
 {
+    // The sanctioned homes of raw file I/O: the trace codecs, the two
+    // results-artifact writers (reporting, the result store), and the
+    // differ that reads them back. Everything else routes through them.
     if (pathUnder(f.relPath, "src/trace") ||
         f.relPath == "src/harness/reporting.hh" ||
-        f.relPath == "src/harness/reporting.cc" || isAnalyzerFile(f.relPath))
+        f.relPath == "src/harness/reporting.cc" ||
+        f.relPath == "src/harness/result_store.cc" ||
+        f.relPath == "src/harness/results_diff.cc" ||
+        isAnalyzerFile(f.relPath))
         return;
     const Tokens &t = f.lx.tokens;
     static const std::set<std::string> streams = {
@@ -759,17 +765,17 @@ checkFileIo(const SourceFile &f, std::vector<Finding> *findings)
             streams.count(t[i + 2].text)) {
             findings->push_back(
                 {f.relPath, t[i + 2].line, "file-io",
-                 "std::" + t[i + 2].text + " outside src/trace/ and "
-                 "harness/reporting: route artifacts through TraceReader/"
-                 "TraceWriter or ResultsJson"});
+                 "std::" + t[i + 2].text + " outside src/trace/ and the "
+                 "harness artifact writers: route artifacts through "
+                 "TraceReader/TraceWriter, ResultsJson, or ResultStore"});
         }
         if (isIdent(t, i) && cApis.count(t[i].text) && is(t, i + 1, "(") &&
             calledBare(t, i)) {
             findings->push_back(
                 {f.relPath, t[i].line, "file-io",
-                 t[i].text + "() outside src/trace/ and harness/reporting: "
-                 "route artifacts through TraceReader/TraceWriter or "
-                 "ResultsJson"});
+                 t[i].text + "() outside src/trace/ and the harness "
+                 "artifact writers: route artifacts through TraceReader/"
+                 "TraceWriter, ResultsJson, or ResultStore"});
         }
     }
 }

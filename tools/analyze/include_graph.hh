@@ -21,6 +21,11 @@
  * before it can include anything. `tools/analyze/` must stay
  * self-contained: including any simulator header from it — or any
  * tools header from `src/` — is a violation.
+ *
+ * Non-analyzer `tools/` sources (the fdp_sim / fdp_trace / fdp_results
+ * CLIs) sit above every rank and may include anything under src/ —
+ * e.g. fdp_results.cc pulls harness/result_store.hh and
+ * harness/results_diff.hh — but never the other way around.
  */
 
 #ifndef FDP_ANALYZE_INCLUDE_GRAPH_HH

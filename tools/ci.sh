@@ -13,11 +13,21 @@
 #           sink) plus one quick multi-threaded paper sweep
 #   static  tools/run_static_analysis.sh (repo lint always;
 #           clang-tidy/cppcheck when installed)
-#   bench   tools/bench.sh --quick smoke: builds the benchmark suite,
+#   bench-smoke
+#           tools/bench.sh --quick smoke: builds the benchmark suite,
 #           runs one fast repetition, and validates the fdp-results-v1
-#           JSON it emits. No performance gating — CI machines are too
-#           noisy for that; the stage only proves the suite runs and
-#           the schema holds.
+#           JSON it emits (schema only).
+#   bench-diff
+#           trajectory gate: diffs the fresh quick-bench output against
+#           the committed BENCH_quick_baseline.json with fdp_results.
+#           Deterministic simulation counters must match EXACTLY — any
+#           drift is a semantics change that needs a baseline regen (and
+#           a result_store.hh kSimCoreVersion bump) to land. Timing
+#           metrics get wide tolerances and never block (CI machines are
+#           too noisy for perf gating). Also smokes the sweep result
+#           store: a warm --resume of a paper sweep must skip every
+#           cached cell and print bit-identical stdout.
+#   bench   both bench stages.
 #
 # Fails fast: any stage failing stops the pipeline with its exit status.
 # ccache is used automatically when installed.
@@ -33,7 +43,8 @@ if command -v ccache >/dev/null 2>&1; then
 fi
 
 usage() {
-    echo "usage: tools/ci.sh [--stage tier1|asan|tsan|static|bench|all]" >&2
+    echo "usage: tools/ci.sh [--stage tier1|asan|tsan|static|" >&2
+    echo "                    bench-smoke|bench-diff|bench|all]" >&2
     exit 2
 }
 
@@ -137,8 +148,8 @@ stage_static() {
         "$ROOT/tools/run_static_analysis.sh"
 }
 
-stage_bench() {
-    echo "==== stage bench: benchmark smoke (schema only, no gating) ===="
+stage_bench_smoke() {
+    echo "==== stage bench-smoke: benchmark smoke (schema only) ===="
     local out="$ROOT/build-bench-ci/bench-smoke.json"
     "$ROOT/tools/bench.sh" --quick --build-dir "$ROOT/build-bench-ci" \
         --out "$out"
@@ -165,18 +176,66 @@ print(f"bench smoke: {len(entries)} entries, schema valid")
 PYEOF
 }
 
+stage_bench_diff() {
+    echo "==== stage bench-diff: trajectory gate vs committed baseline ===="
+    local bdir="$ROOT/build-bench-ci"
+    local fresh="$bdir/bench-fresh.json"
+    # The binary revision feeds every sweep-store key, so cells cached
+    # by an earlier commit (e.g. out of an actions/cache restore) can
+    # never satisfy a lookup from this one.
+    FDP_BINARY_REV="$(git -C "$ROOT" rev-parse --short HEAD \
+        2>/dev/null || echo local)"
+    export FDP_BINARY_REV
+    "$ROOT/tools/bench.sh" --quick --build-dir "$bdir" --out "$fresh"
+    cmake --build "$bdir" -j "$JOBS" \
+        --target fdp_results_cli fig09_overall
+    # Exact for deterministic counters, wide non-blocking tolerance for
+    # timing. The verdict JSON is archived by the workflow on failure.
+    "$bdir/bench/fdp_results" diff \
+        "$ROOT/BENCH_quick_baseline.json" "$fresh" \
+        --verdict "$bdir/bench-diff-verdict.json"
+
+    echo "==== stage bench-diff: sweep-store resume smoke ===="
+    # Cold paper sweep populating a fresh store, then a warm resume at
+    # a different worker count: every cell must come from the store
+    # (misses=0) and stdout must be bit-identical to the cold run.
+    # Keep $sdir/store itself: the workflow restores it from
+    # actions/cache, and stale-revision entries are misses by key.
+    local sdir="$bdir/store-smoke"
+    mkdir -p "$sdir"
+    rm -f "$sdir"/cold.* "$sdir"/warm.*
+    "$bdir/bench/fig09_overall" --quick --jobs 2 \
+        --store "$sdir/store" > "$sdir/cold.out" 2> "$sdir/cold.err"
+    "$bdir/bench/fig09_overall" --quick --jobs 4 \
+        --store "$sdir/store" --resume \
+        > "$sdir/warm.out" 2> "$sdir/warm.err"
+    diff "$sdir/cold.out" "$sdir/warm.out"
+    grep -q "misses=0" "$sdir/warm.err" || {
+        echo "store smoke: warm resume re-simulated cached cells:" >&2
+        grep "sweep-store:" "$sdir/warm.err" >&2 || true
+        exit 1
+    }
+    echo "store smoke: warm resume hit every cell, stdout bit-identical"
+}
+
 case "$STAGE" in
   tier1)  stage_tier1 ;;
   asan)   stage_asan ;;
   tsan)   stage_tsan ;;
   static) stage_static ;;
-  bench)  stage_bench ;;
+  bench-smoke) stage_bench_smoke ;;
+  bench-diff)  stage_bench_diff ;;
+  bench)
+    stage_bench_smoke
+    stage_bench_diff
+    ;;
   all)
     stage_tier1
     stage_asan
     stage_tsan
     stage_static
-    stage_bench
+    stage_bench_smoke
+    stage_bench_diff
     ;;
   *) usage ;;
 esac

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * fdp_results - operate on fdp-results-v1 files and fdp-store-v1
+ * sweep result stores.
+ *
+ *   fdp_results diff BASE.json FRESH.json [--timing-tol X] [--det-tol X]
+ *                    [--strict-timing] [--verdict PATH] [--all]
+ *   fdp_results ls DIR
+ *   fdp_results gc DIR [--keep-rev REV] [--dry-run]
+ *   fdp_results merge DST_DIR SRC_DIR...
+ *
+ * diff compares two results files metric by metric: deterministic
+ * counters must match exactly (any drift is a simulation-behavior
+ * change and fails the diff), timing metrics get a wide relative
+ * tolerance and report as noise. Exit status: 0 pass, 1 blocking
+ * regressions/missing entries (or any usage/I/O error via fatal).
+ *
+ * ls/gc/merge manage result stores: listing entries, collecting
+ * corrupt or superseded-revision entries, and merging stores produced
+ * on different machines (stored cells are location-independent by the
+ * determinism contract).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/result_store.hh"
+#include "harness/results_diff.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+namespace
+{
+
+using namespace fdp;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fdp_results <command> ...\n"
+        "  diff BASE FRESH [--timing-tol X] [--det-tol X]\n"
+        "                  [--strict-timing] [--verdict PATH] [--all]\n"
+        "                  compare two fdp-results-v1 files; exact for\n"
+        "                  deterministic counters, tolerant for timing.\n"
+        "                  exit 1 when the diff blocks. --verdict also\n"
+        "                  writes a machine-readable fdp-diff-v1 file;\n"
+        "                  --all prints unchanged entries too\n"
+        "  ls DIR          list the entries of a result store\n"
+        "  gc DIR [--keep-rev REV] [--dry-run]\n"
+        "                  drop corrupt entries, plus entries from\n"
+        "                  other binary revisions when --keep-rev is\n"
+        "                  given\n"
+        "  merge DST SRC...\n"
+        "                  copy entries absent from DST out of the SRC\n"
+        "                  stores (corrupt sources are skipped)\n");
+    std::exit(1);
+}
+
+double
+parseTol(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0)
+        fatal("%s: '%s' is not a non-negative number", flag, text);
+    return v;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    std::string basePath;
+    std::string freshPath;
+    std::string verdictPath;
+    DiffOptions options;
+    bool everything = false;
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need = [&](int &j) -> const char * {
+            if (j + 1 >= argc)
+                usage();
+            return argv[++j];
+        };
+        if (!std::strcmp(a, "--timing-tol"))
+            options.timingTol = parseTol("--timing-tol", need(i));
+        else if (!std::strcmp(a, "--det-tol"))
+            options.detTol = parseTol("--det-tol", need(i));
+        else if (!std::strcmp(a, "--strict-timing"))
+            options.strictTiming = true;
+        else if (!std::strcmp(a, "--verdict"))
+            verdictPath = need(i);
+        else if (!std::strcmp(a, "--all"))
+            everything = true;
+        else if (basePath.empty())
+            basePath = a;
+        else if (freshPath.empty())
+            freshPath = a;
+        else
+            usage();
+    }
+    if (basePath.empty() || freshPath.empty())
+        usage();
+
+    ResultsFile base;
+    ResultsFile fresh;
+    std::string error;
+    if (!loadResultsFile(basePath, &base, &error))
+        fatal("diff baseline: %s", error.c_str());
+    if (!loadResultsFile(freshPath, &fresh, &error))
+        fatal("diff fresh: %s", error.c_str());
+
+    const DiffReport report = diffResults(base, fresh, options);
+    buildDiffTable(report, everything).print();
+    if (!verdictPath.empty())
+        writeVerdictFile(verdictPath, report, base, fresh, options);
+
+    if (report.blocking()) {
+        std::fprintf(stderr,
+                     "fdp_results diff: FAIL (%zu regressed, %zu "
+                     "missing)\n",
+                     report.regressed, report.missing);
+        return 1;
+    }
+    std::printf("fdp_results diff: pass\n");
+    return 0;
+}
+
+int
+cmdLs(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    const ResultStore store(argv[2]);
+    Table table("result store " + store.dir());
+    table.setHeader(
+        {"entry", "benchmark", "config", "rev", "simcore", "insts"});
+    std::size_t corrupt = 0;
+    for (const std::string &file : store.entryFiles()) {
+        StoreEntry entry;
+        std::string error;
+        if (!store.readEntry(file, &entry, &error)) {
+            warn("ls: %s: %s", file.c_str(), error.c_str());
+            ++corrupt;
+            continue;
+        }
+        table.addRow({file.substr(0, 16), entry.benchmark,
+                      entry.configLabel, entry.binaryRev,
+                      std::to_string(entry.simCoreVersion),
+                      std::to_string(entry.result.insts)});
+    }
+    table.print();
+    std::printf("%zu entries (%zu corrupt)\n",
+                table.numRows(), corrupt);
+    return 0;
+}
+
+int
+cmdGc(int argc, char **argv)
+{
+    std::string dir;
+    std::string keepRev;
+    bool dryRun = false;
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need = [&](int &j) -> const char * {
+            if (j + 1 >= argc)
+                usage();
+            return argv[++j];
+        };
+        if (!std::strcmp(a, "--keep-rev"))
+            keepRev = need(i);
+        else if (!std::strcmp(a, "--dry-run"))
+            dryRun = true;
+        else if (dir.empty())
+            dir = a;
+        else
+            usage();
+    }
+    if (dir.empty())
+        usage();
+
+    const ResultStore store(dir);
+    std::size_t kept = 0;
+    std::size_t dropped = 0;
+    for (const std::string &file : store.entryFiles()) {
+        StoreEntry entry;
+        std::string error;
+        std::string why;
+        if (!store.readEntry(file, &entry, &error))
+            why = "corrupt: " + error;
+        else if (!keepRev.empty() && entry.binaryRev != keepRev)
+            why = "revision " + entry.binaryRev + " != " + keepRev;
+        if (why.empty()) {
+            ++kept;
+            continue;
+        }
+        ++dropped;
+        std::printf("%s %s (%s)\n", dryRun ? "would drop" : "drop",
+                    file.c_str(), why.c_str());
+        if (!dryRun)
+            store.removeEntry(file);
+    }
+    std::printf("gc: %zu kept, %zu %s\n", kept, dropped,
+                dryRun ? "droppable (dry run)" : "dropped");
+    return 0;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    if (argc < 4)
+        usage();
+    const ResultStore dst(argv[2]);
+    std::size_t copied = 0;
+    std::size_t skipped = 0;
+    std::size_t corrupt = 0;
+    for (int i = 3; i < argc; ++i) {
+        const ResultStore src(argv[i]);
+        // Existing destination entries win: same key means same
+        // simulated content, so copying again is pure I/O.
+        std::vector<std::string> have = dst.entryFiles();
+        for (const std::string &file : src.entryFiles()) {
+            if (std::find(have.begin(), have.end(), file) != have.end()) {
+                ++skipped;
+                continue;
+            }
+            std::string error;
+            if (!src.copyEntryTo(file, dst, &error)) {
+                warn("merge: %s: %s", file.c_str(), error.c_str());
+                ++corrupt;
+                continue;
+            }
+            ++copied;
+        }
+    }
+    std::printf("merge: %zu copied, %zu already present, %zu corrupt\n",
+                copied, skipped, corrupt);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    if (cmd == "diff")
+        return cmdDiff(argc, argv);
+    if (cmd == "ls")
+        return cmdLs(argc, argv);
+    if (cmd == "gc")
+        return cmdGc(argc, argv);
+    if (cmd == "merge")
+        return cmdMerge(argc, argv);
+    usage();
+}

@@ -49,6 +49,7 @@ struct Options
     std::string tracePath;   // --trace: replay instead of generating
     std::string mix;         // --mix: multi-core co-run of a named mix
     unsigned cores = 0;      // --cores: expected core count (0 = mix's)
+    SweepStoreConfig store;  // --store DIR / --resume
 };
 
 [[noreturn]] void
@@ -86,6 +87,9 @@ usage()
         "  --cores N           assert the mix's core count (optional\n"
         "                      with --mix, which defines N)\n"
         "  --list-mixes        list available workload mixes and exit\n"
+        "  --store DIR         persist per-run results in a result store\n"
+        "  --resume            serve runs already in --store DIR from it\n"
+        "                      (stdout stays bit-identical to a cold run)\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -162,18 +166,31 @@ parse(int argc, char **argv)
             std::exit(0);
         } else if (!std::strcmp(a, "--stats")) {
             o.fullStats = true;
+        } else if (!std::strcmp(a, "--store")) {
+            o.store.dir = need(i);
+        } else if (!std::strcmp(a, "--resume")) {
+            o.store.resume = true;
         } else {
             usage();
         }
     }
+    if (o.store.resume && o.store.dir.empty())
+        fatal("--resume needs --store DIR (nothing to resume from)");
     if (!o.mix.empty()) {
         if (!o.benches.empty())
             fatal("--mix defines the per-core programs; drop "
                   "--bench/--all");
         if (!o.tracePath.empty() || !o.recordPath.empty())
             fatal("--mix cannot be combined with --record/--trace");
+        if (o.store.enabled())
+            fatal("--store keys on single-core benchmark cells; it "
+                  "cannot cache --mix co-runs");
         return o;
     }
+    if (o.store.enabled() &&
+        (!o.tracePath.empty() || !o.recordPath.empty()))
+        fatal("--store caches generator-workload runs; it cannot be "
+              "combined with --record/--trace");
     if (o.cores != 0)
         fatal("--cores needs --mix (see --list-mixes)");
     if (!o.tracePath.empty() && !o.benches.empty())
@@ -256,6 +273,7 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+    setSweepStore(o.store);
     const RunConfig config = buildConfig(o);
     if (!o.mix.empty())
         return runMixMain(o, config);
