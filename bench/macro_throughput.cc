@@ -25,9 +25,11 @@
 
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/sweep_pool.hh"
 #include "mc/mc_machine.hh"
 #include "mc/mix_runner.hh"
 #include "mc/workload_mix.hh"
+#include "sim/logging.hh"
 
 using namespace fdp;
 
@@ -95,6 +97,66 @@ main(int argc, char **argv)
     // deterministic metrics means the bench-diff gate also notices a
     // trace frontend divergence.
     json.addRunResult("sim/trace_replay", replayed);
+
+    // Warm-fork sweep speedup: the same (benchmark, config) grid with
+    // each cell warmed in place (cold) vs forked from one shared warm
+    // image per benchmark (runSweep's warm-fork path). Both sides run
+    // serially so the ratio isolates warm-up sharing, and the measured
+    // results must match bit for bit — the determinism contract the
+    // golden tests pin, re-checked here on every bench run.
+    {
+        const std::vector<std::string> sweepBenches = {"swim", "art"};
+        std::vector<LabeledConfig> sweepConfigs;
+        for (unsigned lvl : {1u, 3u, 5u})
+            sweepConfigs.emplace_back("static-" + std::to_string(lvl),
+                                      RunConfig::staticLevelConfig(lvl));
+        sweepConfigs.emplace_back("fdp", RunConfig::fullFdp());
+        sweepConfigs.emplace_back("dyn-ins", RunConfig::dynamicInsertion(5));
+        for (auto &lc : sweepConfigs) {
+            lc.second.numInsts = insts / 4;
+            lc.second.warmupInsts = insts;  // warm-up dominates each cell
+        }
+
+        const auto cold_start = std::chrono::steady_clock::now();
+        std::vector<std::vector<RunResult>> cold(sweepConfigs.size());
+        for (std::size_t c = 0; c < sweepConfigs.size(); ++c)
+            for (const auto &b : sweepBenches)
+                cold[c].push_back(runBenchmark(b, sweepConfigs[c].second,
+                                               sweepConfigs[c].first));
+        const std::chrono::duration<double> cold_wall =
+            std::chrono::steady_clock::now() - cold_start;
+
+        const auto warm_start = std::chrono::steady_clock::now();
+        const std::vector<std::vector<RunResult>> warm =
+            runSweep(sweepBenches, sweepConfigs, 1);
+        const std::chrono::duration<double> warm_wall =
+            std::chrono::steady_clock::now() - warm_start;
+
+        for (std::size_t c = 0; c < sweepConfigs.size(); ++c)
+            for (std::size_t b = 0; b < sweepBenches.size(); ++b) {
+                const RunResult &x = cold[c][b];
+                const RunResult &y = warm[c][b];
+                if (x.insts != y.insts || x.cycles != y.cycles ||
+                    x.busAccesses != y.busAccesses ||
+                    x.l2Misses != y.l2Misses || x.prefSent != y.prefSent ||
+                    x.prefUsed != y.prefUsed ||
+                    x.accuracy != y.accuracy || x.lateness != y.lateness ||
+                    x.pollution != y.pollution)
+                    fatal("warm-fork sweep diverged from cold warm-up "
+                          "at %s/%s", sweepBenches[b].c_str(),
+                          sweepConfigs[c].first.c_str());
+            }
+
+        json.add("macro/sweep_cold/wall_s", "s", cold_wall.count(),
+                 "lower");
+        json.add("macro/sweep_warmfork/wall_s", "s", warm_wall.count(),
+                 "lower");
+        json.add("macro/sweep_warmfork/speedup", "x",
+                 cold_wall.count() / warm_wall.count(), "higher");
+        // Deterministic metrics of one forked cell, so the bench-diff
+        // gate also notices a warm-fork semantics divergence.
+        json.addRunResult("sim/sweep_fdp_swim", warm[3][0]);
+    }
 
     // Multi-core throughput: a 2-core bandwidth-bound co-run (shared
     // L2 + DRAM, per-core FDP). Rate is total retired instructions

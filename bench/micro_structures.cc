@@ -205,6 +205,33 @@ BM_StreamPrefetcherObserve(benchmark::State &state)
 BENCHMARK(BM_StreamPrefetcherObserve)->Arg(1)->Arg(5);
 
 void
+BM_StreamFsmTransition(benchmark::State &state)
+{
+    // The training half of the stream FSM: a fresh region every third
+    // access keeps the prefetcher allocating and confirming entries
+    // instead of riding one steady monitored stream.
+    StreamPrefetcher pf;
+    pf.setAggressiveness(3);
+    std::vector<BlockAddr> out;
+    BlockAddr region = 1 << 22;
+    BlockAddr block = region;
+    int step = 0;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe({blockBase(block), block, 0x20, true}, out);
+        benchmark::DoNotOptimize(out.size());
+        if (++step == 3) {
+            step = 0;
+            region += 4096;
+            block = region;
+        } else {
+            ++block;
+        }
+    }
+}
+BENCHMARK(BM_StreamFsmTransition);
+
+void
 BM_GhbPrefetcherObserve(benchmark::State &state)
 {
     GhbPrefetcher pf;
@@ -228,6 +255,60 @@ BM_WorkloadNext(benchmark::State &state)
         benchmark::DoNotOptimize(wl.next().addr);
 }
 BENCHMARK(BM_WorkloadNext);
+
+void
+BM_StatScalarIncrement(benchmark::State &state)
+{
+    // The per-op accounting pattern before batching: every event bumps
+    // a registered ScalarStat directly.
+    StatGroup stats("mem");
+    ScalarStat demand(stats, "demand_accesses", "demand accesses");
+    ScalarStat hits(stats, "l2_hits", "L2 hits");
+    ScalarStat misses(stats, "l2_misses", "L2 misses");
+    unsigned sel = 0;
+    for (auto _ : state) {
+        ++demand;
+        if (sel++ & 1)
+            ++hits;
+        else
+            ++misses;
+        benchmark::DoNotOptimize(demand.value());
+    }
+}
+BENCHMARK(BM_StatScalarIncrement);
+
+void
+BM_StatBatchedIncrement(benchmark::State &state)
+{
+    // The batched pattern the hot path uses: plain local counters,
+    // flushed into the registered stats at sampling boundaries.
+    StatGroup stats("mem");
+    ScalarStat demand(stats, "demand_accesses", "demand accesses");
+    ScalarStat hits(stats, "l2_hits", "L2 hits");
+    ScalarStat misses(stats, "l2_misses", "L2 misses");
+    std::uint64_t d = 0, h = 0, m = 0;
+    unsigned sel = 0, pending = 0;
+    for (auto _ : state) {
+        ++d;
+        if (sel++ & 1)
+            ++h;
+        else
+            ++m;
+        if (++pending == 1024) {
+            demand += d;
+            hits += h;
+            misses += m;
+            d = h = m = 0;
+            pending = 0;
+        }
+        benchmark::DoNotOptimize(d);
+    }
+    demand += d;
+    hits += h;
+    misses += m;
+    benchmark::DoNotOptimize(demand.value());
+}
+BENCHMARK(BM_StatBatchedIncrement);
 
 void
 BM_FdpControllerDemandMiss(benchmark::State &state)

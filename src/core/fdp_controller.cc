@@ -188,6 +188,58 @@ FdpController::endInterval()
 }
 
 void
+FdpController::setPrefetcher(Prefetcher *pf)
+{
+    prefetcher_ = pf;
+    if (prefetcher_ && params_.dynamicAggressiveness)
+        prefetcher_->setAggressiveness(level_);
+}
+
+void
+FdpController::reset()
+{
+    counters_.reset();
+    filter_.clear();
+    level_ = params_.initialLevel;
+    insertPos_ = params_.dynamicInsertion ? InsertPos::Mid
+                                          : params_.staticInsertPos;
+    evictionCount_ = 0;
+    if (prefetcher_ && params_.dynamicAggressiveness)
+        prefetcher_->setAggressiveness(level_);
+}
+
+void
+FdpController::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU8(static_cast<std::uint8_t>(level_));
+    w.putU8(static_cast<std::uint8_t>(insertPos_));
+    w.putU64(evictionCount_);
+    w.endSection();
+    counters_.saveState(w);
+    filter_.saveState(w);
+}
+
+void
+FdpController::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    level_ = r.getU8();
+    insertPos_ = static_cast<InsertPos>(r.getU8());
+    evictionCount_ = r.getU64();
+    r.closeSection();
+    if (level_ < kMinAggrLevel || level_ > kMaxAggrLevel)
+        fatal("snapshot: FDP level %u out of range", level_);
+    if (static_cast<std::uint8_t>(insertPos_) >= kNumInsertPos)
+        fatal("snapshot: FDP insertion position %u out of range",
+              static_cast<unsigned>(insertPos_));
+    counters_.loadState(r);
+    filter_.loadState(r);
+    if (prefetcher_ && params_.dynamicAggressiveness)
+        prefetcher_->setAggressiveness(level_);
+}
+
+void
 FdpController::audit() const
 {
     FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,

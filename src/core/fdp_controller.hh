@@ -73,7 +73,7 @@ struct FdpParams
 };
 
 /** The feedback controller of the paper. */
-class FdpController : public Auditable
+class FdpController : public Auditable, public Snapshottable
 {
   public:
     /** The three Table 2 update actions. */
@@ -164,6 +164,22 @@ class FdpController : public Auditable
     }
 
     /**
+     * Attach (or detach, with nullptr) the prefetcher to throttle. The
+     * warm-up boundary runs the controller detached, then attaches the
+     * per-configuration prefetcher; the level is re-published so the
+     * prefetcher and the controller always agree.
+     */
+    void setPrefetcher(Prefetcher *pf);
+
+    /**
+     * Return every dynamic decision to its construction-time value and
+     * clear the counters and the pollution filter (measurement-boundary
+     * reset; the registered lifetime statistics are reset separately by
+     * their StatGroup).
+     */
+    void reset();
+
+    /**
      * Invariants: the Dynamic Configuration Counter stays in [1,5], the
      * insertion policy is a legal enum value, the eviction count stays
      * below the interval length, lifetime counters are ordered
@@ -195,6 +211,14 @@ class FdpController : public Auditable
     /** Section 3.3.2 insertion policy. */
     static InsertPos decideInsertion(const FdpThresholds &t,
                                      double pollution);
+
+    /**
+     * Serialize the dynamic decision state (level, insertion position,
+     * eviction count) plus the owned counters and pollution filter.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "fdp"; }
 
   private:
     friend struct AuditCorrupter;

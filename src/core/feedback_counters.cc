@@ -69,6 +69,30 @@ FeedbackCounters::audit() const
 }
 
 void
+FeedbackCounters::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    prefTotal_.save(w);
+    usedTotal_.save(w);
+    lateTotal_.save(w);
+    demandTotal_.save(w);
+    pollutionTotal_.save(w);
+    w.endSection();
+}
+
+void
+FeedbackCounters::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    prefTotal_.load(r);
+    usedTotal_.load(r);
+    lateTotal_.load(r);
+    demandTotal_.load(r);
+    pollutionTotal_.load(r);
+    r.closeSection();
+}
+
+void
 FeedbackCounters::reset()
 {
     prefTotal_.reset();

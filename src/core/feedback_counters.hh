@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 
 namespace fdp
 {
@@ -50,6 +51,21 @@ class IntervalCounter
         smoothed_ = 0.0;
     }
 
+    /** Raw serialization helpers (FeedbackCounters owns the section). */
+    void
+    save(SnapWriter &w) const
+    {
+        w.putU64(interval_);
+        w.putDouble(smoothed_);
+    }
+
+    void
+    load(SnapReader &r)
+    {
+        interval_ = r.getU64();
+        smoothed_ = r.getDouble();
+    }
+
   private:
     friend struct AuditCorrupter;
 
@@ -61,7 +77,7 @@ class IntervalCounter
  * The full set of FDP feedback counters (paper Section 3.1) plus the
  * derived accuracy / lateness / pollution metrics.
  */
-class FeedbackCounters : public Auditable
+class FeedbackCounters : public Auditable, public Snapshottable
 {
   public:
     /** A prefetch request was sent to memory. */
@@ -108,6 +124,11 @@ class FeedbackCounters : public Auditable
      */
     void audit() const override;
     const char *auditName() const override { return "feedback_counters"; }
+
+    /** Serialize all five counters (interval + smoothed value each). */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "fdp/counters"; }
 
   private:
     friend struct AuditCorrupter;

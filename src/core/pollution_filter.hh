@@ -20,13 +20,14 @@
 #include <vector>
 
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
 {
 
 /** XOR-indexed bit-vector estimating prefetcher-generated pollution. */
-class PollutionFilter : public Auditable
+class PollutionFilter : public Auditable, public Snapshottable
 {
   public:
     /** @param bits filter size; must be a power of two (paper: 4096). */
@@ -60,6 +61,11 @@ class PollutionFilter : public Auditable
      */
     void audit() const override;
     const char *auditName() const override { return "pollution_filter"; }
+
+    /** Serialize the bit vector, packed eight bits per byte. */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "fdp/filter"; }
 
   private:
     friend struct AuditCorrupter;

@@ -61,6 +61,10 @@ OooCore::beginRun(std::uint64_t numInsts)
     budget_ = numInsts;
     dispatchedCount_ = 0;
     retiredCount_ = 0;
+    retiredAcc_ = 0;
+    loadsAcc_ = 0;
+    storesAcc_ = 0;
+    robFullAcc_ = 0;
 }
 
 bool
@@ -76,7 +80,7 @@ OooCore::step(Cycle now)
         ++retiredCount_;
         ++r;
     }
-    retired_ += r;
+    retiredAcc_ += r;
 
     // Dispatch up to `width` new micro-ops while the ROB has room.
     // Dispatch never exceeds the budget, so the run ends with exactly
@@ -101,7 +105,7 @@ OooCore::step(Cycle now)
             e.issued = true;
             break;
           case OpKind::Store:
-            ++stores_;
+            ++storesAcc_;
             // Stores drain through the store buffer: they access the
             // hierarchy but never block retirement.
             mem_.demandAccess(op.addr, op.pc, true, now, [](Cycle) {});
@@ -110,7 +114,7 @@ OooCore::step(Cycle now)
             e.issued = true;
             break;
           case OpKind::Load: {
-            ++loads_;
+            ++loadsAcc_;
             bool issue_now = true;
             if (op.depPrevLoad && lastLoadPos_ != kNoPos &&
                 lastLoadPos_ >= head_) {
@@ -146,13 +150,22 @@ void
 OooCore::noteDeadTime(Cycle cycles)
 {
     if (robFull())
-        robFullCycles_ += cycles;
+        robFullAcc_ += cycles;
 }
 
 void
 OooCore::closeRun(Cycle start, Cycle end)
 {
     cycles_ += (end - start) + 1;
+    // Publish the per-op counters batched across the run.
+    retired_ += retiredAcc_;
+    loads_ += loadsAcc_;
+    stores_ += storesAcc_;
+    robFullCycles_ += robFullAcc_;
+    retiredAcc_ = 0;
+    loadsAcc_ = 0;
+    storesAcc_ = 0;
+    robFullAcc_ = 0;
 }
 
 void
@@ -187,10 +200,45 @@ OooCore::run(std::uint64_t numInsts)
     closeRun(start, cyc);
 }
 
+void
+OooCore::saveState(SnapWriter &w) const
+{
+    FDP_ASSERT(robEmpty(),
+               "core: snapshot with %llu micro-ops in the ROB",
+               static_cast<unsigned long long>(tail_ - head_));
+    w.beginSection(snapName());
+    w.putU32(static_cast<std::uint32_t>(rob_.size()));
+    w.putU64(head_);
+    w.putU64(tail_);
+    w.putU64(nextSeq_);
+    w.putU64(lastLoadPos_);
+    w.endSection();
+}
+
+void
+OooCore::loadState(SnapReader &r)
+{
+    FDP_ASSERT(robEmpty(),
+               "core: restore with %llu micro-ops in the ROB",
+               static_cast<unsigned long long>(tail_ - head_));
+    r.openSection(snapName());
+    const std::uint32_t rob_size = r.getU32();
+    if (rob_size != rob_.size())
+        fatal("snapshot: ROB holds %zu entries, snapshot has %u",
+              rob_.size(), rob_size);
+    head_ = r.getU64();
+    tail_ = r.getU64();
+    nextSeq_ = r.getU64();
+    lastLoadPos_ = r.getU64();
+    r.closeSection();
+    if (head_ != tail_)
+        fatal("snapshot: core section holds a non-empty ROB");
+}
+
 double
 OooCore::ipc() const
 {
-    return ratio(static_cast<double>(retired_.value()),
+    return ratio(static_cast<double>(retired()),
                  static_cast<double>(cycles_.value()));
 }
 

@@ -18,6 +18,7 @@
 
 #include "mem/memory_port.hh"
 #include "sim/event_queue.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "workload/workload.hh"
@@ -42,7 +43,7 @@ struct CoreParams
  *    noteDeadTime() to interleave several cores deterministically on
  *    one event queue and closeRun() to account the final cycle count.
  */
-class OooCore
+class OooCore : public Snapshottable
 {
   public:
     OooCore(const CoreParams &params, MemoryPort &mem, EventQueue &events,
@@ -86,10 +87,21 @@ class OooCore
     /// @}
 
     std::uint64_t cycles() const { return cycles_.value(); }
-    std::uint64_t retired() const { return retired_.value(); }
+    std::uint64_t retired() const { return retired_.value() + retiredAcc_; }
 
     /** Retired micro-ops per cycle. */
     double ipc() const;
+
+    /**
+     * Snapshots are taken only between runs with an empty ROB (occupied
+     * slots hold in-flight loads whose completion callbacks cannot be
+     * serialized): just the ROB cursors and the generation counter are
+     * carried, so dispatch resumes with fresh slots and exact sequence
+     * numbering. The run budget is per-run state armed by beginRun().
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "core"; }
 
   private:
     struct RobEntry
@@ -132,6 +144,17 @@ class OooCore
     std::uint64_t dispatchedCount_ = 0;
     /** Micro-ops retired toward the current budget. */
     std::uint64_t retiredCount_ = 0;
+
+    /**
+     * Per-run accumulators for the per-op counters, published into the
+     * stat group by closeRun(): the step loop then touches plain
+     * integers instead of registered statistics. Zero outside a
+     * beginRun()/closeRun() pair; retired() folds the pending count in.
+     */
+    std::uint64_t retiredAcc_ = 0;
+    std::uint64_t loadsAcc_ = 0;
+    std::uint64_t storesAcc_ = 0;
+    std::uint64_t robFullAcc_ = 0;
 
     ScalarStat cycles_;
     ScalarStat retired_;

@@ -98,66 +98,114 @@ makePrefetcher(PrefetcherKind kind, unsigned level)
     panic("unknown prefetcher kind");
 }
 
-RunResult
-runWorkload(Workload &workload, const RunConfig &config,
-            const std::string &configLabel)
+namespace
 {
-    EventQueue events;
-    StatGroup fdp_stats("fdp");
-    StatGroup mem_stats("mem");
-    StatGroup core_stats("core");
 
+/** FdpParams as the machine actually runs them: a static-aggressiveness
+ *  configuration pins the controller to the static level. */
+FdpParams
+resolvedFdpParams(const RunConfig &config)
+{
     FdpParams fp = config.fdp;
-    const unsigned start_level =
-        fp.dynamicAggressiveness ? fp.initialLevel : config.staticLevel;
     if (!fp.dynamicAggressiveness)
         fp.initialLevel = config.staticLevel;
+    return fp;
+}
 
-    auto prefetcher = makePrefetcher(config.prefetcher, start_level);
-    FdpController fdp(fp, prefetcher.get(), fdp_stats);
-    MemorySystem mem(config.machine, events, prefetcher.get(), fdp,
-                     mem_stats);
-    OooCore core(config.core, mem, events, workload, core_stats);
+/** The prefetcher's construction-time aggressiveness level. */
+unsigned
+startLevel(const RunConfig &config)
+{
+    return config.fdp.dynamicAggressiveness ? config.fdp.initialLevel
+                                            : config.staticLevel;
+}
 
-    // Audit the assembled machine at every sampling-interval boundary in
-    // debug builds (and whenever FDP_AUDIT=1 asks for it), so structural
-    // corruption surfaces at the paper's natural checkpoint cadence
-    // instead of as silently wrong results.
-    AuditSet audits;
-    audits.add(&events);
-    audits.add(&fdp);
-    audits.add(&mem);
-    if (prefetcher)
-        audits.add(prefetcher.get());
+} // namespace
+
+SimMachine::SimMachine(Workload &workload, const RunConfig &config)
+    : prefetcher(makePrefetcher(config.prefetcher, startLevel(config))),
+      fdp(resolvedFdpParams(config),
+          config.warmupInsts == 0 ? prefetcher.get() : nullptr, fdpStats),
+      mem(config.machine, events,
+          config.warmupInsts == 0 ? prefetcher.get() : nullptr, fdp,
+          memStats),
+      core(config.core, mem, events, workload, coreStats),
+      workload(workload)
+{
+}
+
+SnapshotParts
+SimMachine::parts()
+{
+    return SnapshotParts{events,   workload, core,     mem,      fdp,
+                         prefetcher.get(),   fdpStats, memStats, coreStats};
+}
+
+void
+measurementBoundary(SimMachine &m)
+{
+    drainToQuiesce(m.events, m.mem);
+    FDP_ASSERT(m.events.empty(),
+               "measurement boundary: %zu events pending after drain",
+               m.events.size());
+    m.mem.flushStats();
+    m.fdpStats.resetAll();
+    m.memStats.resetAll();
+    m.coreStats.resetAll();
+    m.mem.resetAttribution();
+    m.fdp.setPrefetcher(m.prefetcher.get());
+    m.fdp.reset();
+    m.mem.setPrefetcher(m.prefetcher.get());
+}
+
+// Audit the assembled machine at every sampling-interval boundary so
+// structural corruption surfaces at the paper's natural checkpoint
+// cadence instead of as silently wrong results.
+bool
+wireAudits(SimMachine &m, AuditSet &audits)
+{
+    audits.add(&m.events);
+    audits.add(&m.fdp);
+    audits.add(&m.mem);
+    if (m.prefetcher)
+        audits.add(m.prefetcher.get());
     // Auditable frontends (e.g. TraceWorkload) join the same pass.
-    if (const auto *aw = dynamic_cast<const Auditable *>(&workload))
+    if (const auto *aw = dynamic_cast<const Auditable *>(&m.workload))
         audits.add(aw);
     const bool periodicAudit = debugBuild() || auditRequestedByEnv();
-    if (periodicAudit)
-        fdp.setEndOfIntervalHook([&audits] { audits.runAll(); });
+    // Every sampling interval publishes the memory system's batched
+    // counters, so the stat group is exact at each paper checkpoint;
+    // audit builds then verify the whole machine at the same cadence.
+    m.fdp.setEndOfIntervalHook([&m, &audits, periodicAudit] {
+        m.mem.flushStats();
+        if (periodicAudit)
+            audits.runAll();
+    });
+    return periodicAudit;
+}
 
-    core.run(config.numInsts);
-
-    if (periodicAudit)
-        audits.runAll();
-
+RunResult
+extractResult(SimMachine &m, const std::string &configLabel)
+{
+    // Publish batched counters before reading the stat group directly.
+    m.mem.flushStats();
     RunResult r;
-    r.benchmark = workload.name();
+    r.benchmark = m.workload.name();
     r.config = configLabel;
-    r.insts = core.retired();
-    r.cycles = core.cycles();
-    r.ipc = core.ipc();
-    r.busAccesses = mem.dram().busAccesses();
+    r.insts = m.core.retired();
+    r.cycles = m.core.cycles();
+    r.ipc = m.core.ipc();
+    r.busAccesses = m.mem.dram().busAccesses();
     r.bpki = ratio(static_cast<double>(r.busAccesses),
                    static_cast<double>(r.insts) / 1000.0);
-    r.accuracy = fdp.lifetimeAccuracy();
-    r.lateness = fdp.lifetimeLateness();
-    r.pollution = fdp.lifetimePollution();
-    r.l2Misses = mem.l2Misses();
-    r.demandAccesses = mem.demandAccesses();
-    r.mshrStallCount = mem.mshrStalls();
-    r.avgMissLatency = mem.avgDemandMissLatency();
-    for (const auto *s : mem_stats.scalars()) {
+    r.accuracy = m.fdp.lifetimeAccuracy();
+    r.lateness = m.fdp.lifetimeLateness();
+    r.pollution = m.fdp.lifetimePollution();
+    r.l2Misses = m.mem.l2Misses();
+    r.demandAccesses = m.mem.demandAccesses();
+    r.mshrStallCount = m.mem.mshrStalls();
+    r.avgMissLatency = m.mem.avgDemandMissLatency();
+    for (const auto *s : m.memStats.scalars()) {
         if (s->name() == "demand_grants")
             r.demandGrants = s->value();
         else if (s->name() == "prefetch_grants")
@@ -168,19 +216,40 @@ runWorkload(Workload &workload, const RunConfig &config,
             r.prefDropQueueFull = s->value();
     }
 
-    for (const auto *s : fdp_stats.scalars()) {
+    for (const auto *s : m.fdpStats.scalars()) {
         if (s->name() == "pref_sent")
             r.prefSent = s->value();
         else if (s->name() == "pref_used")
             r.prefUsed = s->value();
     }
-    const DistributionStat &ld = fdp.levelDistribution();
+    const DistributionStat &ld = m.fdp.levelDistribution();
     for (std::size_t i = 0; i < r.levelDist.size(); ++i)
         r.levelDist[i] = ld.fraction(i);
-    const DistributionStat &id = fdp.insertDistribution();
+    const DistributionStat &id = m.fdp.insertDistribution();
     for (std::size_t i = 0; i < r.insertDist.size(); ++i)
         r.insertDist[i] = id.fraction(i);
     return r;
+}
+
+RunResult
+runWorkload(Workload &workload, const RunConfig &config,
+            const std::string &configLabel)
+{
+    SimMachine m(workload, config);
+
+    AuditSet audits;
+    const bool periodicAudit = wireAudits(m, audits);
+
+    if (config.warmupInsts > 0) {
+        m.core.run(config.warmupInsts);
+        measurementBoundary(m);
+    }
+    m.core.run(config.numInsts);
+
+    if (periodicAudit)
+        audits.runAll();
+
+    return extractResult(m, configLabel);
 }
 
 RunResult
@@ -217,11 +286,12 @@ replayTrace(const std::string &tracePath, const RunConfig &config,
 {
     TraceWorkload workload(tracePath);
     const std::uint64_t available = workload.reader().header().opCount;
-    if (config.numInsts > available)
+    if (config.warmupInsts + config.numInsts > available)
         fatal("trace %s holds %llu micro-ops but this run consumes "
               "%llu; record a longer trace", tracePath.c_str(),
               static_cast<unsigned long long>(available),
-              static_cast<unsigned long long>(config.numInsts));
+              static_cast<unsigned long long>(config.warmupInsts +
+                                              config.numInsts));
     return runWorkload(workload, config, configLabel);
 }
 

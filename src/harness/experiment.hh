@@ -18,6 +18,7 @@
 #include "cpu/ooo_core.hh"
 #include "mem/memory_system.hh"
 #include "prefetch/prefetcher.hh"
+#include "snap/machine_snapshot.hh"
 #include "workload/generators.hh"
 
 namespace fdp
@@ -42,6 +43,15 @@ struct RunConfig
     unsigned staticLevel = kMaxAggrLevel;
     FdpParams fdp;
     std::uint64_t numInsts = 5'000'000;
+    /**
+     * Instructions simulated before measurement begins. The warm-up
+     * phase runs with the prefetcher detached, so the warmed machine
+     * state is a pure function of (benchmark, machine geometry,
+     * warmupInsts) — never of the prefetcher or FDP policy — and one
+     * warm snapshot can seed every cell of a policy sweep
+     * (DESIGN.md Section 16). 0 (the default) measures from reset.
+     */
+    std::uint64_t warmupInsts = 0;
 
     /// @name Named configurations used throughout the paper
     /// @{
@@ -101,6 +111,57 @@ struct RunResult
 /** Build the configured prefetcher (nullptr for PrefetcherKind::None). */
 std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
                                            unsigned level);
+
+/**
+ * One fully-assembled simulated machine: the event queue, the three
+ * stat groups, the prefetcher, the FDP controller, the memory system,
+ * and the core, wired together for @p config and driving @p workload.
+ *
+ * When @p config.warmupInsts is 0 the prefetcher is attached from
+ * construction (the classic measure-from-reset machine). Otherwise it
+ * is built but left detached — the warm-up phase runs prefetcher-free,
+ * and measurementBoundary() attaches it. Snapshot capture and restore
+ * see the machine through parts().
+ */
+struct SimMachine
+{
+    SimMachine(Workload &workload, const RunConfig &config);
+
+    /** The snapshot view of this machine. */
+    SnapshotParts parts();
+
+    EventQueue events;
+    StatGroup fdpStats{"fdp"};
+    StatGroup memStats{"mem"};
+    StatGroup coreStats{"core"};
+    std::unique_ptr<Prefetcher> prefetcher;
+    FdpController fdp;
+    MemorySystem mem;
+    OooCore core;
+    Workload &workload;
+};
+
+/**
+ * Transition @p m from warm-up to measurement: drain in-flight misses
+ * to a quiesce point, flush and zero every statistic, zero DRAM's
+ * per-core attribution, reset the FDP controller to its configured
+ * initial policy, and attach the per-configuration prefetcher. Both
+ * the cold path (after an in-place warm-up run) and the fork path
+ * (after restoring a warm snapshot) cross exactly this boundary, which
+ * is what makes them bit-identical.
+ */
+void measurementBoundary(SimMachine &m);
+
+/**
+ * Wire @p m's Auditable components into @p audits and, in debug builds
+ * (or under FDP_AUDIT=1), re-audit at every sampling-interval boundary.
+ * Returns whether periodic auditing is active, so the caller knows to
+ * run a final pass after the measured run.
+ */
+bool wireAudits(SimMachine &m, AuditSet &audits);
+
+/** Pull every RunResult field out of a finished measured run. */
+RunResult extractResult(SimMachine &m, const std::string &configLabel);
 
 /**
  * Run one named SPEC stand-in under @p config.

@@ -15,6 +15,7 @@
 #include <sys/types.h>
 
 #include "sim/logging.hh"
+#include "snap/snapshot_file.hh"
 #include "workload/generators.hh"
 #include "workload/spec_suite.hh"
 
@@ -192,7 +193,12 @@ configFingerprint(const RunConfig &c)
        << " thr.pol=" << c.fdp.thresholds.tPollution
        << " thr.plow=" << c.fdp.thresholds.pLow
        << " thr.phigh=" << c.fdp.thresholds.pHigh
-       << " insts=" << c.numInsts;
+       << " insts=" << c.numInsts
+       // The warm-up length changes what a cell measures, and the
+       // snapshot format version guards against a stale warm-fork
+       // producer, so both participate in the key (DESIGN.md Sec. 16).
+       << " warmup=" << c.warmupInsts
+       << " snapver=" << kSnapVersion;
     return os.str();
 }
 

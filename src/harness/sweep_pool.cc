@@ -13,6 +13,7 @@
 
 #include "harness/reporting.hh"
 #include "harness/result_store.hh"
+#include "harness/warm_fork.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
 
@@ -214,6 +215,63 @@ runSweep(const std::vector<std::string> &benchmarks,
         return !cached.empty() && cached[cell] != 0;
     };
 
+    // Warm-fork attachment: cells with a warm-up phase share one
+    // neutral warm snapshot per (benchmark, geometry, warmup) group —
+    // captured here on the main thread (or served from the store's
+    // snaps/ subdirectory), then fork-restored by each cell. Restoring
+    // is bit-identical to warming in place (DESIGN.md Section 16), so
+    // results do not depend on whether forking is active; FDP_NO_WARM_FORK=1
+    // forces every cell down the cold in-place path.
+    std::vector<std::shared_ptr<const SnapshotImage>> cellImage(cells);
+    std::size_t snapGroups = 0, snapHits = 0;
+    const char *noForkEnv = std::getenv("FDP_NO_WARM_FORK");
+    if (noForkEnv == nullptr || *noForkEnv == '\0' ||
+        std::strcmp(noForkEnv, "0") == 0) {
+        std::map<std::string, std::shared_ptr<const SnapshotImage>> images;
+        std::map<std::pair<std::string, std::uint64_t>, std::uint64_t>
+            warmHashes;
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+            if (isCached(cell))
+                continue;
+            const std::size_t c = cell / benchmarks.size();
+            const std::size_t b = cell % benchmarks.size();
+            const RunConfig &cfg = configs[c].second;
+            if (cfg.warmupInsts == 0)
+                continue;
+            const auto hk =
+                std::make_pair(benchmarks[b], cfg.warmupInsts);
+            auto ht = warmHashes.find(hk);
+            if (ht == warmHashes.end())
+                ht = warmHashes
+                         .emplace(hk,
+                                  workloadTraceHash(hk.first, hk.second))
+                         .first;
+            const std::string key =
+                warmSnapshotKey(benchmarks[b], cfg, ht->second);
+            auto it = images.find(key);
+            if (it == images.end()) {
+                bool hit = false;
+                it = images
+                         .emplace(key, std::make_shared<SnapshotImage>(
+                                           loadOrCaptureWarmSnapshot(
+                                               storeCfg.dir, benchmarks[b],
+                                               cfg, ht->second, &hit)))
+                         .first;
+                ++snapGroups;
+                if (hit)
+                    ++snapHits;
+            }
+            cellImage[cell] = it->second;
+        }
+    }
+    const auto runCell = [&](std::size_t cell, const std::string &bench,
+                             const LabeledConfig &cfg) {
+        return cellImage[cell]
+                   ? runBenchmarkFromSnapshot(*cellImage[cell], cfg.second,
+                                              cfg.first)
+                   : runBenchmark(bench, cfg.second, cfg.first);
+    };
+
     if (jobs == 1) {
         // The pre-pool sequential path, byte for byte.
         for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -221,9 +279,7 @@ runSweep(const std::vector<std::string> &benchmarks,
                 const std::size_t cell = c * benchmarks.size() + b;
                 if (isCached(cell))
                     continue;
-                results[c][b] = runBenchmark(benchmarks[b],
-                                             configs[c].second,
-                                             configs[c].first);
+                results[c][b] = runCell(cell, benchmarks[b], configs[c]);
                 if (store)
                     store->insert(keys[cell], results[c][b]);
             }
@@ -264,8 +320,9 @@ runSweep(const std::vector<std::string> &benchmarks,
                 const LabeledConfig *cfg = &configs[c];
                 const ResultStore *cellStore = store.get();
                 const StoreKey *key = cellStore ? &keys[cell] : nullptr;
-                pool.submit([slot, bench, cfg, cellStore, key] {
-                    *slot = runBenchmark(*bench, cfg->second, cfg->first);
+                pool.submit([&runCell, cell, slot, bench, cfg, cellStore,
+                             key] {
+                    *slot = runCell(cell, *bench, *cfg);
                     if (cellStore)
                         cellStore->insert(*key, *slot);
                 });
@@ -295,6 +352,10 @@ runSweep(const std::vector<std::string> &benchmarks,
                   << " resume=" << (storeCfg.resume ? 1 : 0)
                   << " hits=" << hits << " misses=" << (cells - hits)
                   << '\n';
+    if (snapGroups > 0)
+        std::cerr << "sweep-snap: groups=" << snapGroups
+                  << " store-hits=" << snapHits
+                  << " captured=" << (snapGroups - snapHits) << '\n';
     return results;
 }
 

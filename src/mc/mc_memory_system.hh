@@ -42,6 +42,8 @@ namespace fdp
 {
 
 /** N private L1s + shared L2 + shared MSHRs + shared DRAM. */
+// fdp-analyze: suppress(snapshot-coverage, multi-core co-runs are not
+// snapshot targets yet; warm-fork sweeps cover single-core machines)
 class McMemorySystem : public Auditable
 {
   public:

@@ -7,7 +7,8 @@
 namespace fdp
 {
 
-SetAssocCache::SetAssocCache(const CacheParams &params) : params_(params)
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : params_(params), snapName_("cache/" + params.name)
 {
     if (params_.assoc == 0 || params_.assoc > 254)
         fatal("%s: associativity %u unsupported", params_.name.c_str(),
@@ -330,6 +331,53 @@ SetAssocCache::audit() const
                    "%s: set %zu has %u valid ways but used=%u",
                    auditName(), s, valid_ways, set.used);
     }
+}
+
+void
+SetAssocCache::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU32(static_cast<std::uint32_t>(sets_.size()));
+    w.putU32(params_.assoc);
+    for (const Line &l : lines_) {
+        w.putU64(l.tag);
+        w.putU8(l.flags);
+        w.putU8(l.prev);
+        w.putU8(l.next);
+        w.putU8(static_cast<std::uint8_t>(l.owner.index()));
+    }
+    for (const SetLinks &set : sets_) {
+        w.putU8(set.lru);
+        w.putU8(set.mru);
+        w.putU8(set.used);
+    }
+    w.endSection();
+}
+
+void
+SetAssocCache::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const std::uint32_t num_sets = r.getU32();
+    const std::uint32_t assoc = r.getU32();
+    if (num_sets != sets_.size() || assoc != params_.assoc)
+        fatal("snapshot: %s geometry is %zu sets x %u ways, snapshot has "
+              "%u x %u",
+              params_.name.c_str(), sets_.size(), params_.assoc, num_sets,
+              assoc);
+    for (Line &l : lines_) {
+        l.tag = r.getU64();
+        l.flags = r.getU8();
+        l.prev = r.getU8();
+        l.next = r.getU8();
+        l.owner = CoreId{r.getU8()};
+    }
+    for (SetLinks &set : sets_) {
+        set.lru = r.getU8();
+        set.mru = r.getU8();
+        set.used = r.getU8();
+    }
+    r.closeSection();
 }
 
 void

@@ -25,6 +25,7 @@
 
 #include "core/insertion.hh"
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -60,7 +61,7 @@ struct CacheVictim
 };
 
 /** Set-associative, true-LRU, write-back cache model (tags only). */
-class SetAssocCache : public Auditable
+class SetAssocCache : public Auditable, public Snapshottable
 {
   public:
     explicit SetAssocCache(const CacheParams &params);
@@ -117,6 +118,15 @@ class SetAssocCache : public Auditable
     void audit() const override;
     const char *auditName() const override { return params_.name.c_str(); }
 
+    /**
+     * Serialize the full tag store: every line's tag/flags/recency links
+     * and owner, plus each set's chain endpoints. loadState() checks the
+     * restoring cache has identical geometry.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return snapName_.c_str(); }
+
   private:
     friend struct AuditCorrupter;
 
@@ -151,6 +161,7 @@ class SetAssocCache : public Auditable
                      unsigned depth, unsigned chainLen);
 
     CacheParams params_;
+    std::string snapName_;        ///< "cache/" + params_.name
     std::vector<Line> lines_;     ///< the arena: lines_[set * assoc + way]
     std::vector<SetLinks> sets_;
 };

@@ -199,6 +199,61 @@ DramModel::pump()
 }
 
 void
+DramModel::saveState(SnapWriter &w) const
+{
+    FDP_ASSERT(queued() == 0,
+               "%s: snapshot with %zu requests queued (not quiesced)",
+               auditName(), queued());
+    FDP_ASSERT(!pumpScheduled_,
+               "%s: snapshot with a pump event pending", auditName());
+    w.beginSection(snapName());
+    w.putU32(params_.banks);
+    for (const Cycle ready : bankReady_)
+        w.putU64(ready);
+    for (const std::uint64_t row : openRow_)
+        w.putU64(row);
+    w.putU32(static_cast<std::uint32_t>(coreBusAccesses_.size()));
+    for (const std::uint64_t n : coreBusAccesses_)
+        w.putU64(n);
+    w.putU64(busFree_);
+    w.endSection();
+}
+
+void
+DramModel::loadState(SnapReader &r)
+{
+    FDP_ASSERT(queued() == 0,
+               "%s: restore with %zu requests queued", auditName(),
+               queued());
+    FDP_ASSERT(!pumpScheduled_,
+               "%s: restore with a pump event pending", auditName());
+    r.openSection(snapName());
+    const std::uint32_t banks = r.getU32();
+    if (banks != params_.banks)
+        fatal("snapshot: DRAM has %u banks, snapshot has %u",
+              params_.banks, banks);
+    for (Cycle &ready : bankReady_)
+        ready = r.getU64();
+    for (std::uint64_t &row : openRow_)
+        row = r.getU64();
+    const std::uint32_t cores = r.getU32();
+    if (cores != coreBusAccesses_.size())
+        fatal("snapshot: DRAM serves %zu cores, snapshot has %u",
+              coreBusAccesses_.size(), cores);
+    for (std::uint64_t &n : coreBusAccesses_)
+        n = r.getU64();
+    busFree_ = r.getU64();
+    r.closeSection();
+}
+
+void
+DramModel::resetAttribution()
+{
+    for (std::uint64_t &n : coreBusAccesses_)
+        n = 0;
+}
+
+void
 DramModel::auditQueue(const std::deque<Request> &q, BusPriority prio,
                       const char *label) const
 {

@@ -21,6 +21,7 @@
 #include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -65,7 +66,7 @@ struct DramParams
 enum class BusPriority : std::uint8_t { Demand, Prefetch, Writeback };
 
 /** Event-driven DRAM/bus engine. */
-class DramModel : public Auditable
+class DramModel : public Auditable, public Snapshottable
 {
   public:
     using DoneFn = fdp::DoneFn;
@@ -119,6 +120,23 @@ class DramModel : public Auditable
      */
     void audit() const override;
     const char *auditName() const override { return "dram"; }
+
+    /**
+     * Snapshots are taken only at quiesce points: queued requests carry
+     * completion closures, so saveState() asserts the queues are empty
+     * and serializes the bank timing state, the open rows, the bus
+     * horizon, and the per-core attribution counters.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "dram"; }
+
+    /**
+     * Zero the per-core bus-access attribution alongside a StatGroup
+     * reset: the audit cross-checks these counters against the
+     * bus_accesses statistic, so a measurement boundary must clear both.
+     */
+    void resetAttribution();
 
   private:
     friend struct AuditCorrupter;

@@ -45,23 +45,23 @@ void
 MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
                            DoneFn done)
 {
-    ++demandAccesses_;
+    ++hot_.demandAccesses;
     const BlockAddr block = blockAddr(addr);
     const Cycle t1 = now + params_.l1Latency;
 
     if (l1_.access(block, isWrite).hit) {
-        ++l1Hits_;
+        ++hot_.l1Hits;
         done(t1);
         return;
     }
-    ++l1Misses_;
+    ++hot_.l1Misses;
 
     const Cycle t2 = t1 + params_.l2Latency;
     const CacheAccessResult l2res = l2_.access(block, false);
     PrefetchObservation obs{addr, block, pc, !l2res.hit};
 
     if (l2res.hit) {
-        ++l2Hits_;
+        ++hot_.l2Hits;
         if (l2res.hitPrefetched)
             fdp_.onPrefetchUsedInCache();
         fillL1(block, isWrite, t2);
@@ -73,7 +73,7 @@ MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
     // Probed in parallel with the L2, so a prefetch-cache hit costs the
     // same latency as an L2 hit (paper Section 5.7).
     if (pcache_ && pcache_->extract(block)) {
-        ++pcacheHits_;
+        ++hot_.pcacheHits;
         fdp_.onPrefetchUsedInCache();
         insertL2Fill(block, false, false, t2);
         fillL1(block, isWrite, t2);
@@ -83,12 +83,12 @@ MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
         return;
     }
 
-    ++l2Misses_;
+    ++hot_.l2Misses;
     fdp_.onDemandMiss(block);
     observeAndIssue(obs, t2);
 
     if (MshrEntry *e = mshrs_.find(block)) {
-        ++mshrMerges_;
+        ++hot_.mshrMerges;
         if (e->prefBit) {
             // Late prefetch: a demand wants data that a prefetch is
             // still fetching (paper Section 3.1.2).
@@ -103,7 +103,7 @@ MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
     }
 
     if (mshrs_.full()) {
-        ++mshrStalls_;
+        ++hot_.mshrStalls;
         mshrWaitQ_.push_back({block, isWrite, std::move(done), t2});
         return;
     }
@@ -132,9 +132,9 @@ MemorySystem::observeAndIssue(const PrefetchObservation &obs, Cycle now)
     prefetcher_->observe(obs, pfCandidates_, budget);
 
     for (const BlockAddr b : pfCandidates_) {
-        ++prefIssued_;
+        ++hot_.prefIssued;
         if (prefetchQueue_.size() >= params_.prefetchQueueCap) {
-            ++prefDropQueueFull_;
+            ++hot_.prefDropQueueFull;
             continue;
         }
         prefetchQueue_.push_back(b);
@@ -148,12 +148,12 @@ MemorySystem::drainPrefetchQueue(Cycle now)
     while (!prefetchQueue_.empty()) {
         const BlockAddr b = prefetchQueue_.front();
         if (l2_.probe(b) || (pcache_ && pcache_->probe(b))) {
-            ++prefDropL2Hit_;
+            ++hot_.prefDropL2Hit;
             prefetchQueue_.pop_front();
             continue;
         }
         if (mshrs_.find(b)) {
-            ++prefDropInFlight_;
+            ++hot_.prefDropInFlight;
             prefetchQueue_.pop_front();
             continue;
         }
@@ -191,8 +191,8 @@ MemorySystem::onFill(BlockAddr block, Cycle fillCycle)
     fillWaiters_.clear();
     fillWaiters_.swap(e->waiters);
     if (!was_prefetch) {
-        ++demandMissFills_;
-        demandMissCycles_ += fillCycle - e->allocCycle;
+        ++hot_.demandMissFills;
+        hot_.demandMissCycles += fillCycle - e->allocCycle;
     }
     mshrs_.deallocate(block);
 
@@ -226,7 +226,7 @@ MemorySystem::insertL2Fill(BlockAddr block, bool prefBit, bool dirty,
     if (prefBit && !v.prefBit)
         fdp_.onDemandBlockEvictedByPrefetch(v.block);
     if (v.dirty && params_.modelWritebacks) {
-        ++writebacks_;
+        ++hot_.writebacks;
         dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
     }
 }
@@ -244,7 +244,7 @@ MemorySystem::fillL1(BlockAddr block, bool isWrite, Cycle now)
         // Dirty L1 victims land in the L2 when present there; otherwise
         // they must go all the way to memory.
         if (!l2_.markDirty(v.block) && params_.modelWritebacks) {
-            ++writebacks_;
+            ++hot_.writebacks;
             dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
         }
     }
@@ -260,7 +260,7 @@ MemorySystem::admitPending(Cycle now)
         // the block in already; it is a hit now.
         if (l2_.probe(p.block) || (pcache_ && pcache_->probe(p.block))) {
             if (pcache_ && pcache_->extract(p.block)) {
-                ++pcacheHits_;
+                ++hot_.pcacheHits;
                 fdp_.onPrefetchUsedInCache();
                 insertL2Fill(p.block, false, false, now);
             }
@@ -269,7 +269,7 @@ MemorySystem::admitPending(Cycle now)
             continue;
         }
         if (MshrEntry *e = mshrs_.find(p.block)) {
-            ++mshrMerges_;
+            ++hot_.mshrMerges;
             if (e->prefBit) {
                 fdp_.onLatePrefetchMshrHit();
                 e->prefBit = false;
@@ -287,8 +287,10 @@ MemorySystem::admitPending(Cycle now)
 double
 MemorySystem::avgDemandMissLatency() const
 {
-    return ratio(static_cast<double>(demandMissCycles_.value()),
-                 static_cast<double>(demandMissFills_.value()));
+    return ratio(static_cast<double>(demandMissCycles_.value() +
+                                     hot_.demandMissCycles),
+                 static_cast<double>(demandMissFills_.value() +
+                                     hot_.demandMissFills));
 }
 
 void
@@ -314,6 +316,71 @@ MemorySystem::quiesced() const
 {
     return mshrs_.size() == 0 && mshrWaitQ_.empty() &&
            prefetchQueue_.empty() && dram_.queued() == 0;
+}
+
+void
+MemorySystem::flushStats()
+{
+    demandAccesses_ += hot_.demandAccesses;
+    l1Hits_ += hot_.l1Hits;
+    l1Misses_ += hot_.l1Misses;
+    l2Hits_ += hot_.l2Hits;
+    l2Misses_ += hot_.l2Misses;
+    mshrMerges_ += hot_.mshrMerges;
+    mshrStalls_ += hot_.mshrStalls;
+    prefIssued_ += hot_.prefIssued;
+    prefDropL2Hit_ += hot_.prefDropL2Hit;
+    prefDropInFlight_ += hot_.prefDropInFlight;
+    prefDropQueueFull_ += hot_.prefDropQueueFull;
+    pcacheHits_ += hot_.pcacheHits;
+    writebacks_ += hot_.writebacks;
+    demandMissFills_ += hot_.demandMissFills;
+    demandMissCycles_ += hot_.demandMissCycles;
+    hot_ = HotCounters{};
+}
+
+void
+MemorySystem::saveState(SnapWriter &w) const
+{
+    FDP_ASSERT(quiesced(),
+               "%s: snapshot with work in flight (%zu MSHRs, %zu stalled "
+               "demands, %zu queued prefetches, %zu bus requests)",
+               auditName(), mshrs_.size(), mshrWaitQ_.size(),
+               prefetchQueue_.size(), dram_.queued());
+    // The stat group is serialized alongside this section; unflushed
+    // batched counts would silently vanish from the snapshot.
+    FDP_ASSERT(hot_.demandAccesses == 0 && hot_.demandMissCycles == 0,
+               "%s: snapshot with unflushed batched statistics (call "
+               "flushStats() first)", auditName());
+    w.beginSection(snapName());
+    w.putBool(pcache_ != nullptr);
+    w.endSection();
+    l1_.saveState(w);
+    l2_.saveState(w);
+    mshrs_.saveState(w);
+    dram_.saveState(w);
+    if (pcache_)
+        pcache_->saveState(w);
+}
+
+void
+MemorySystem::loadState(SnapReader &r)
+{
+    FDP_ASSERT(quiesced(),
+               "%s: restore with work in flight", auditName());
+    r.openSection(snapName());
+    const bool has_pcache = r.getBool();
+    r.closeSection();
+    if (has_pcache != (pcache_ != nullptr))
+        fatal("snapshot: prefetch cache is %s, snapshot has it %s",
+              pcache_ ? "enabled" : "disabled",
+              has_pcache ? "enabled" : "disabled");
+    l1_.loadState(r);
+    l2_.loadState(r);
+    mshrs_.loadState(r);
+    dram_.loadState(r);
+    if (pcache_)
+        pcache_->loadState(r);
 }
 
 } // namespace fdp

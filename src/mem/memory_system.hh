@@ -33,6 +33,7 @@
 #include "prefetch/prefetcher.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -57,7 +58,7 @@ struct MachineParams
 };
 
 /** L1 + L2 + DRAM with prefetching and FDP instrumentation. */
-class MemorySystem : public Auditable, public MemoryPort
+class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
 {
   public:
     using DoneFn = fdp::DoneFn;
@@ -84,6 +85,19 @@ class MemorySystem : public Auditable, public MemoryPort
     /** True when no misses are in flight and no requests are queued. */
     bool quiesced() const;
 
+    /**
+     * Attach (or detach, with nullptr) the L2 prefetcher. Used by the
+     * warm-up boundary: the warm-up phase runs with no prefetcher so
+     * the warmed state is independent of the prefetch configuration.
+     */
+    void setPrefetcher(Prefetcher *pf) { prefetcher_ = pf; }
+
+    /** Publish any locally batched counters into the stat group. */
+    void flushStats();
+
+    /** Zero DRAM's per-core attribution (see DramModel). */
+    void resetAttribution() { dram_.resetAttribution(); }
+
     const SetAssocCache &l1() const { return l1_; }
     const SetAssocCache &l2() const { return l2_; }
     DramModel &dram() { return dram_; }
@@ -91,13 +105,33 @@ class MemorySystem : public Auditable, public MemoryPort
     const MachineParams &params() const { return params_; }
 
     /// @name Lifetime statistics
+    /// Accessors fold in counts still sitting in the hot accumulators,
+    /// so they are exact whether or not flushStats() has run.
     /// @{
-    std::uint64_t demandAccesses() const { return demandAccesses_.value(); }
-    std::uint64_t l1Misses() const { return l1Misses_.value(); }
-    std::uint64_t l2Misses() const { return l2Misses_.value(); }
-    std::uint64_t prefetchesIssued() const { return prefIssued_.value(); }
-    std::uint64_t prefetchCacheHits() const { return pcacheHits_.value(); }
-    std::uint64_t mshrStalls() const { return mshrStalls_.value(); }
+    std::uint64_t demandAccesses() const
+    {
+        return demandAccesses_.value() + hot_.demandAccesses;
+    }
+    std::uint64_t l1Misses() const
+    {
+        return l1Misses_.value() + hot_.l1Misses;
+    }
+    std::uint64_t l2Misses() const
+    {
+        return l2Misses_.value() + hot_.l2Misses;
+    }
+    std::uint64_t prefetchesIssued() const
+    {
+        return prefIssued_.value() + hot_.prefIssued;
+    }
+    std::uint64_t prefetchCacheHits() const
+    {
+        return pcacheHits_.value() + hot_.pcacheHits;
+    }
+    std::uint64_t mshrStalls() const
+    {
+        return mshrStalls_.value() + hot_.mshrStalls;
+    }
 
     /** Average cycles from demand-miss MSHR allocation to fill. */
     double avgDemandMissLatency() const;
@@ -111,6 +145,15 @@ class MemorySystem : public Auditable, public MemoryPort
      */
     void audit() const override;
     const char *auditName() const override { return "memory_system"; }
+
+    /**
+     * Serialize the hierarchy: a "mem" marker section (asserting the
+     * transient queues are empty, i.e. quiesced()), then the L1, L2,
+     * MSHR file, DRAM, and optional prefetch cache in fixed order.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "mem"; }
 
   private:
     friend struct AuditCorrupter;
@@ -148,10 +191,38 @@ class MemorySystem : public Auditable, public MemoryPort
     /** Admit MSHR-stalled demands after a deallocation. */
     void admitPending(Cycle now);
 
+    /**
+     * Per-op counters batched as plain integers in one packed struct
+     * (one or two cache lines touched per demand instead of a spread of
+     * registered statistics), published into the stat group by
+     * flushStats() at sampling boundaries. DRAM/bus statistics are NOT
+     * batched: the DRAM model owns them and its audit cross-checks
+     * them in place.
+     */
+    struct HotCounters
+    {
+        std::uint64_t demandAccesses = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t mshrMerges = 0;
+        std::uint64_t mshrStalls = 0;
+        std::uint64_t prefIssued = 0;
+        std::uint64_t prefDropL2Hit = 0;
+        std::uint64_t prefDropInFlight = 0;
+        std::uint64_t prefDropQueueFull = 0;
+        std::uint64_t pcacheHits = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t demandMissFills = 0;
+        std::uint64_t demandMissCycles = 0;
+    };
+
     MachineParams params_;
     EventQueue &events_;
     Prefetcher *prefetcher_;
     FdpController &fdp_;
+    HotCounters hot_;
 
     SetAssocCache l1_;
     SetAssocCache l2_;

@@ -113,6 +113,31 @@ MshrFile::clear()
 }
 
 void
+MshrFile::saveState(SnapWriter &w) const
+{
+    FDP_ASSERT(size() == 0,
+               "%s: snapshot with %zu misses in flight (not quiesced)",
+               auditName(), size());
+    w.beginSection(snapName());
+    w.putU32(static_cast<std::uint32_t>(capacity_));
+    w.endSection();
+}
+
+void
+MshrFile::loadState(SnapReader &r)
+{
+    FDP_ASSERT(size() == 0,
+               "%s: restore into a file with %zu misses in flight",
+               auditName(), size());
+    r.openSection(snapName());
+    const std::uint32_t capacity = r.getU32();
+    if (capacity != capacity_)
+        fatal("snapshot: MSHR capacity is %zu, snapshot has %u", capacity_,
+              capacity);
+    r.closeSection();
+}
+
+void
 MshrFile::audit() const
 {
     FDP_ASSERT(size() <= capacity_,

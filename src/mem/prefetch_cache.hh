@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "mem/cache.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -29,7 +30,7 @@ struct PrefetchCacheParams
 };
 
 /** Fully-managed prefetch-only buffer. */
-class PrefetchCache : public Auditable
+class PrefetchCache : public Auditable, public Snapshottable
 {
   public:
     explicit PrefetchCache(const PrefetchCacheParams &params);
@@ -49,6 +50,11 @@ class PrefetchCache : public Auditable
     /** Delegates to the backing tag store's structural audit. */
     void audit() const override { cache_->audit(); }
     const char *auditName() const override { return "prefetch_cache"; }
+
+    /** Delegates to the backing tag store's serialization. */
+    void saveState(SnapWriter &w) const override { cache_->saveState(w); }
+    void loadState(SnapReader &r) override { cache_->loadState(r); }
+    const char *snapName() const override { return cache_->snapName(); }
 
   private:
     friend struct AuditCorrupter;

@@ -7,6 +7,12 @@
 namespace fdp
 {
 
+namespace
+{
+/** Empty zone-map slot sentinel. */
+constexpr std::uint32_t kNoZoneSlot = ~std::uint32_t{0};
+} // namespace
+
 GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherParams &params)
     : params_(params), level_(params.initialLevel), ghb_(params.ghbSize),
       index_(params.indexSize)
@@ -14,8 +20,36 @@ GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherParams &params)
     if (params_.ghbSize == 0 || params_.indexSize == 0)
         fatal("GHB prefetcher needs nonzero buffer and index sizes");
     setAggressiveness(params_.initialLevel);
-    history_.reserve(params_.maxHistory);
     deltas_.reserve(params_.maxHistory);
+
+    if ((params_.ghbSize & (params_.ghbSize - 1)) == 0)
+        slotMask_ = params_.ghbSize - 1;
+
+    // Zone map sized to the next power of two >= 2x the index table, so
+    // the load factor stays at or below one half.
+    std::size_t cap = 8;
+    unsigned bits = 3;
+    while (cap < 2 * static_cast<std::size_t>(params_.indexSize)) {
+        cap *= 2;
+        ++bits;
+    }
+    zoneMap_.assign(cap, kNoZoneSlot);
+    zoneHashShift_ = 64 - bits;
+}
+
+void
+GhbPrefetcher::rebuildZoneMap()
+{
+    std::fill(zoneMap_.begin(), zoneMap_.end(), kNoZoneSlot);
+    const std::size_t mask = zoneMap_.size() - 1;
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        if (!index_[i].valid)
+            continue;
+        std::size_t h = hashZone(index_[i].zone);
+        while (zoneMap_[h] != kNoZoneSlot)
+            h = (h + 1) & mask;
+        zoneMap_[h] = static_cast<std::uint32_t>(i);
+    }
 }
 
 void
@@ -35,6 +69,7 @@ GhbPrefetcher::reset()
         e = IndexEntry{};
     nextSeq_ = 1;
     tick_ = 0;
+    std::fill(zoneMap_.begin(), zoneMap_.end(), kNoZoneSlot);
 }
 
 bool
@@ -48,10 +83,15 @@ GhbPrefetcher::seqLive(std::uint64_t seq) const
 GhbPrefetcher::IndexEntry *
 GhbPrefetcher::findZone(std::uint64_t zone)
 {
-    for (auto &e : index_)
+    const std::size_t mask = zoneMap_.size() - 1;
+    for (std::size_t h = hashZone(zone);; h = (h + 1) & mask) {
+        const std::uint32_t slot = zoneMap_[h];
+        if (slot == kNoZoneSlot)
+            return nullptr;
+        IndexEntry &e = index_[slot];
         if (e.valid && e.zone == zone)
             return &e;
-    return nullptr;
+    }
 }
 
 GhbPrefetcher::IndexEntry &
@@ -69,6 +109,10 @@ GhbPrefetcher::allocateZone(std::uint64_t zone)
     *victim = IndexEntry{};
     victim->valid = true;
     victim->zone = zone;
+    // The allocation scan is already O(indexSize), so rebuilding the
+    // lookup map here keeps the same complexity while the per-miss
+    // findZone stays O(1).
+    rebuildZoneMap();
     return *victim;
 }
 
@@ -105,13 +149,125 @@ GhbPrefetcher::audit() const
     const std::uint64_t lo =
         nextSeq_ > ghb_.size() ? nextSeq_ - ghb_.size() : 1;
     for (std::uint64_t seq = lo; seq < nextSeq_; ++seq) {
-        const GhbEntry &e = ghb_[seq % ghb_.size()];
-        if (e.hasPrev)
+        const GhbEntry &e = ghb_[slotOf(seq)];
+        if (e.hasPrev) {
             FDP_ASSERT(e.prevSeq != 0 && e.prevSeq < seq,
                        "%s: GHB entry %llu links forward to %llu (cycle)",
                        auditName(), static_cast<unsigned long long>(seq),
                        static_cast<unsigned long long>(e.prevSeq));
+            if (seqLive(e.prevSeq))
+                FDP_ASSERT(e.delta ==
+                               e.block - ghb_[slotOf(e.prevSeq)].block,
+                           "%s: GHB entry %llu caches delta %lld, buffer "
+                           "says %lld",
+                           auditName(),
+                           static_cast<unsigned long long>(seq),
+                           static_cast<long long>(e.delta),
+                           static_cast<long long>(
+                               e.block - ghb_[slotOf(e.prevSeq)].block));
+        }
     }
+
+    // Zone-map consistency: the derived lookup structure holds exactly
+    // the valid index entries, each findable from its hash position.
+    std::size_t mapped = 0;
+    const std::size_t mask = zoneMap_.size() - 1;
+    for (const std::uint32_t slot : zoneMap_) {
+        if (slot == kNoZoneSlot)
+            continue;
+        ++mapped;
+        FDP_ASSERT(slot < index_.size() && index_[slot].valid,
+                   "%s: zone map points at dead index slot %u",
+                   auditName(), slot);
+    }
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        if (!index_[i].valid)
+            continue;
+        ++valid;
+        bool found = false;
+        for (std::size_t h = hashZone(index_[i].zone);
+             zoneMap_[h] != kNoZoneSlot; h = (h + 1) & mask) {
+            if (zoneMap_[h] == i) {
+                found = true;
+                break;
+            }
+        }
+        FDP_ASSERT(found, "%s: index entry %zu (zone %llu) missing from "
+                   "the zone map", auditName(), i,
+                   static_cast<unsigned long long>(index_[i].zone));
+    }
+    FDP_ASSERT(mapped == valid,
+               "%s: zone map holds %zu slots for %zu valid entries",
+               auditName(), mapped, valid);
+}
+
+void
+GhbPrefetcher::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU8(static_cast<std::uint8_t>(level_));
+    w.putU64(nextSeq_);
+    w.putU64(tick_);
+    w.putU32(static_cast<std::uint32_t>(ghb_.size()));
+    for (const GhbEntry &e : ghb_) {
+        w.putI64(e.block);
+        w.putU64(e.prevSeq);
+        w.putBool(e.hasPrev);
+    }
+    w.putU32(static_cast<std::uint32_t>(index_.size()));
+    for (const IndexEntry &e : index_) {
+        w.putBool(e.valid);
+        w.putU64(e.zone);
+        w.putU64(e.headSeq);
+        w.putU64(e.lastUse);
+    }
+    w.endSection();
+}
+
+void
+GhbPrefetcher::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const unsigned level = r.getU8();
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        fatal("snapshot: GHB prefetcher level %u out of range", level);
+    level_ = level;
+    nextSeq_ = r.getU64();
+    tick_ = r.getU64();
+    const std::uint32_t ghb_size = r.getU32();
+    if (ghb_size != ghb_.size())
+        fatal("snapshot: GHB holds %zu entries, snapshot has %u",
+              ghb_.size(), ghb_size);
+    for (GhbEntry &e : ghb_) {
+        e.block = r.getI64();
+        e.prevSeq = r.getU64();
+        e.hasPrev = r.getBool();
+    }
+    const std::uint32_t index_size = r.getU32();
+    if (index_size != index_.size())
+        fatal("snapshot: GHB index holds %zu entries, snapshot has %u",
+              index_.size(), index_size);
+    for (IndexEntry &e : index_) {
+        e.valid = r.getBool();
+        e.zone = r.getU64();
+        e.headSeq = r.getU64();
+        e.lastUse = r.getU64();
+    }
+    r.closeSection();
+
+    // Rebuild the derived state the snapshot does not carry: the cached
+    // per-entry deltas (only meaningful while the predecessor is live)
+    // and the zone lookup map.
+    const std::uint64_t lo =
+        nextSeq_ > ghb_.size() ? nextSeq_ - ghb_.size() : 1;
+    for (std::uint64_t seq = lo; seq < nextSeq_; ++seq) {
+        GhbEntry &e = ghb_[slotOf(seq)];
+        e.delta = e.hasPrev && seqLive(e.prevSeq)
+                      ? e.block - ghb_[slotOf(e.prevSeq)].block
+                      : 0;
+    }
+    rebuildZoneMap();
 }
 
 void
@@ -132,31 +288,37 @@ GhbPrefetcher::doObserve(const PrefetchObservation &obs,
 
     // Push this miss into the GHB, linking it to the zone's previous miss.
     const std::uint64_t seq = nextSeq_++;
-    GhbEntry &slot = ghb_[seq % ghb_.size()];
+    GhbEntry &slot = ghb_[slotOf(seq)];
     slot.block = block;
     slot.hasPrev = seqLive(idx->headSeq);
     slot.prevSeq = idx->headSeq;
+    slot.delta = slot.hasPrev ? block - ghb_[slotOf(idx->headSeq)].block
+                              : 0;
     idx->headSeq = seq;
 
-    // Reconstruct the zone's recent miss history (most recent first).
-    history_.clear();
+    // Walk the zone's live link chain, collecting the cached deltas
+    // newest-first. Entries are immutable until overwritten, so each
+    // cached delta equals the difference of the two (still live) blocks
+    // it was computed from -- no need to materialize the address
+    // history itself.
+    deltas_.clear();
     std::uint64_t cur = seq;
-    while (seqLive(cur) || cur == seq) {
-        const GhbEntry &e = ghb_[cur % ghb_.size()];
-        history_.push_back(e.block);
-        if (history_.size() >= params_.maxHistory || !e.hasPrev)
+    std::size_t depth = 1;  // addresses visited (the new miss counts)
+    for (;;) {
+        const GhbEntry &e = ghb_[slotOf(cur)];
+        if (depth >= params_.maxHistory || !e.hasPrev)
             break;
         if (!seqLive(e.prevSeq))
             break;
+        deltas_.push_back(e.delta);
         cur = e.prevSeq;
+        ++depth;
     }
-    if (history_.size() < 4)
+    if (depth < 4)
         return;  // need at least 3 deltas to correlate a pair
 
-    // Chronological deltas: deltas_[i] = addr[i+1] - addr[i].
-    deltas_.clear();
-    for (std::size_t i = history_.size() - 1; i > 0; --i)
-        deltas_.push_back(history_[i - 1] - history_[i]);
+    // Chronological order: deltas_[i] = addr[i+1] - addr[i].
+    std::reverse(deltas_.begin(), deltas_.end());
 
     const std::size_t n = deltas_.size();
     const std::int64_t key1 = deltas_[n - 2];

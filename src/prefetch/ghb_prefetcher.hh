@@ -59,6 +59,10 @@ class GhbPrefetcher : public Prefetcher
      */
     void audit() const override;
 
+    /** Serialize the history buffer, the index table, and the cursors. */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+
   private:
     friend struct AuditCorrupter;
 
@@ -72,6 +76,14 @@ class GhbPrefetcher : public Prefetcher
         /** Sequence number of the previous same-zone entry (or 0). */
         std::uint64_t prevSeq = 0;
         bool hasPrev = false;
+        /**
+         * Cached block - prevBlock, filled at push time. Entries are
+         * immutable until overwritten, so while prevSeq is live this
+         * equals the delta recomputed from the buffer; the history walk
+         * reads it instead of chasing the predecessor's block. Derived:
+         * rebuilt (not stored) by loadState().
+         */
+        std::int64_t delta = 0;
     };
 
     struct IndexEntry
@@ -85,7 +97,24 @@ class GhbPrefetcher : public Prefetcher
     /** True when @p seq still addresses a live (not overwritten) slot. */
     bool seqLive(std::uint64_t seq) const;
 
-    /** Index-table lookup; returns nullptr on miss. */
+    /** GHB slot of @p seq (single AND when ghbSize is a power of two). */
+    std::size_t slotOf(std::uint64_t seq) const
+    {
+        return slotMask_ ? static_cast<std::size_t>(seq & slotMask_)
+                         : static_cast<std::size_t>(seq % ghb_.size());
+    }
+
+    /** Zone-map probe position for @p zone. */
+    std::size_t hashZone(std::uint64_t zone) const
+    {
+        return static_cast<std::size_t>(
+            (zone * 0x9E3779B97F4A7C15ull) >> zoneHashShift_);
+    }
+
+    /** Rebuild the zone map from the valid index entries. */
+    void rebuildZoneMap();
+
+    /** Index-table lookup; returns nullptr on miss. O(1) via zoneMap_. */
     IndexEntry *findZone(std::uint64_t zone);
 
     /** Index-table fill, evicting LRU if needed. */
@@ -95,11 +124,21 @@ class GhbPrefetcher : public Prefetcher
     unsigned level_;
     std::vector<GhbEntry> ghb_;
     std::vector<IndexEntry> index_;
-    /** Sequence number of the next push; slot = seq % ghbSize. */
+    /** Sequence number of the next push; slot = slotOf(seq). */
     std::uint64_t nextSeq_ = 1;
     std::uint64_t tick_ = 0;
-    /** Scratch buffers reused across observe() calls. */
-    std::vector<std::int64_t> history_;
+    /** ghbSize - 1 when ghbSize is a power of two, else 0. */
+    std::uint64_t slotMask_ = 0;
+    /**
+     * Open-addressed (linear-probe) map from zone to index_ slot, so
+     * the per-miss lookup is O(1) instead of a table scan. Holds only
+     * valid entries and is rebuilt whenever the index table changes
+     * shape (allocation/eviction, reset, restore). Derived state:
+     * never serialized, never audited as primary.
+     */
+    std::vector<std::uint32_t> zoneMap_;
+    unsigned zoneHashShift_ = 0;
+    /** Scratch buffer reused across observe() calls. */
     std::vector<std::int64_t> deltas_;
 };
 

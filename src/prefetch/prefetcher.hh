@@ -14,6 +14,7 @@
 
 #include "prefetch/aggressiveness.hh"
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -33,7 +34,7 @@ struct PrefetchObservation
 };
 
 /** Base class for the stream / GHB / stride prefetchers. */
-class Prefetcher : public Auditable
+class Prefetcher : public Auditable, public Snapshottable
 {
   public:
     ~Prefetcher() override = default;
@@ -71,6 +72,9 @@ class Prefetcher : public Auditable
 
     /** Audit failures report the prefetcher under its short name. */
     const char *auditName() const override { return name(); }
+
+    /** Snapshot sections are likewise named after the prefetcher. */
+    const char *snapName() const override { return name(); }
 
   protected:
     /** Implementation of observe(); see the public wrapper. */

@@ -31,6 +31,23 @@ StreamPrefetcher::reset()
     for (auto &e : entries_)
         e = Entry{};
     tick_ = 0;
+    monitorIdx_.clear();
+}
+
+void
+StreamPrefetcher::addMonitor(unsigned idx)
+{
+    monitorIdx_.insert(
+        std::lower_bound(monitorIdx_.begin(), monitorIdx_.end(), idx), idx);
+}
+
+void
+StreamPrefetcher::removeMonitor(unsigned idx)
+{
+    const auto it =
+        std::lower_bound(monitorIdx_.begin(), monitorIdx_.end(), idx);
+    if (it != monitorIdx_.end() && *it == idx)
+        monitorIdx_.erase(it);
 }
 
 bool
@@ -112,17 +129,17 @@ StreamPrefetcher::startRamp(Entry &e, std::int64_t region_start,
     e.endPtr = ramp_from + e.dir * startup;
 }
 
-StreamPrefetcher::Entry &
+unsigned
 StreamPrefetcher::allocateEntry()
 {
-    Entry *victim = &entries_.front();
-    for (auto &e : entries_) {
-        if (e.state == State::Invalid)
-            return e;
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
+    unsigned victim = 0;
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].state == State::Invalid)
+            return i;
+        if (entries_[i].lastUse < entries_[victim].lastUse)
+            victim = i;
     }
-    return *victim;
+    return victim;
 }
 
 void
@@ -138,10 +155,12 @@ StreamPrefetcher::doObserve(const PrefetchObservation &obs,
     // overtaken the region (the ramp was starved of queue budget, or
     // prefetches were dropped) re-anchors the stream and restarts the
     // ramp - otherwise the entry silently dies and coverage collapses.
+    // Both monitor-state scans walk monitorIdx_, which lists exactly
+    // the Monitor-and-Request entries in table order: same visit order
+    // as a full scan, without touching the other states' entries.
     const auto w = static_cast<std::int64_t>(params_.trainWindow);
-    for (auto &e : entries_) {
-        if (e.state != State::MonitorRequest)
-            continue;
+    for (const std::uint32_t i : monitorIdx_) {
+        Entry &e = entries_[i];
         if (inMonitorRegion(e, block)) {
             e.lastUse = tick_;
             issueFromEntry(e, out, budget);
@@ -166,9 +185,8 @@ StreamPrefetcher::doObserve(const PrefetchObservation &obs,
     // behind the start pointer): it must not allocate a duplicate
     // tracking entry, which would train a redundant stream and flood
     // the prefetch request queue with copies.
-    for (auto &e : entries_) {
-        if (e.state != State::MonitorRequest)
-            continue;
+    for (const std::uint32_t i : monitorIdx_) {
+        Entry &e = entries_[i];
         const std::int64_t lo = std::min(e.startPtr, e.endPtr) - w;
         const std::int64_t hi = std::max(e.startPtr, e.endPtr) + w;
         if (block >= lo && block <= hi) {
@@ -178,7 +196,8 @@ StreamPrefetcher::doObserve(const PrefetchObservation &obs,
     }
 
     // Misses train an existing Allocated/Training entry...
-    for (auto &e : entries_) {
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
         if (e.state != State::Allocated && e.state != State::Training)
             continue;
         if (!inTrainWindow(e, block))
@@ -205,13 +224,17 @@ StreamPrefetcher::doObserve(const PrefetchObservation &obs,
         }
 
         e.state = State::MonitorRequest;
+        addMonitor(i);
         // The region begins at the allocating miss (paper footnote 5).
         startRamp(e, e.firstMiss, block, out, budget);
         return;
     }
 
     // ...or allocate a fresh entry when no tracking entry matches.
-    Entry &e = allocateEntry();
+    const unsigned vi = allocateEntry();
+    Entry &e = entries_[vi];
+    if (e.state == State::MonitorRequest)
+        removeMonitor(vi);
     e = Entry{};
     e.state = State::Allocated;
     e.firstMiss = block;
@@ -252,25 +275,87 @@ StreamPrefetcher::audit() const
                        static_cast<long long>(e.startPtr),
                        static_cast<long long>(e.endPtr), e.dir);
     }
+
+    // Monitor-list consistency: recount the table and require the
+    // derived sorted index list to name exactly the monitoring entries.
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].state != State::MonitorRequest)
+            continue;
+        FDP_ASSERT(pos < monitorIdx_.size() && monitorIdx_[pos] == i,
+                   "%s: monitoring entry %zu missing from the monitor "
+                   "list", auditName(), i);
+        ++pos;
+    }
+    FDP_ASSERT(pos == monitorIdx_.size(),
+               "%s: monitor list holds %zu indices for %zu monitoring "
+               "entries", auditName(), monitorIdx_.size(), pos);
+}
+
+void
+StreamPrefetcher::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU8(static_cast<std::uint8_t>(level_));
+    w.putU64(tick_);
+    w.putU32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.putU8(static_cast<std::uint8_t>(e.state));
+        w.putI64(e.dir);
+        w.putI64(e.firstMiss);
+        w.putI64(e.lastMiss);
+        w.putI64(e.startPtr);
+        w.putI64(e.endPtr);
+        w.putU64(e.lastUse);
+    }
+    w.endSection();
+}
+
+void
+StreamPrefetcher::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const unsigned level = r.getU8();
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        fatal("snapshot: stream prefetcher level %u out of range", level);
+    level_ = level;
+    tick_ = r.getU64();
+    const std::uint32_t n = r.getU32();
+    if (n != entries_.size())
+        fatal("snapshot: stream prefetcher has %zu entries, snapshot has "
+              "%u", entries_.size(), n);
+    for (Entry &e : entries_) {
+        e.state = static_cast<State>(r.getU8());
+        e.dir = static_cast<int>(r.getI64());
+        e.firstMiss = r.getI64();
+        e.lastMiss = r.getI64();
+        e.startPtr = r.getI64();
+        e.endPtr = r.getI64();
+        e.lastUse = r.getU64();
+    }
+    r.closeSection();
+
+    // Rebuild the derived monitor-index list the snapshot omits.
+    monitorIdx_.clear();
+    for (unsigned i = 0; i < entries_.size(); ++i)
+        if (entries_[i].state == State::MonitorRequest)
+            monitorIdx_.push_back(i);
 }
 
 unsigned
 StreamPrefetcher::numActiveStreams() const
 {
-    return static_cast<unsigned>(std::count_if(
-        entries_.begin(), entries_.end(), [this](const Entry &e) {
-            return e.state == State::MonitorRequest &&
-                   tick_ - e.lastUse <= params_.activityWindow;
-        }));
+    unsigned n = 0;
+    for (const std::uint32_t i : monitorIdx_)
+        if (tick_ - entries_[i].lastUse <= params_.activityWindow)
+            ++n;
+    return n;
 }
 
 unsigned
 StreamPrefetcher::numMonitoringStreams() const
 {
-    return static_cast<unsigned>(
-        std::count_if(entries_.begin(), entries_.end(), [](const Entry &e) {
-            return e.state == State::MonitorRequest;
-        }));
+    return static_cast<unsigned>(monitorIdx_.size());
 }
 
 } // namespace fdp

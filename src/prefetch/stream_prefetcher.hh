@@ -92,6 +92,10 @@ class StreamPrefetcher : public Prefetcher
      */
     void audit() const override;
 
+    /** Serialize the level, the tick, and every tracking entry. */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+
   private:
     friend struct AuditCorrupter;
 
@@ -132,12 +136,24 @@ class StreamPrefetcher : public Prefetcher
                    std::size_t budget);
 
     /** Pick a victim entry: any Invalid entry, else the LRU one. */
-    Entry &allocateEntry();
+    unsigned allocateEntry();
+
+    /** Add/remove entry @p idx in the sorted monitor-index list. */
+    void addMonitor(unsigned idx);
+    void removeMonitor(unsigned idx);
 
     StreamPrefetcherParams params_;
     unsigned level_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;
+    /**
+     * Indices of the entries currently in Monitor-and-Request state,
+     * kept sorted so iterating it visits entries in the same order a
+     * full table scan would. Derived state: maintained at every FSM
+     * transition, rebuilt by loadState(), never serialized; audit()
+     * recounts it against the table.
+     */
+    std::vector<std::uint32_t> monitorIdx_;
 };
 
 } // namespace fdp

@@ -62,6 +62,10 @@ class StridePrefetcher : public Prefetcher
      */
     void audit() const override;
 
+    /** Serialize the level, the tick, and the prediction table. */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+
   private:
     friend struct AuditCorrupter;
 

@@ -101,6 +101,32 @@ EventQueue::reset()
 }
 
 void
+EventQueue::saveState(SnapWriter &w) const
+{
+    FDP_ASSERT(heap_.empty(),
+               "%s: snapshot with %zu events pending (not quiesced)",
+               auditName(), heap_.size());
+    w.beginSection(snapName());
+    w.putU64(horizon_);
+    w.putU64(nextSeq_);
+    w.putU64(serviced_);
+    w.endSection();
+}
+
+void
+EventQueue::loadState(SnapReader &r)
+{
+    FDP_ASSERT(heap_.empty(),
+               "%s: restore into a queue with %zu events pending",
+               auditName(), heap_.size());
+    r.openSection(snapName());
+    horizon_ = r.getU64();
+    nextSeq_ = r.getU64();
+    serviced_ = r.getU64();
+    r.closeSection();
+}
+
+void
 EventQueue::audit() const
 {
     for (std::size_t i = 1; i < heap_.size(); ++i)

@@ -22,6 +22,7 @@
 
 #include "sim/check.hh"
 #include "sim/inline_function.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -35,7 +36,7 @@ namespace fdp
 inline constexpr std::size_t kEventCallbackBytes = 80;
 
 /** Ordered queue of timed callbacks driving the simulation. */
-class EventQueue : public Auditable
+class EventQueue : public Auditable, public Snapshottable
 {
   public:
     using Callback = InplaceFunction<void(), kEventCallbackBytes>;
@@ -75,6 +76,16 @@ class EventQueue : public Auditable
      */
     void audit() const override;
     const char *auditName() const override { return "event_queue"; }
+
+    /**
+     * Snapshots are taken only at quiesce points: callbacks are
+     * closures and cannot be serialized, so saveState() asserts the
+     * queue is empty and carries just the horizon and the monotonic
+     * counters that order future events.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "events"; }
 
   private:
     friend struct AuditCorrupter;

@@ -62,6 +62,22 @@ class Rng
     /** Bernoulli trial with success probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Raw generator state, for snapshot serialization only. */
+    void
+    stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Restore state captured by stateWords(); replay is then exact. */
+    void
+    setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

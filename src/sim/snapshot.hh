@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Component-state serialization for fdpsnap-v1 snapshots.
+ *
+ * SnapWriter/SnapReader are the byte codec: a snapshot body is a
+ * sequence of named sections, each `u8 nameLen + name + u32 payloadLen
+ * + payload`, with every scalar little-endian. The codec knows nothing
+ * about files or checksums — the framed container (magic, version,
+ * CRC) lives in src/snap/snapshot_file.hh, which wraps these bodies.
+ *
+ * Components with state that must survive a warm-fork implement
+ * Snapshottable: saveState() writes exactly one section, loadState()
+ * consumes exactly that section, and the pair is bit-faithful — a
+ * restored component must be indistinguishable from the original, so
+ * save -> restore -> run is bit-identical to an uninterrupted run.
+ * Reader-side mismatches (wrong section name, short payload, leftover
+ * bytes) are clean fatal() diagnostics, never UB or silent garbage.
+ */
+
+#ifndef FDP_SIM_SNAPSHOT_HH
+#define FDP_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdp
+{
+
+/** Appends named, length-framed sections to a growing byte buffer. */
+// fdp-analyze: suppress(audit-coverage, the codec's buffer is the
+// serialization in flight, not simulation state; it is validated
+// structurally by SnapReader on every read)
+class SnapWriter
+{
+  public:
+    /** Open a section; every put below lands in its payload. */
+    void beginSection(const std::string &name);
+
+    /** Close the open section, patching its payload length. */
+    void endSection();
+
+    void putU8(std::uint8_t v);
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    /** Two's-complement through u64, so the round trip is exact. */
+    void putI64(std::int64_t v);
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    /** IEEE-754 bits through u64, so the round trip is exact. */
+    void putDouble(double v);
+    /** u16 length + raw bytes (names, labels; not bulk data). */
+    void putString(const std::string &s);
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::uint32_t sectionCount() const { return sections_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t lenPatchPos_ = 0;
+    bool inSection_ = false;
+    std::uint32_t sections_ = 0;
+};
+
+/**
+ * Sequential reader over one snapshot body. Construction borrows the
+ * bytes; the buffer must outlive the reader. Every structural
+ * violation — unexpected section name, truncated payload, a section
+ * left partially consumed — is a clean fatal().
+ */
+class SnapReader
+{
+  public:
+    SnapReader(const std::uint8_t *data, std::size_t size);
+    explicit SnapReader(const std::vector<std::uint8_t> &bytes);
+
+    /** Enter the next section; fatal unless it is named @p expected. */
+    void openSection(const std::string &expected);
+
+    /** Leave the section; fatal unless its payload is fully consumed. */
+    void closeSection();
+
+    /** Skip the next section wholesale; fatal unless named @p expected.
+     *  Used by fork-restores that rebuild a component from its config
+     *  instead of the saved state. */
+    void skipSection(const std::string &expected);
+
+    std::uint8_t getU8();
+    std::uint16_t getU16();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64();
+    bool getBool() { return getU8() != 0; }
+    double getDouble();
+    std::string getString();
+
+    /** True once every byte of the body has been consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    /** Name of the section at pos_, advancing past its frame header
+     *  and setting sectionEnd_. */
+    std::string enterFrame();
+    void need(std::size_t n) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::size_t sectionEnd_ = 0;
+    bool inSection_ = false;
+    std::string sectionName_;
+};
+
+/**
+ * A component whose complete simulated state can be serialized into a
+ * snapshot section and restored bit-faithfully. Implementations pair
+ * with Auditable: anything audited is state the simulation depends on,
+ * so it must either snapshot or carry a reasoned analyzer suppression
+ * (rule snapshot-coverage).
+ */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+
+    /** Serialize complete state as one section named snapName(). */
+    virtual void saveState(SnapWriter &w) const = 0;
+
+    /** Restore state from the section saveState() wrote. The component
+     *  must already be constructed with identical configuration. */
+    virtual void loadState(SnapReader &r) = 0;
+
+    /** Stable section name (also used in mismatch diagnostics). */
+    virtual const char *snapName() const = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_SIM_SNAPSHOT_HH

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace fdp
@@ -91,10 +92,13 @@ class DistributionStat
  */
 // fdp-analyze: suppress(audit-coverage, stats are observers; they
 // record simulated state but nothing reads them back mid-run)
-class StatGroup
+class StatGroup : public Snapshottable
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name)
+        : name_(std::move(name)), snapName_("stats/" + name_)
+    {
+    }
 
     const std::string &name() const { return name_; }
 
@@ -103,6 +107,15 @@ class StatGroup
 
     /** Zero every registered statistic. */
     void resetAll();
+
+    /**
+     * Serialize every registered statistic by name. loadState()
+     * requires the restoring group to register the same statistics in
+     * the same order (a fresh, identically-assembled machine does).
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return snapName_.c_str(); }
 
     const std::vector<ScalarStat *> &scalars() const { return scalars_; }
     const std::vector<DistributionStat *> &
@@ -116,6 +129,7 @@ class StatGroup
     friend class DistributionStat;
 
     std::string name_;
+    std::string snapName_;
     std::vector<ScalarStat *> scalars_;
     std::vector<DistributionStat *> distributions_;
 };

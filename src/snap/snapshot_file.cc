@@ -1,0 +1,126 @@
+#include "snap/snapshot_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "trace/trace_format.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+/** crc (4) + end magic (8). */
+constexpr std::size_t kSnapFooterBytes = 4 + kSnapMagicLen;
+
+void
+putString16(std::vector<std::uint8_t> &out, const std::string &s,
+            const char *what)
+{
+    if (s.size() > std::numeric_limits<std::uint16_t>::max())
+        fatal("snapshot: %s string is %zu bytes (max %u)", what, s.size(),
+              std::numeric_limits<std::uint16_t>::max());
+    putU16(out, static_cast<std::uint16_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+} // namespace
+
+void
+writeSnapshotFile(const std::string &path, const SnapshotImage &image)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(64 + image.benchmark.size() + image.geometry.size() +
+                  image.body.size() + kSnapFooterBytes);
+    bytes.insert(bytes.end(), kSnapMagic, kSnapMagic + kSnapMagicLen);
+    putU32(bytes, kSnapVersion);
+    putString16(bytes, image.benchmark, "benchmark");
+    putString16(bytes, image.geometry, "geometry");
+    putU64(bytes, image.warmupInsts);
+    putU32(bytes, image.sectionCount);
+    bytes.insert(bytes.end(), image.body.begin(), image.body.end());
+    putU32(bytes, crc32(bytes.data(), bytes.size()));
+    bytes.insert(bytes.end(), kSnapEndMagic, kSnapEndMagic + kSnapMagicLen);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        fatal("snapshot %s: cannot create: %s", path.c_str(),
+              std::strerror(errno));
+    const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (wrote != bytes.size() || std::fclose(f) != 0)
+        fatal("snapshot %s: write failed: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+SnapshotImage
+readSnapshotFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        fatal("snapshot %s: cannot open: %s", path.c_str(),
+              std::strerror(errno));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + got);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        fatal("snapshot %s: read failed: %s", path.c_str(),
+              std::strerror(errno));
+
+    // Smallest well-formed file: fixed header fields with empty strings
+    // and an empty body, plus the footer.
+    const std::size_t min_size =
+        kSnapMagicLen + 4 + 2 + 2 + 8 + 4 + kSnapFooterBytes;
+    if (bytes.size() < min_size)
+        fatal("snapshot %s: truncated (%zu bytes)", path.c_str(),
+              bytes.size());
+    if (std::memcmp(bytes.data(), kSnapMagic, kSnapMagicLen) != 0)
+        fatal("snapshot %s: not an fdpsnap file (bad magic)", path.c_str());
+    if (std::memcmp(bytes.data() + bytes.size() - kSnapMagicLen,
+                    kSnapEndMagic, kSnapMagicLen) != 0)
+        fatal("snapshot %s: truncated (missing end marker)", path.c_str());
+
+    const std::size_t crc_pos = bytes.size() - kSnapFooterBytes;
+    const std::uint32_t stored_crc = getU32(bytes.data() + crc_pos);
+    const std::uint32_t actual_crc = crc32(bytes.data(), crc_pos);
+    if (stored_crc != actual_crc)
+        fatal("snapshot %s: CRC mismatch (stored %08x, computed %08x)",
+              path.c_str(), stored_crc, actual_crc);
+
+    std::size_t pos = kSnapMagicLen;
+    const std::uint32_t version = getU32(bytes.data() + pos);
+    pos += 4;
+    if (version != kSnapVersion)
+        fatal("snapshot %s: format version %u, this build reads %u",
+              path.c_str(), version, kSnapVersion);
+
+    SnapshotImage image;
+    for (std::string *s : {&image.benchmark, &image.geometry}) {
+        if (pos + 2 > crc_pos)
+            fatal("snapshot %s: truncated header", path.c_str());
+        const std::uint16_t len = getU16(bytes.data() + pos);
+        pos += 2;
+        if (pos + len > crc_pos)
+            fatal("snapshot %s: truncated header", path.c_str());
+        s->assign(reinterpret_cast<const char *>(bytes.data() + pos), len);
+        pos += len;
+    }
+    if (pos + 8 + 4 > crc_pos)
+        fatal("snapshot %s: truncated header", path.c_str());
+    image.warmupInsts = getU64(bytes.data() + pos);
+    pos += 8;
+    image.sectionCount = getU32(bytes.data() + pos);
+    pos += 4;
+    image.body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(crc_pos));
+    return image;
+}
+
+} // namespace fdp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The `fdpsnap-v1` binary snapshot container (DESIGN.md Section 16).
+ *
+ * Layout (all fixed-width scalars little-endian):
+ *
+ *   magic        8 bytes   "FDPSNAPS"
+ *   version      u32       1
+ *   nameLen      u16       benchmark name length
+ *   name         nameLen   benchmark the machine was warmed on
+ *   geomLen      u16       geometry string length
+ *   geometry     geomLen   machineGeometry() of the saving machine
+ *   warmupInsts  u64       instructions retired before the snapshot
+ *   sectionCount u32       sections in the body
+ *   body         variable  SnapWriter sections (sim/snapshot.hh)
+ *   crc          u32       CRC-32 (IEEE) of everything above
+ *   endMagic     8 bytes   "FDPSNEND"
+ *
+ * Every way a file can be wrong — unreadable, truncated, foreign magic,
+ * version skew, a flipped bit anywhere under the CRC — is a clean
+ * one-line fatal() naming the file, mirroring the fdptrace-v1 reader.
+ */
+
+#ifndef FDP_SNAP_SNAPSHOT_FILE_HH
+#define FDP_SNAP_SNAPSHOT_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdp
+{
+
+/// @name Container constants
+/// @{
+inline constexpr std::size_t kSnapMagicLen = 8;
+inline constexpr char kSnapMagic[kSnapMagicLen + 1] = "FDPSNAPS";
+inline constexpr char kSnapEndMagic[kSnapMagicLen + 1] = "FDPSNEND";
+inline constexpr std::uint32_t kSnapVersion = 1;
+/// @}
+
+/** One decoded snapshot: identity header + opaque section body. */
+struct SnapshotImage
+{
+    std::string benchmark;
+    std::string geometry;
+    std::uint64_t warmupInsts = 0;
+    std::uint32_t sectionCount = 0;
+    std::vector<std::uint8_t> body;
+};
+
+/** Write @p image to @p path; fatal on any I/O failure. */
+void writeSnapshotFile(const std::string &path, const SnapshotImage &image);
+
+/** Read and fully validate the snapshot at @p path; fatal on any
+ *  corruption (see file comment). */
+SnapshotImage readSnapshotFile(const std::string &path);
+
+} // namespace fdp
+
+#endif // FDP_SNAP_SNAPSHOT_FILE_HH

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 #include "workload/workload.hh"
@@ -25,7 +26,7 @@ namespace fdp
 
 /** Replays a recorded trace as a Workload; fatal if the run outruns
  *  the recorded op count. */
-class TraceWorkload : public Workload, public Auditable
+class TraceWorkload : public Workload, public Auditable, public Snapshottable
 {
   public:
     explicit TraceWorkload(const std::string &path);
@@ -41,6 +42,15 @@ class TraceWorkload : public Workload, public Auditable
 
     void audit() const override;
     const char *auditName() const override { return "trace-workload"; }
+
+    /**
+     * The replay cursor is just the delivered-op count: loadState()
+     * rewinds the reader and re-skips that many records (re-verifying
+     * the CRC prefix as a side effect).
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "workload"; }
 
   private:
     TraceReader reader_;

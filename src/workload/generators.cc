@@ -64,7 +64,9 @@ MicroOp
 SyntheticWorkload::streamOp()
 {
     Stream &s = streams_[nextStream_];
-    nextStream_ = (nextStream_ + 1) % streams_.size();
+    // Wrap-around compare instead of a division on the per-op path.
+    if (++nextStream_ >= streams_.size())
+        nextStream_ = 0;
 
     MicroOp op;
     op.kind = rng_.range(100) < params_.storePercent ? OpKind::Store
@@ -89,7 +91,8 @@ SyntheticWorkload::hotOp()
     Addr block;
     if (params_.hotPattern == SyntheticParams::HotPattern::Sweep) {
         block = hotOrder_[hotCursor_];
-        hotCursor_ = (hotCursor_ + 1) % hotOrder_.size();
+        if (++hotCursor_ >= hotOrder_.size())
+            hotCursor_ = 0;
     } else {
         block = rng_.range(params_.hotBlocks);
     }
@@ -151,6 +154,58 @@ SyntheticWorkload::next()
     if (x < params_.pRandom)
         return randomOp();
     return MicroOp{};  // Int op
+}
+
+void
+SyntheticWorkload::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putString(params_.name);
+    std::uint64_t rng_state[4];
+    rng_.stateWords(rng_state);
+    for (const std::uint64_t word : rng_state)
+        w.putU64(word);
+    w.putU32(static_cast<std::uint32_t>(streams_.size()));
+    for (const Stream &s : streams_) {
+        w.putU64(s.cur);
+        w.putU64(s.remainingBytes);
+        w.putI64(s.dir);
+        w.putU64(s.pc);
+    }
+    w.putU32(nextStream_);
+    w.putU64(chaseCur_);
+    w.putU64(chaseSeqAddr_);
+    w.putU64(hotCursor_);
+    w.endSection();
+}
+
+void
+SyntheticWorkload::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const std::string name = r.getString();
+    if (name != params_.name)
+        fatal("snapshot: workload is %s, snapshot was taken on %s",
+              params_.name.c_str(), name.c_str());
+    std::uint64_t rng_state[4];
+    for (std::uint64_t &word : rng_state)
+        word = r.getU64();
+    rng_.setStateWords(rng_state);
+    const std::uint32_t n = r.getU32();
+    if (n != streams_.size())
+        fatal("snapshot: workload %s has %zu streams, snapshot has %u",
+              params_.name.c_str(), streams_.size(), n);
+    for (Stream &s : streams_) {
+        s.cur = r.getU64();
+        s.remainingBytes = r.getU64();
+        s.dir = static_cast<int>(r.getI64());
+        s.pc = r.getU64();
+    }
+    nextStream_ = r.getU32();
+    chaseCur_ = r.getU64();
+    chaseSeqAddr_ = r.getU64();
+    hotCursor_ = static_cast<std::size_t>(r.getU64());
+    r.closeSection();
 }
 
 PhasedWorkload::PhasedWorkload(std::unique_ptr<Workload> a,

@@ -27,6 +27,7 @@
 
 #include "sim/check.hh"
 #include "sim/rng.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 #include "workload/workload.hh"
 
@@ -82,7 +83,7 @@ struct SyntheticParams
 };
 
 /** The configurable synthetic micro-op stream. */
-class SyntheticWorkload : public Workload
+class SyntheticWorkload : public Workload, public Snapshottable
 {
   public:
     explicit SyntheticWorkload(const SyntheticParams &params);
@@ -92,6 +93,15 @@ class SyntheticWorkload : public Workload
     const char *name() const override { return params_.name.c_str(); }
 
     const SyntheticParams &params() const { return params_; }
+
+    /**
+     * Serialize the generator cursor: the Rng state, the per-stream
+     * walkers, and the chase/hot cursors. The sweep permutation is a
+     * pure function of the parameters, so it is rebuilt, not stored.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "workload"; }
 
   private:
     struct Stream

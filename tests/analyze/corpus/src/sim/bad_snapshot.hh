@@ -1,0 +1,25 @@
+// Bad case: a class that derives fdp::Auditable (so it holds real
+// simulation state) but not fdp::Snapshottable, leaving machine
+// snapshots unable to capture it.
+// fdp-analyze-expect: snapshot-coverage
+
+#ifndef FDP_SIM_BAD_SNAPSHOT_HH
+#define FDP_SIM_BAD_SNAPSHOT_HH
+
+#include <vector>
+
+namespace fdp
+{
+
+class BankState : public Auditable
+{
+  public:
+    void open(int row) { openRows_.push_back(row); }
+
+  private:
+    std::vector<int> openRows_;
+};
+
+} // namespace fdp
+
+#endif // FDP_SIM_BAD_SNAPSHOT_HH

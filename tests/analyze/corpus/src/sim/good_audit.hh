@@ -17,7 +17,13 @@ class Auditable
     virtual ~Auditable() = default;
 };
 
-class Component : public Auditable
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+};
+
+class Component : public Auditable, public Snapshottable
 {
 };
 

@@ -30,6 +30,12 @@ freshDir(const std::string &name)
 {
     const std::string dir = testing::TempDir() + name;
     std::remove((dir + "/.placeholder").c_str());
+    // Entries left by a previous run of the suite would otherwise leak
+    // into entryFiles(): keys change whenever the config fingerprint
+    // grows a field, so stale files stop being overwritten in place.
+    const ResultStore sweeper(dir);
+    for (const std::string &f : sweeper.entryFiles())
+        sweeper.removeEntry(f);
     return dir;
 }
 

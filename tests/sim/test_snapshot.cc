@@ -1,0 +1,160 @@
+/**
+ * @file
+ * SnapWriter/SnapReader codec behavior: every scalar round-trips
+ * exactly (including IEEE-754 and two's-complement edge values), and
+ * every structural misuse — wrong section name, leftover payload,
+ * reading past a section, a body with trailing garbage — is a clean
+ * fatal() diagnostic, never UB or silent garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/snapshot.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(SnapCodec, ScalarsRoundTripExactly)
+{
+    SnapWriter w;
+    w.beginSection("scalars");
+    w.putU8(0xAB);
+    w.putU16(0xBEEF);
+    w.putU32(0xDEADBEEF);
+    w.putU64(0x0123456789ABCDEFULL);
+    w.putI64(-42);
+    w.putI64(std::numeric_limits<std::int64_t>::min());
+    w.putBool(true);
+    w.putBool(false);
+    w.putDouble(3.14159265358979);
+    w.putDouble(-0.0);
+    w.putString("fdpsnap");
+    w.putString("");
+    w.endSection();
+    EXPECT_EQ(w.sectionCount(), 1u);
+
+    SnapReader r(w.bytes());
+    r.openSection("scalars");
+    EXPECT_EQ(r.getU8(), 0xAB);
+    EXPECT_EQ(r.getU16(), 0xBEEF);
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(r.getI64(), -42);
+    EXPECT_EQ(r.getI64(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_TRUE(r.getBool());
+    EXPECT_FALSE(r.getBool());
+    EXPECT_EQ(r.getDouble(), 3.14159265358979);
+    const double negZero = r.getDouble();
+    EXPECT_EQ(negZero, 0.0);
+    EXPECT_TRUE(std::signbit(negZero));
+    EXPECT_EQ(r.getString(), "fdpsnap");
+    EXPECT_EQ(r.getString(), "");
+    r.closeSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapCodec, MultipleSectionsReadInOrder)
+{
+    SnapWriter w;
+    w.beginSection("a");
+    w.putU32(1);
+    w.endSection();
+    w.beginSection("b");
+    w.putU32(2);
+    w.endSection();
+    w.beginSection("c");
+    w.putU32(3);
+    w.endSection();
+    EXPECT_EQ(w.sectionCount(), 3u);
+
+    SnapReader r(w.bytes());
+    r.openSection("a");
+    EXPECT_EQ(r.getU32(), 1u);
+    r.closeSection();
+    r.skipSection("b");  // fork-style skip consumes the whole payload
+    r.openSection("c");
+    EXPECT_EQ(r.getU32(), 3u);
+    r.closeSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+class SnapCodecDeath : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        testing::FLAGS_gtest_death_test_style = "threadsafe";
+        w_.beginSection("core");
+        w_.putU64(7);
+        w_.endSection();
+    }
+
+    SnapWriter w_;
+};
+
+TEST_F(SnapCodecDeath, WrongSectionNameIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            SnapReader r(w_.bytes());
+            r.openSection("mem");
+        },
+        testing::ExitedWithCode(1), "core");
+}
+
+TEST_F(SnapCodecDeath, WrongSkipNameIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            SnapReader r(w_.bytes());
+            r.skipSection("mem");
+        },
+        testing::ExitedWithCode(1), "core");
+}
+
+TEST_F(SnapCodecDeath, LeftoverPayloadOnCloseIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            SnapReader r(w_.bytes());
+            r.openSection("core");
+            r.closeSection();  // 8 unread payload bytes
+        },
+        testing::ExitedWithCode(1), "");
+}
+
+TEST_F(SnapCodecDeath, ReadPastSectionEndIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            SnapReader r(w_.bytes());
+            r.openSection("core");
+            r.getU64();
+            r.getU8();  // payload exhausted
+        },
+        testing::ExitedWithCode(1), "");
+}
+
+TEST_F(SnapCodecDeath, TruncatedBodyIsFatal)
+{
+    std::vector<std::uint8_t> bytes = w_.bytes();
+    bytes.resize(bytes.size() - 3);
+    EXPECT_EXIT(
+        {
+            SnapReader r(bytes);
+            r.openSection("core");
+        },
+        testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace fdp

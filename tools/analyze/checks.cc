@@ -526,11 +526,11 @@ collectClassHierarchy(const SourceTree &tree,
 }
 
 bool
-derivesAuditable(const std::string &name,
-                 const std::map<std::string, std::vector<std::string>> &bases,
-                 std::set<std::string> *visiting)
+derivesFrom(const std::string &name, const std::string &target,
+            const std::map<std::string, std::vector<std::string>> &bases,
+            std::set<std::string> *visiting)
 {
-    if (name == "Auditable")
+    if (name == target)
         return true;
     if (!visiting->insert(name).second)
         return false;  // inheritance cycle: corrupt input, stay safe
@@ -538,7 +538,18 @@ derivesAuditable(const std::string &name,
     if (it == bases.end())
         return false;
     for (const std::string &b : it->second)
-        if (derivesAuditable(b, bases, visiting))
+        if (derivesFrom(b, target, bases, visiting))
+            return true;
+    return false;
+}
+
+bool
+inAuditScope(const std::string &relPath)
+{
+    static const char *scope[] = {"src/mem", "src/sim", "src/core", "src/mc",
+                                  "src/prefetch"};
+    for (const char *dir : scope)
+        if (pathUnder(relPath, dir))
             return true;
     return false;
 }
@@ -548,18 +559,13 @@ checkAuditCoverage(const SourceFile &f,
                    const std::map<std::string, std::vector<std::string>> &bases,
                    std::vector<Finding> *findings)
 {
-    static const char *scope[] = {"src/mem", "src/sim", "src/core", "src/mc",
-                                  "src/prefetch"};
-    bool inScope = false;
-    for (const char *dir : scope)
-        inScope = inScope || pathUnder(f.relPath, dir);
-    if (!inScope)
+    if (!inAuditScope(f.relPath))
         return;
     for (const ClassDecl &d : collectClasses(f)) {
         if (!d.isClass || !d.hasBody)
             continue;  // structs are passive records audited by owners
         std::set<std::string> visiting;
-        if (derivesAuditable(d.name, bases, &visiting))
+        if (derivesFrom(d.name, "Auditable", bases, &visiting))
             continue;
         const Token *member = findStatefulMember(f.lx.tokens, d);
         if (!member)
@@ -571,6 +577,41 @@ checkAuditCoverage(const SourceFile &f,
                  std::to_string(member->line) + ") but does not derive "
                  "fdp::Auditable; implement audit() or add "
                  "// fdp-analyze: suppress(audit-coverage, reason)"});
+    }
+}
+
+/**
+ * Snapshot coverage rides the same hierarchy walk: a class important
+ * enough to audit holds checkpointable state, so it must also be
+ * capturable by fdpsnap-v1 machine snapshots. Genuinely transient
+ * state earns a reasoned suppression instead.
+ */
+void
+checkSnapshotCoverage(
+    const SourceFile &f,
+    const std::map<std::string, std::vector<std::string>> &bases,
+    std::vector<Finding> *findings)
+{
+    if (!inAuditScope(f.relPath))
+        return;
+    for (const ClassDecl &d : collectClasses(f)) {
+        if (!d.isClass || !d.hasBody)
+            continue;
+        if (d.name == "Auditable" || d.name == "Snapshottable")
+            continue;  // the interfaces themselves
+        std::set<std::string> visiting;
+        if (!derivesFrom(d.name, "Auditable", bases, &visiting))
+            continue;
+        visiting.clear();
+        if (derivesFrom(d.name, "Snapshottable", bases, &visiting))
+            continue;
+        findings->push_back(
+            {f.relPath, d.line, "snapshot-coverage",
+             "class `" + d.name + "' derives fdp::Auditable (it holds "
+             "simulation state worth checking) but not fdp::Snapshottable, "
+             "so fdpsnap-v1 machine snapshots cannot capture it; implement "
+             "saveState()/loadState() or add "
+             "// fdp-analyze: suppress(snapshot-coverage, reason)"});
     }
 }
 
@@ -744,10 +785,12 @@ checkThreading(const SourceFile &f, std::vector<Finding> *findings)
 void
 checkFileIo(const SourceFile &f, std::vector<Finding> *findings)
 {
-    // The sanctioned homes of raw file I/O: the trace codecs, the two
-    // results-artifact writers (reporting, the result store), and the
-    // differ that reads them back. Everything else routes through them.
+    // The sanctioned homes of raw file I/O: the trace codecs, the
+    // snapshot container (fdpsnap-v1), the two results-artifact writers
+    // (reporting, the result store), and the differ that reads them
+    // back. Everything else routes through them.
     if (pathUnder(f.relPath, "src/trace") ||
+        pathUnder(f.relPath, "src/snap") ||
         f.relPath == "src/harness/reporting.hh" ||
         f.relPath == "src/harness/reporting.cc" ||
         f.relPath == "src/harness/result_store.cc" ||
@@ -792,6 +835,8 @@ checkCatalog()
         {"wall-clock", "wall-clock time sources in simulation code"},
         {"audit-coverage",
          "stateful class without Auditable in src/{mem,sim,core,mc,prefetch}"},
+        {"snapshot-coverage",
+         "Auditable class without Snapshottable in the same subsystems"},
         {"typed-core-id", "raw integer core ids outside src/mc/"},
         {"unit-mixing", "additive arithmetic across cycle/inst/byte units"},
         {"no-raw-new", "raw new/delete"},
@@ -825,6 +870,7 @@ runChecks(const SourceTree &tree)
         checkRngOnly(f, &raw);
         checkWallClock(f, &raw);
         checkAuditCoverage(f, bases, &raw);
+        checkSnapshotCoverage(f, bases, &raw);
         checkTypedCoreId(f, &raw);
         checkUnitMixing(f, &raw);
         checkNoRawNew(f, &raw);

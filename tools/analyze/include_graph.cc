@@ -16,8 +16,8 @@ layerRanks()
 {
     static const std::map<std::string, int> ranks = {
         {"sim", 0},  {"prefetch", 1}, {"workload", 1}, {"core", 2},
-        {"mem", 3},  {"trace", 3},    {"cpu", 4},      {"harness", 5},
-        {"mc", 6},
+        {"mem", 3},  {"trace", 3},    {"cpu", 4},      {"snap", 5},
+        {"harness", 6}, {"mc", 7},
     };
     return ranks;
 }

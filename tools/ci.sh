@@ -85,6 +85,41 @@ stage_tier1() {
     diff "$tdir/record.json" "$tdir/replay.json"
     echo "trace smoke: replay bit-identical to the recording run"
 
+    echo "==== stage tier1: snapshot round-trip smoke ===="
+    # Warm swim in place and measure, then warm once into an fdpsnap-v1
+    # image and fork the measured run from it: stdout tables and results
+    # JSON must be bit-identical or the snapshot missed machine state.
+    local ndir="$ROOT/build-ci/snap-smoke"
+    rm -rf "$ndir" && mkdir -p "$ndir"
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --warmup 200000 \
+        --insts 200000 --out "$ndir/cold.json" > "$ndir/cold.out" \
+        2> /dev/null
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --warmup 200000 \
+        --save-snap "$ndir/swim.fdpsnap" > /dev/null 2>&1
+    "$ROOT/build-ci/bench/fdp_snap" verify "$ndir/swim.fdpsnap"
+    "$ROOT/build-ci/bench/fdp_sim" --load-snap "$ndir/swim.fdpsnap" \
+        --insts 200000 --out "$ndir/fork.json" > "$ndir/fork.out" \
+        2> /dev/null
+    diff "$ndir/cold.out" "$ndir/fork.out"
+    diff "$ndir/cold.json" "$ndir/fork.json"
+    echo "snap smoke: forked run bit-identical to in-place warm-up"
+
+    echo "==== stage tier1: warm-fork sweep determinism smoke ===="
+    # A warmed multi-config sweep normally warms each benchmark once and
+    # forks every cell from the snapshot; FDP_NO_WARM_FORK=1 forces the
+    # per-cell cold warm-up path. The two must be bit-identical.
+    local fdir="$ROOT/build-ci/fork-smoke"
+    rm -rf "$fdir" && mkdir -p "$fdir"
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --bench mgrid \
+        --warmup 100000 --insts 100000 --jobs 2 \
+        --out "$fdir/fork.json" > "$fdir/fork.out" 2> /dev/null
+    FDP_NO_WARM_FORK=1 "$ROOT/build-ci/bench/fdp_sim" \
+        --bench swim --bench mgrid --warmup 100000 --insts 100000 \
+        --jobs 2 --out "$fdir/cold.json" > "$fdir/cold.out" 2> /dev/null
+    diff "$fdir/cold.out" "$fdir/fork.out"
+    diff "$fdir/cold.json" "$fdir/fork.json"
+    echo "fork smoke: warm-fork sweep bit-identical to cold warm-up"
+
     echo "==== stage tier1: 2-core mix determinism smoke ===="
     # One bandwidth-bound co-run end to end, then the same mix again
     # with a different worker count: stdout tables and results JSON
@@ -169,7 +204,13 @@ for e in entries:
     float(e["value"])
 for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s",
                  "macro/trace_replay/insts_per_s",
-                 "macro/mc2/insts_per_s"):
+                 "macro/mc2/insts_per_s",
+                 "micro/GhbPrefetcherObserve/ns",
+                 "micro/StreamFsmTransition/ns",
+                 "micro/WorkloadNext/ns",
+                 "micro/StatScalarIncrement/ns",
+                 "micro/StatBatchedIncrement/ns",
+                 "macro/sweep_warmfork/speedup"):
     if required not in names:
         sys.exit(f"missing required entry {required}")
 print(f"bench smoke: {len(entries)} entries, schema valid")

@@ -21,6 +21,7 @@
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/sweep_pool.hh"
+#include "harness/warm_fork.hh"
 #include "mc/mix_runner.hh"
 #include "sim/logging.hh"
 #include "workload/spec_suite.hh"
@@ -50,6 +51,9 @@ struct Options
     std::string mix;         // --mix: multi-core co-run of a named mix
     unsigned cores = 0;      // --cores: expected core count (0 = mix's)
     SweepStoreConfig store;  // --store DIR / --resume
+    std::uint64_t warmup = 0;  // --warmup: unmeasured warm-up micro-ops
+    std::string saveSnapPath;  // --save-snap: warm up, capture, exit
+    std::string loadSnapPath;  // --load-snap: fork the run from an image
 };
 
 [[noreturn]] void
@@ -90,6 +94,13 @@ usage()
         "  --store DIR         persist per-run results in a result store\n"
         "  --resume            serve runs already in --store DIR from it\n"
         "                      (stdout stays bit-identical to a cold run)\n"
+        "  --warmup N          run N unmeasured micro-ops first (stats\n"
+        "                      reset at the measurement boundary; sweeps\n"
+        "                      share one warm-up per benchmark)\n"
+        "  --save-snap PATH    warm up (needs --warmup and exactly one\n"
+        "                      --bench), write an fdpsnap-v1 image, exit\n"
+        "  --load-snap PATH    fork the measured run from a saved image\n"
+        "                      (benchmark and warm-up come from the file)\n"
         "  --stats             dump the full statistics groups\n");
     std::exit(1);
 }
@@ -170,13 +181,47 @@ parse(int argc, char **argv)
             o.store.dir = need(i);
         } else if (!std::strcmp(a, "--resume")) {
             o.store.resume = true;
+        } else if (!std::strcmp(a, "--warmup")) {
+            o.warmup = parseCountArg("--warmup", need(i));
+        } else if (!std::strcmp(a, "--save-snap")) {
+            o.saveSnapPath = need(i);
+        } else if (!std::strcmp(a, "--load-snap")) {
+            o.loadSnapPath = need(i);
         } else {
             usage();
         }
     }
     if (o.store.resume && o.store.dir.empty())
         fatal("--resume needs --store DIR (nothing to resume from)");
+    if (!o.saveSnapPath.empty()) {
+        if (o.warmup == 0)
+            fatal("--save-snap captures a warmed machine; give "
+                  "--warmup N");
+        if (o.benches.size() != 1)
+            fatal("--save-snap captures one benchmark's warm-up; give "
+                  "exactly one --bench (got %zu)", o.benches.size());
+        if (!o.tracePath.empty() || !o.recordPath.empty() ||
+            !o.mix.empty() || o.store.enabled() ||
+            !o.loadSnapPath.empty())
+            fatal("--save-snap cannot be combined with --trace/--record/"
+                  "--mix/--store/--load-snap");
+    }
+    if (!o.loadSnapPath.empty()) {
+        if (!o.benches.empty())
+            fatal("--load-snap reads the benchmark from the image; drop "
+                  "--bench/--all");
+        if (o.warmup != 0)
+            fatal("--load-snap reads the warm-up length from the image; "
+                  "drop --warmup");
+        if (!o.tracePath.empty() || !o.recordPath.empty() ||
+            !o.mix.empty() || o.store.enabled())
+            fatal("--load-snap cannot be combined with --trace/--record/"
+                  "--mix/--store");
+    }
     if (!o.mix.empty()) {
+        if (o.warmup != 0)
+            fatal("--warmup applies to single-core runs; --mix co-runs "
+                  "do not support it yet");
         if (!o.benches.empty())
             fatal("--mix defines the per-core programs; drop "
                   "--bench/--all");
@@ -197,7 +242,8 @@ parse(int argc, char **argv)
         fatal("--trace replays a recorded stream; drop --bench/--all");
     if (!o.tracePath.empty() && !o.recordPath.empty())
         fatal("--record and --trace are mutually exclusive");
-    if (o.benches.empty() && o.tracePath.empty())
+    if (o.benches.empty() && o.tracePath.empty() &&
+        o.loadSnapPath.empty())
         o.benches.push_back("swim");
     if (!o.recordPath.empty() && o.benches.size() != 1)
         fatal("--record captures one run; give exactly one --bench "
@@ -237,6 +283,7 @@ buildConfig(const Options &o)
     }
     // Keep the paper's "half the L2 blocks" interval rule across sizes.
     c.fdp.intervalEvictions = c.machine.l2.sizeBytes / kBlockBytes / 2;
+    c.warmupInsts = o.warmup;
     return c;
 }
 
@@ -278,6 +325,15 @@ main(int argc, char **argv)
     if (!o.mix.empty())
         return runMixMain(o, config);
 
+    if (!o.saveSnapPath.empty()) {
+        saveWarmSnapshot(o.benches.front(), config, o.saveSnapPath);
+        std::printf("fdp_sim: wrote warm snapshot of %s (%llu warm-up "
+                    "micro-ops) to %s\n", o.benches.front().c_str(),
+                    static_cast<unsigned long long>(o.warmup),
+                    o.saveSnapPath.c_str());
+        return 0;
+    }
+
     Table t("fdp_sim: " + o.policy + " policy, " +
             std::to_string(o.insts) + " micro-ops");
     t.setHeader({"benchmark", "IPC", "BPKI", "accuracy", "lateness",
@@ -286,7 +342,13 @@ main(int argc, char **argv)
     // All three frontends print through the identical table/JSON path,
     // so a replayed run's stdout is bit-identical to the live one.
     std::vector<RunResult> results;
-    if (!o.tracePath.empty())
+    if (!o.loadSnapPath.empty()) {
+        const SnapshotImage image = readSnapshotFile(o.loadSnapPath);
+        RunConfig forked = config;
+        forked.warmupInsts = image.warmupInsts;
+        results.push_back(
+            runBenchmarkFromSnapshot(image, forked, o.policy));
+    } else if (!o.tracePath.empty())
         results.push_back(replayTrace(o.tracePath, config, o.policy));
     else if (!o.recordPath.empty())
         results.push_back(recordBenchmark(o.benches.front(), config,
