@@ -12,10 +12,14 @@
 
 #include "core/fdp_controller.hh"
 #include "core/pollution_filter.hh"
+#include "harness/experiment.hh"
+#include "manage/prefetcher_manager.hh"
 #include "mem/cache.hh"
 #include "mem/mshr.hh"
+#include "prefetch/dspatch_prefetcher.hh"
 #include "prefetch/ghb_prefetcher.hh"
 #include "prefetch/stream_prefetcher.hh"
+#include "prefetch/vldp_prefetcher.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "workload/generators.hh"
@@ -321,6 +325,70 @@ BM_FdpControllerDemandMiss(benchmark::State &state)
         benchmark::DoNotOptimize(fdp.onDemandMiss(rng.next() & 0xFFFFFF));
 }
 BENCHMARK(BM_FdpControllerDemandMiss);
+
+void
+BM_VldpObserve(benchmark::State &state)
+{
+    VldpPrefetcher pf;
+    pf.setAggressiveness(3);
+    std::vector<BlockAddr> out;
+    // Walk a repeating delta cycle across many pages: steady-state DHB
+    // hits with DPT training plus the chained multi-degree predict.
+    static constexpr unsigned kDeltas[3] = {1, 3, 2};
+    Addr page = 0x5000;
+    unsigned offset = 1, phase = 0;
+    for (auto _ : state) {
+        out.clear();
+        const Addr a = (page << 12) + (Addr{offset} << kBlockShift);
+        pf.observe({a, blockAddr(a), 0x14000, true}, out);
+        benchmark::DoNotOptimize(out.size());
+        offset += kDeltas[phase];
+        phase = (phase + 1) % 3;
+        if (offset >= 64) {
+            offset = 1;
+            ++page;
+        }
+    }
+}
+BENCHMARK(BM_VldpObserve);
+
+void
+BM_DspatchObserve(benchmark::State &state)
+{
+    DspatchPrefetcher pf;
+    pf.setAggressiveness(3);
+    std::vector<BlockAddr> out;
+    // Dense region sweep under one PC: every region retirement trains
+    // the SPT and every first touch replays a learned pattern.
+    Addr block = 1 << 22;
+    for (auto _ : state) {
+        out.clear();
+        pf.observe({blockBase(block), block, 0x20, true}, out);
+        benchmark::DoNotOptimize(out.size());
+        block += 2;
+    }
+}
+BENCHMARK(BM_DspatchObserve);
+
+void
+BM_ManagerIntervalTick(benchmark::State &state)
+{
+    RunConfig config = RunConfig::fullFdp();
+    config.manager = ManagerKind::Explore;
+    auto pf = makeRunPrefetcher(config);  // manager over the full zoo
+    std::uint64_t retired = 0, cycle = 0;
+    double ipc = 0.9;
+    for (auto _ : state) {
+        retired += static_cast<std::uint64_t>(ipc * 10000);
+        cycle += 10000;
+        // Drift the signal so elections and collapses both happen.
+        ipc = ipc > 1.4 ? 0.6 : ipc + 0.07;
+        static_cast<ManagedPrefetcher &>(*pf).intervalTick(
+            {0.5, 0.1, 0.05, retired, cycle});
+        benchmark::DoNotOptimize(pf->aggressiveness());
+    }
+}
+BENCHMARK(BM_ManagerIntervalTick);
 
 } // namespace
 

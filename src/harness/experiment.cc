@@ -1,12 +1,18 @@
 #include "harness/experiment.hh"
 
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
+#include "prefetch/dspatch_prefetcher.hh"
 #include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/nextline_prefetcher.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
+#include "prefetch/vldp_prefetcher.hh"
 #include "sim/check.hh"
 #include "sim/logging.hh"
 #include "trace/trace_workload.hh"
@@ -94,8 +100,85 @@ makePrefetcher(PrefetcherKind kind, unsigned level)
         p.initialLevel = level;
         return std::make_unique<StridePrefetcher>(p);
       }
+      case PrefetcherKind::Vldp: {
+        VldpPrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<VldpPrefetcher>(p);
+      }
+      case PrefetcherKind::Dspatch: {
+        DspatchPrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<DspatchPrefetcher>(p);
+      }
+      case PrefetcherKind::NextLine: {
+        NextLinePrefetcherParams p;
+        p.initialLevel = level;
+        return std::make_unique<NextLinePrefetcher>(p);
+      }
     }
     panic("unknown prefetcher kind");
+}
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::Stream: return "stream";
+      case PrefetcherKind::GhbCdc: return "ghb";
+      case PrefetcherKind::Stride: return "stride";
+      case PrefetcherKind::Vldp: return "vldp";
+      case PrefetcherKind::Dspatch: return "dspatch";
+      case PrefetcherKind::NextLine: return "nextline";
+    }
+    panic("unknown prefetcher kind");
+}
+
+const std::vector<std::string> &
+knownPrefetcherNames()
+{
+    static const std::vector<std::string> names = {
+        "none",    "stream",   "ghb",     "stride",
+        "vldp",    "dspatch",  "nextline", "manager",
+    };
+    return names;
+}
+
+PrefetcherSelection
+prefetcherSelectionFromName(const std::string &name)
+{
+    if (name == "manager")
+        return {PrefetcherKind::Stream, ManagerKind::Explore};
+    for (const PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Stream,
+          PrefetcherKind::GhbCdc, PrefetcherKind::Stride,
+          PrefetcherKind::Vldp, PrefetcherKind::Dspatch,
+          PrefetcherKind::NextLine})
+        if (name == prefetcherKindName(kind))
+            return {kind, ManagerKind::Off};
+    std::string known;
+    for (const auto &n : knownPrefetcherNames())
+        known += (known.empty() ? "" : " ") + n;
+    fatal("unknown prefetcher `%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
+RunConfig
+applyPrefetcherSelection(const RunConfig &base, const std::string &name)
+{
+    const PrefetcherSelection sel = prefetcherSelectionFromName(name);
+    RunConfig c = base;
+    c.prefetcher = sel.kind;
+    c.manager = sel.manager;
+    return c;
+}
+
+std::vector<PrefetcherKind>
+defaultManagerZoo()
+{
+    return {PrefetcherKind::Stream, PrefetcherKind::Stride,
+            PrefetcherKind::Vldp, PrefetcherKind::Dspatch,
+            PrefetcherKind::NextLine};
 }
 
 namespace
@@ -122,8 +205,28 @@ startLevel(const RunConfig &config)
 
 } // namespace
 
+std::unique_ptr<Prefetcher>
+makeRunPrefetcher(const RunConfig &config)
+{
+    const unsigned level = startLevel(config);
+    if (config.manager == ManagerKind::Off)
+        return makePrefetcher(config.prefetcher, level);
+    const std::vector<PrefetcherKind> kinds =
+        config.managerZoo.empty() ? defaultManagerZoo() : config.managerZoo;
+    std::vector<std::unique_ptr<Prefetcher>> zoo;
+    zoo.reserve(kinds.size());
+    for (const PrefetcherKind kind : kinds) {
+        if (kind == PrefetcherKind::None)
+            fatal("manager zoo cannot contain `none'");
+        zoo.push_back(makePrefetcher(kind, level));
+    }
+    ManagerParams mp = config.managerParams;
+    mp.initialLevel = level;
+    return std::make_unique<ManagedPrefetcher>(mp, std::move(zoo));
+}
+
 SimMachine::SimMachine(Workload &workload, const RunConfig &config)
-    : prefetcher(makePrefetcher(config.prefetcher, startLevel(config))),
+    : prefetcher(makeRunPrefetcher(config)),
       fdp(resolvedFdpParams(config),
           config.warmupInsts == 0 ? prefetcher.get() : nullptr, fdpStats),
       mem(config.machine, events,
@@ -156,6 +259,13 @@ measurementBoundary(SimMachine &m)
     m.fdp.setPrefetcher(m.prefetcher.get());
     m.fdp.reset();
     m.mem.setPrefetcher(m.prefetcher.get());
+    // The prefetcher was detached all through warm-up, so for the
+    // static kinds this is a no-op on an already-fresh component. A
+    // ManagedPrefetcher, though, was ticked by the warm-up's interval
+    // boundaries; resetting its FSM here makes the cold path
+    // bit-identical to a fork restore (which rebuilds it fresh).
+    if (m.prefetcher)
+        m.prefetcher->reset();
 }
 
 // Audit the assembled machine at every sampling-interval boundary so
@@ -176,8 +286,27 @@ wireAudits(SimMachine &m, AuditSet &audits)
     // Every sampling interval publishes the memory system's batched
     // counters, so the stat group is exact at each paper checkpoint;
     // audit builds then verify the whole machine at the same cadence.
-    m.fdp.setEndOfIntervalHook([&m, &audits, periodicAudit] {
+    // A managed prefetcher also consumes the closed interval here —
+    // after the FDP controller has applied its own throttling policy —
+    // so reconfiguration and throttling share one boundary.
+    auto *manager = dynamic_cast<ManagedPrefetcher *>(m.prefetcher.get());
+    m.fdp.setEndOfIntervalHook([&m, &audits, periodicAudit, manager] {
         m.mem.flushStats();
+        if (manager != nullptr) {
+            const FeedbackCounters &fc = m.fdp.counters();
+            manager->intervalTick({fc.accuracy(), fc.lateness(),
+                                   fc.pollution(), m.core.retired(),
+                                   m.events.horizon()});
+            if (std::getenv("FDP_MANAGER_TRACE") != nullptr)
+                std::cerr << "mgr tick=" << manager->ticks()
+                          << " ops=" << m.core.retired() << " phase="
+                          << (manager->phase() ==
+                                      ManagedPrefetcher::Phase::Explore
+                                  ? "explore"
+                                  : "exploit")
+                          << " active=" << manager->activeName()
+                          << '\n';
+        }
         if (periodicAudit)
             audits.runAll();
     });

@@ -16,6 +16,7 @@
 
 #include "core/fdp_controller.hh"
 #include "cpu/ooo_core.hh"
+#include "manage/prefetcher_manager.hh"
 #include "mem/memory_system.hh"
 #include "prefetch/prefetcher.hh"
 #include "snap/machine_snapshot.hh"
@@ -31,6 +32,18 @@ enum class PrefetcherKind : std::uint8_t
     Stream,
     GhbCdc,
     Stride,
+    Vldp,
+    Dspatch,
+    NextLine,
+};
+
+/** Whether a runtime manager sits above the prefetcher. */
+enum class ManagerKind : std::uint8_t
+{
+    /** The configured PrefetcherKind runs statically. */
+    Off,
+    /** ManagedPrefetcher explores/exploits the configured zoo. */
+    Explore,
 };
 
 /** One complete machine + policy configuration. */
@@ -42,6 +55,11 @@ struct RunConfig
     /** Aggressiveness used while dynamic aggressiveness is off. */
     unsigned staticLevel = kMaxAggrLevel;
     FdpParams fdp;
+    /** Runtime prefetcher management above FDP (DESIGN.md §17). */
+    ManagerKind manager = ManagerKind::Off;
+    ManagerParams managerParams;
+    /** Candidate zoo when manager != Off; empty = defaultManagerZoo(). */
+    std::vector<PrefetcherKind> managerZoo;
     std::uint64_t numInsts = 5'000'000;
     /**
      * Instructions simulated before measurement begins. The warm-up
@@ -111,6 +129,41 @@ struct RunResult
 /** Build the configured prefetcher (nullptr for PrefetcherKind::None). */
 std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
                                            unsigned level);
+
+/** Stable CLI/name-table identifier for @p kind ("stream", "vldp", …). */
+const char *prefetcherKindName(PrefetcherKind kind);
+
+/**
+ * A per-core prefetcher selection as named on a command line or in a
+ * workload mix: either one concrete PrefetcherKind, or the runtime
+ * manager over the default zoo.
+ */
+struct PrefetcherSelection
+{
+    PrefetcherKind kind = PrefetcherKind::Stream;
+    ManagerKind manager = ManagerKind::Off;
+};
+
+/** Every name prefetcherSelectionFromName accepts, in display order. */
+const std::vector<std::string> &knownPrefetcherNames();
+
+/** Resolve "none|stream|ghb|stride|vldp|dspatch|nextline|manager";
+ *  unknown names are a clean fatal listing the valid ones. */
+PrefetcherSelection prefetcherSelectionFromName(const std::string &name);
+
+/** Apply @p name's selection to a copy of @p base. */
+RunConfig applyPrefetcherSelection(const RunConfig &base,
+                                   const std::string &name);
+
+/** The manager's candidate zoo when RunConfig.managerZoo is empty. */
+std::vector<PrefetcherKind> defaultManagerZoo();
+
+/**
+ * Build the run's prefetcher from the full config: the static
+ * PrefetcherKind when the manager is off, or a ManagedPrefetcher over
+ * the configured zoo (every candidate at the config's start level).
+ */
+std::unique_ptr<Prefetcher> makeRunPrefetcher(const RunConfig &config);
 
 /**
  * One fully-assembled simulated machine: the event queue, the three

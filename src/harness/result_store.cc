@@ -198,7 +198,22 @@ configFingerprint(const RunConfig &c)
        // snapshot format version guards against a stale warm-fork
        // producer, so both participate in the key (DESIGN.md Sec. 16).
        << " warmup=" << c.warmupInsts
-       << " snapver=" << kSnapVersion;
+       << " snapver=" << kSnapVersion
+       // Runtime management (DESIGN.md §17): the manager swaps the
+       // prefetcher mid-run, so its on/off state, its FSM cadence, and
+       // the zoo membership all change what a cell measures. The zoo
+       // list uses the EFFECTIVE membership so "empty = default" can
+       // never collide with an explicit different zoo.
+       << " mgr=" << static_cast<int>(c.manager)
+       << " mgr.explore=" << c.managerParams.exploreIntervals
+       << " mgr.exploit=" << c.managerParams.exploitIntervals
+       << " mgr.hyst=" << c.managerParams.hysteresisPct
+       << " mgr.drop=" << c.managerParams.reexploreDropPct
+       << " mgr.zoo=";
+    const std::vector<PrefetcherKind> &zoo =
+        c.managerZoo.empty() ? defaultManagerZoo() : c.managerZoo;
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+        os << (i ? "," : "") << static_cast<int>(zoo[i]);
     return os.str();
 }
 

@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <deque>
 
+#include "manage/prefetcher_manager.hh"
 #include "mc/mc_memory_system.hh"
 #include "sim/logging.hh"
 
 namespace fdp
 {
+
+namespace
+{
+
+/** Human-readable prefetcher label for the per-core result row. */
+std::string
+describePrefetcher(const Prefetcher *pf)
+{
+    if (pf == nullptr)
+        return "-";
+    if (const auto *mgr = dynamic_cast<const ManagedPrefetcher *>(pf))
+        return std::string("manager[") + mgr->activeName() + "]";
+    return pf->name();
+}
+
+} // namespace
 
 McRunResult
 runMcWorkloads(const McRunConfig &config,
@@ -20,6 +37,9 @@ runMcWorkloads(const McRunConfig &config,
     if (workloads.size() != n)
         fatal("co-run of %u cores got %zu workloads", n,
               workloads.size());
+    if (!config.corePrefetchers.empty() && config.corePrefetchers.size() != n)
+        fatal("co-run of %u cores got %zu per-core prefetcher selections",
+              n, config.corePrefetchers.size());
 
     EventQueue events;
     StatGroup sharedStats("mem");
@@ -31,8 +51,6 @@ runMcWorkloads(const McRunConfig &config,
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
 
     FdpParams fp = config.base.fdp;
-    const unsigned start_level =
-        fp.dynamicAggressiveness ? fp.initialLevel : config.base.staticLevel;
     if (!fp.dynamicAggressiveness)
         fp.initialLevel = config.base.staticLevel;
 
@@ -41,8 +59,15 @@ runMcWorkloads(const McRunConfig &config,
     std::vector<StatGroup *> groupPtrs;
     for (unsigned i = 0; i < n; ++i) {
         coreStats.emplace_back("c" + std::to_string(i));
-        prefetchers.push_back(
-            makePrefetcher(config.base.prefetcher, start_level));
+        // Heterogeneous co-runs re-derive each core's config from the
+        // base; makeRunPrefetcher picks the same start level the
+        // controllers use (initialLevel when dynamic, staticLevel
+        // otherwise) and wraps the zoo in a manager when selected.
+        RunConfig cc = config.corePrefetchers.empty()
+                           ? config.base
+                           : applyPrefetcherSelection(
+                                 config.base, config.corePrefetchers[i]);
+        prefetchers.push_back(makeRunPrefetcher(cc));
         FdpParams fpi = fp;
         fpi.label = "fdp_controller.c" + std::to_string(i);
         controllers.emplace_back(fpi, prefetchers.back().get(),
@@ -70,13 +95,30 @@ runMcWorkloads(const McRunConfig &config,
             audits.add(aw);
     }
     const bool periodicAudit = debugBuild() || auditRequestedByEnv();
-    if (periodicAudit) {
-        // Hook the LAST controller: shared-L2 evictions tick the
-        // controllers in core-id order, so only after the last one
-        // closes its interval are all interval counts equal again
-        // (which the mc audit asserts).
-        controllers.back().setEndOfIntervalHook(
-            [&audits] { audits.runAll(); });
+    // Per-controller hooks: each manager samples ITS core's feedback
+    // counters and retired-instruction count at that core's interval
+    // boundary. Audits ride on the LAST controller only: shared-L2
+    // evictions tick the controllers in core-id order, so only after
+    // the last one closes its interval are all interval counts equal
+    // again (which the mc audit asserts).
+    for (unsigned i = 0; i < n; ++i) {
+        auto *mgr = dynamic_cast<ManagedPrefetcher *>(pfPtrs[i]);
+        const bool auditsHere = periodicAudit && i + 1 == n;
+        if (mgr == nullptr && !auditsHere)
+            continue;
+        FdpController &ctrl = controllers[i];
+        OooCore &core = cores[i];
+        ctrl.setEndOfIntervalHook(
+            [&audits, &events, &ctrl, &core, mgr, auditsHere] {
+                if (mgr != nullptr) {
+                    const FeedbackCounters &fc = ctrl.counters();
+                    mgr->intervalTick({fc.accuracy(), fc.lateness(),
+                                       fc.pollution(), core.retired(),
+                                       events.horizon()});
+                }
+                if (auditsHere)
+                    audits.runAll();
+            });
     }
 
     // Lockstep drive: every core steps at every simulated cycle, in
@@ -141,6 +183,7 @@ runMcWorkloads(const McRunConfig &config,
     for (unsigned i = 0; i < n; ++i) {
         McCoreResult c;
         c.program = workloads[i]->name();
+        c.prefetcher = describePrefetcher(pfPtrs[i]);
         c.insts = cores[i].retired();
         c.cycles = cores[i].cycles();
         c.ipc = cores[i].ipc();
@@ -174,8 +217,11 @@ runMix(const MixSpec &spec, const McRunConfig &config,
     if (spec.numCores() != config.numCores)
         fatal("mix %s names %u cores but the configuration has %u",
               spec.name.c_str(), spec.numCores(), config.numCores);
+    McRunConfig cfg = config;
+    if (cfg.corePrefetchers.empty())
+        cfg.corePrefetchers = spec.corePrefetchers;
     const auto workloads = buildMixWorkloads(spec);
-    return runMcWorkloads(config, workloads, spec.name, configLabel);
+    return runMcWorkloads(cfg, workloads, spec.name, configLabel);
 }
 
 } // namespace fdp

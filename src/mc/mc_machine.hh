@@ -41,12 +41,23 @@ struct McRunConfig
      */
     RunConfig base;
     unsigned numCores = 2;
+    /**
+     * Optional per-core prefetcher selections (one name per core, as
+     * accepted by prefetcherSelectionFromName: "stream", "vldp",
+     * "manager", …). Empty = every core runs base.prefetcher, the
+     * homogeneous default. Heterogeneous mixes drop out of the zoo for
+     * free: each core builds its own selection over the shared L2.
+     */
+    std::vector<std::string> corePrefetchers;
 };
 
 /** One core's share of a co-run. */
 struct McCoreResult
 {
     std::string program;
+    /** Prefetcher this core ran ("manager[vldp]" = manager, exploiting
+     *  vldp when the run ended; "-" = none). */
+    std::string prefetcher;
     std::uint64_t insts = 0;
     std::uint64_t cycles = 0;
     double ipc = 0.0;

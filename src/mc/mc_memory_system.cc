@@ -215,11 +215,14 @@ McMemorySystem::observeAndIssue(CoreId c, const PrefetchObservation &obs,
     Prefetcher *pf = prefetchers_[c.index()];
     if (!pf)
         return;
+    updateBusUtil(now);
+    PrefetchObservation seen = obs;
+    seen.busUtil = busUtil_;
     PerCore &self = core(c);
     pfCandidates_.clear();
     const std::size_t budget =
         params_.prefetchQueueCap - self.prefetchQueue.size();
-    pf->observe(obs, pfCandidates_, budget);
+    pf->observe(seen, pfCandidates_, budget);
 
     for (const BlockAddr b : pfCandidates_) {
         ++self.prefIssued;
@@ -232,6 +235,25 @@ McMemorySystem::observeAndIssue(CoreId c, const PrefetchObservation &obs,
         self.prefetchQueue.push_back(b);
     }
     drainPrefetchQueue(c, now);
+}
+
+void
+McMemorySystem::updateBusUtil(Cycle now)
+{
+    if (now < busWindowStart_ + MemorySystem::kBusUtilWindow)
+        return;
+    const std::uint64_t busy = dram_.busBusyCycles();
+    if (busy < busWindowBusy_) {
+        busWindowStart_ = now;
+        busWindowBusy_ = busy;
+        return;
+    }
+    busUtil_ = static_cast<double>(busy - busWindowBusy_) /
+               static_cast<double>(now - busWindowStart_);
+    if (busUtil_ > 1.0)
+        busUtil_ = 1.0;
+    busWindowStart_ = now;
+    busWindowBusy_ = busy;
 }
 
 void
@@ -474,6 +496,9 @@ McMemorySystem::audit() const
     FDP_ASSERT(params_.mshrDemandReserve < mshrs_.capacity(),
                "%s: demand reserve %zu swallows all %zu MSHRs",
                auditName(), params_.mshrDemandReserve, mshrs_.capacity());
+    FDP_ASSERT(busUtil_ >= 0.0 && busUtil_ <= 1.0,
+               "%s: bus utilization %f outside [0, 1]", auditName(),
+               busUtil_);
     for (unsigned i = 0; i < numCores_; ++i) {
         FDP_ASSERT(perCore_[i].prefetchQueue.size() <=
                        params_.prefetchQueueCap,

@@ -171,6 +171,9 @@ class McMemorySystem : public Auditable
 
     void observeAndIssue(CoreId core, const PrefetchObservation &obs,
                          Cycle now);
+    /** Close the shared bus-utilization window if @p now moved past it
+     *  (one shared bus, so one shared window; see MemorySystem). */
+    void updateBusUtil(Cycle now);
     void drainPrefetchQueue(CoreId core, Cycle now);
     void drainAllPrefetchQueues(Cycle now);
     void startDemandMiss(CoreId core, BlockAddr block, bool isWrite,
@@ -194,6 +197,13 @@ class McMemorySystem : public Auditable
     SetAssocCache l2_;
     MshrFile mshrs_;
     DramModel dram_;
+
+    /// @name Shared bus-utilization window (see MemorySystem)
+    /// @{
+    double busUtil_ = 0.0;
+    Cycle busWindowStart_ = 0;
+    std::uint64_t busWindowBusy_ = 0;
+    /// @}
 
     std::deque<PendingDemand> mshrWaitQ_;
     std::vector<BlockAddr> pfCandidates_;  ///< scratch, reused per access

@@ -21,14 +21,16 @@ namespace
  * Alone-baseline dedup key: two cores share a baseline cell exactly
  * when they replay the identical stream — the same trace file, or the
  * same benchmark at the same duplicate index (duplicates run perturbed
- * seeds, so they are distinct streams).
+ * seeds, so they are distinct streams) — on the same machine, i.e. the
+ * same per-core prefetcher selection when the mix is heterogeneous.
  */
 std::string
-baselineKey(const MixEntry &entry, unsigned dup)
+baselineKey(const MixEntry &entry, unsigned dup, const std::string &sel)
 {
+    const std::string machine = sel.empty() ? "" : "|p:" + sel;
     if (!entry.tracePath.empty())
-        return "t:" + entry.tracePath;
-    return "b:" + entry.benchmark + "#" + std::to_string(dup);
+        return "t:" + entry.tracePath + machine;
+    return "b:" + entry.benchmark + "#" + std::to_string(dup) + machine;
 }
 
 } // namespace
@@ -75,23 +77,49 @@ runMixSweep(const MixSpec &mix, const std::vector<McLabeledConfig> &configs,
                   static_cast<unsigned long long>(maxInsts));
     }
 
-    // Alone-baseline cells, deduplicated per configuration.
-    std::vector<std::string> keys;
-    std::vector<unsigned> exemplar;   ///< core index owning each key
-    std::vector<std::size_t> slotOf(n);
-    for (unsigned i = 0; i < n; ++i) {
-        const std::string key = baselineKey(mix.entries[i], dup[i]);
-        const auto it = std::find(keys.begin(), keys.end(), key);
-        if (it == keys.end()) {
-            slotOf[i] = keys.size();
-            keys.push_back(key);
-            exemplar.push_back(i);
-        } else {
-            slotOf[i] = static_cast<std::size_t>(it - keys.begin());
-        }
+    // Effective per-core prefetcher selections, per configuration
+    // (runMix falls back to the mix's own line-up when the config
+    // leaves its vector empty). Parsed on the main thread so a typo in
+    // a selection name is a user error, not a worker fatal.
+    std::vector<std::vector<std::string>> sel(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        sel[c] = configs[c].config.corePrefetchers.empty()
+                     ? mix.corePrefetchers
+                     : configs[c].config.corePrefetchers;
+        if (!sel[c].empty() && sel[c].size() != n)
+            fatal("mix %s names %u cores but configuration %s selects "
+                  "%zu per-core prefetchers", mix.name.c_str(), n,
+                  configs[c].label.c_str(), sel[c].size());
+        for (const std::string &s : sel[c])
+            prefetcherSelectionFromName(s);
     }
 
-    const std::size_t cells = configs.size() * (1 + keys.size());
+    // Alone-baseline cells, deduplicated within each configuration
+    // (heterogeneous selections give each configuration its own key
+    // space: the same program under a different prefetcher is a
+    // different baseline).
+    std::vector<std::vector<std::string>> keys(configs.size());
+    std::vector<std::vector<unsigned>> exemplar(configs.size());
+    std::vector<std::vector<std::size_t>> slotOf(
+        configs.size(), std::vector<std::size_t>(n));
+    std::size_t cells = configs.size();
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (unsigned i = 0; i < n; ++i) {
+            const std::string key = baselineKey(
+                mix.entries[i], dup[i], sel[c].empty() ? "" : sel[c][i]);
+            const auto it =
+                std::find(keys[c].begin(), keys[c].end(), key);
+            if (it == keys[c].end()) {
+                slotOf[c][i] = keys[c].size();
+                keys[c].push_back(key);
+                exemplar[c].push_back(i);
+            } else {
+                slotOf[c][i] =
+                    static_cast<std::size_t>(it - keys[c].begin());
+            }
+        }
+        cells += keys[c].size();
+    }
     if (jobs == 0)
         jobs = defaultSweepJobs();
     if (static_cast<std::size_t>(jobs) > cells)
@@ -99,25 +127,29 @@ runMixSweep(const MixSpec &mix, const std::vector<McLabeledConfig> &configs,
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<McRunResult> results(configs.size());
-    std::vector<std::vector<RunResult>> alone(
-        configs.size(), std::vector<RunResult>(keys.size()));
+    std::vector<std::vector<RunResult>> alone(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        alone[c].resize(keys[c].size());
 
     const auto corunCell = [&mix, &configs, &results](std::size_t c) {
         results[c] = runMix(mix, configs[c].config, configs[c].label);
     };
-    const auto aloneCell = [&mix, &configs, &alone, &dup,
-                            &exemplar](std::size_t c, std::size_t k) {
-        const unsigned coreIdx = exemplar[k];
+    const auto aloneCell = [&mix, &configs, &alone, &dup, &exemplar,
+                            &sel](std::size_t c, std::size_t k) {
+        const unsigned coreIdx = exemplar[c][k];
         const auto workload =
             buildAloneWorkload(mix.entries[coreIdx], dup[coreIdx]);
-        alone[c][k] = runWorkload(*workload, configs[c].config.base,
-                                  configs[c].label + "-alone");
+        RunConfig rc = configs[c].config.base;
+        if (!sel[c].empty())
+            rc = applyPrefetcherSelection(rc, sel[c][coreIdx]);
+        alone[c][k] =
+            runWorkload(*workload, rc, configs[c].label + "-alone");
     };
 
     if (jobs == 1) {
         for (std::size_t c = 0; c < configs.size(); ++c) {
             corunCell(c);
-            for (std::size_t k = 0; k < keys.size(); ++k)
+            for (std::size_t k = 0; k < keys[c].size(); ++k)
                 aloneCell(c, k);
         }
     } else {
@@ -131,7 +163,7 @@ runMixSweep(const MixSpec &mix, const std::vector<McLabeledConfig> &configs,
             for (std::size_t c = 0; c < configs.size(); ++c)
                 pool.submit([&corunCell, c] { corunCell(c); });
             for (std::size_t c = 0; c < configs.size(); ++c)
-                for (std::size_t k = 0; k < keys.size(); ++k)
+                for (std::size_t k = 0; k < keys[c].size(); ++k)
                     pool.submit([&aloneCell, c, k] { aloneCell(c, k); });
             try {
                 pool.wait();
@@ -147,7 +179,7 @@ runMixSweep(const MixSpec &mix, const std::vector<McLabeledConfig> &configs,
     for (std::size_t c = 0; c < configs.size(); ++c) {
         std::vector<double> aloneIpc(n, 0.0);
         for (unsigned i = 0; i < n; ++i)
-            aloneIpc[i] = alone[c][slotOf[i]].ipc;
+            aloneIpc[i] = alone[c][slotOf[c][i]].ipc;
         finalizeSpeedups(results[c], aloneIpc);
     }
 
@@ -168,8 +200,9 @@ buildMixCoreTable(const std::vector<McRunResult> &results)
         panic("per-core mix table needs at least one co-run");
     Table t("mix " + results.front().mix + ": per-core breakdown (" +
             std::to_string(results.front().numCores) + " cores)");
-    t.setHeader({"config", "core", "program", "IPC", "alone", "speedup",
-                 "BPKI", "accuracy", "pollution", "poll-out", "poll-in"});
+    t.setHeader({"config", "core", "program", "prefetcher", "IPC",
+                 "alone", "speedup", "BPKI", "accuracy", "pollution",
+                 "poll-out", "poll-in"});
     for (std::size_t c = 0; c < results.size(); ++c) {
         if (c > 0)
             t.addRule();
@@ -177,7 +210,7 @@ buildMixCoreTable(const std::vector<McRunResult> &results)
         for (std::size_t i = 0; i < r.cores.size(); ++i) {
             const McCoreResult &core = r.cores[i];
             t.addRow({r.config, "c" + std::to_string(i), core.program,
-                      fmtDouble(core.ipc, 3),
+                      core.prefetcher, fmtDouble(core.ipc, 3),
                       fmtDouble(core.aloneIpc, 3),
                       fmtDouble(core.speedup, 3),
                       fmtDouble(core.bpki, 2),

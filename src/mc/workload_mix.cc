@@ -65,6 +65,14 @@ buildNamedMixes()
     // Heterogeneous: streamer, victim, bandwidth hog, mixed INT.
     mixes.push_back(mix("mix4-mixed", {bench("swim"), bench("art"),
                                        bench("mcf"), bench("bzip2")}));
+    // Prefetcher zoo: heterogeneous per-core PREFETCHERS over a
+    // heterogeneous program mix — a streamer on stream, a delta walker
+    // on vldp, a spatial reuse code on dspatch, and the manager left to
+    // pick for the bandwidth hog (DESIGN.md §17).
+    MixSpec zoo = mix("mix4-zoo", {bench("swim"), bench("deltamix"),
+                                   bench("art"), bench("mcf")});
+    zoo.corePrefetchers = {"stream", "vldp", "dspatch", "manager"};
+    mixes.push_back(std::move(zoo));
     return mixes;
 }
 

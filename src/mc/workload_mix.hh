@@ -50,6 +50,13 @@ struct MixSpec
 {
     std::string name;
     std::vector<MixEntry> entries;
+    /**
+     * Optional per-core prefetcher selections (McRunConfig semantics:
+     * one name per core, empty = the run configuration's prefetcher on
+     * every core). Lets a named mix pin a heterogeneous machine, e.g.
+     * mix4-zoo's stream/vldp/dspatch/manager line-up.
+     */
+    std::vector<std::string> corePrefetchers;
 
     unsigned numCores() const
     {

@@ -126,10 +126,13 @@ MemorySystem::observeAndIssue(const PrefetchObservation &obs, Cycle now)
 {
     if (!prefetcher_)
         return;
+    updateBusUtil(now);
+    PrefetchObservation seen = obs;
+    seen.busUtil = busUtil_;
     pfCandidates_.clear();
     const std::size_t budget =
         params_.prefetchQueueCap - prefetchQueue_.size();
-    prefetcher_->observe(obs, pfCandidates_, budget);
+    prefetcher_->observe(seen, pfCandidates_, budget);
 
     for (const BlockAddr b : pfCandidates_) {
         ++hot_.prefIssued;
@@ -140,6 +143,27 @@ MemorySystem::observeAndIssue(const PrefetchObservation &obs, Cycle now)
         prefetchQueue_.push_back(b);
     }
     drainPrefetchQueue(now);
+}
+
+void
+MemorySystem::updateBusUtil(Cycle now)
+{
+    if (now < busWindowStart_ + kBusUtilWindow)
+        return;
+    const std::uint64_t busy = dram_.busBusyCycles();
+    if (busy < busWindowBusy_) {
+        // The bus-busy statistic was reset (measurement boundary):
+        // re-prime the window and keep the last published value.
+        busWindowStart_ = now;
+        busWindowBusy_ = busy;
+        return;
+    }
+    busUtil_ = static_cast<double>(busy - busWindowBusy_) /
+               static_cast<double>(now - busWindowStart_);
+    if (busUtil_ > 1.0)
+        busUtil_ = 1.0;
+    busWindowStart_ = now;
+    busWindowBusy_ = busy;
 }
 
 void
@@ -303,6 +327,9 @@ MemorySystem::audit() const
     FDP_ASSERT(params_.mshrDemandReserve < mshrs_.capacity(),
                "%s: demand reserve %zu swallows all %zu MSHRs",
                auditName(), params_.mshrDemandReserve, mshrs_.capacity());
+    FDP_ASSERT(busUtil_ >= 0.0 && busUtil_ <= 1.0,
+               "%s: bus utilization %f outside [0, 1]", auditName(),
+               busUtil_);
     l1_.audit();
     l2_.audit();
     mshrs_.audit();
@@ -354,6 +381,9 @@ MemorySystem::saveState(SnapWriter &w) const
                "flushStats() first)", auditName());
     w.beginSection(snapName());
     w.putBool(pcache_ != nullptr);
+    w.putDouble(busUtil_);
+    w.putU64(busWindowStart_);
+    w.putU64(busWindowBusy_);
     w.endSection();
     l1_.saveState(w);
     l2_.saveState(w);
@@ -370,6 +400,9 @@ MemorySystem::loadState(SnapReader &r)
                "%s: restore with work in flight", auditName());
     r.openSection(snapName());
     const bool has_pcache = r.getBool();
+    busUtil_ = r.getDouble();
+    busWindowStart_ = r.getU64();
+    busWindowBusy_ = r.getU64();
     r.closeSection();
     if (has_pcache != (pcache_ != nullptr))
         fatal("snapshot: prefetch cache is %s, snapshot has it %s",

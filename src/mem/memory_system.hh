@@ -98,6 +98,14 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
     /** Zero DRAM's per-core attribution (see DramModel). */
     void resetAttribution() { dram_.resetAttribution(); }
 
+    /** Data-bus utilization over the last closed measurement window,
+     *  in [0, 1] (PrefetchObservation::busUtil; DESIGN.md §17). */
+    double busUtilization() const { return busUtil_; }
+
+    /** Cycles per bus-utilization measurement window (shared with the
+     *  multi-core memory system, whose bus uses the same cadence). */
+    static constexpr Cycle kBusUtilWindow = 4096;
+
     const SetAssocCache &l1() const { return l1_; }
     const SetAssocCache &l2() const { return l2_; }
     DramModel &dram() { return dram_; }
@@ -169,6 +177,9 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
     /** Run the prefetcher on a demand L2 access and queue candidates. */
     void observeAndIssue(const PrefetchObservation &obs, Cycle now);
 
+    /** Close the bus-utilization window if @p now has moved past it. */
+    void updateBusUtil(Cycle now);
+
     /**
      * Drain the Prefetch Request Queue into the MSHRs / bus queue as
      * capacity allows (prefetches wait here rather than being lost).
@@ -229,6 +240,15 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
     MshrFile mshrs_;
     DramModel dram_;
     std::unique_ptr<PrefetchCache> pcache_;
+
+    /// @name Bus-utilization window
+    /// Recomputed from busBusyCycles() deltas every kBusUtilWindow
+    /// cycles; a pure function of simulated time, so deterministic.
+    /// @{
+    double busUtil_ = 0.0;
+    Cycle busWindowStart_ = 0;
+    std::uint64_t busWindowBusy_ = 0;
+    /// @}
 
     std::deque<PendingDemand> mshrWaitQ_;
     std::deque<BlockAddr> prefetchQueue_;  ///< the Prefetch Request Queue

@@ -75,6 +75,44 @@ inline constexpr std::array<AggrConfig, 6> kStrideAggrTable = {{
     {64, 4},
 }};
 
+/**
+ * VLDP configurations. VLDP chains delta predictions, so `degree` is the
+ * prediction-chain depth per trigger; `distance` is unused (the chain
+ * itself walks ahead of the demand stream).
+ */
+inline constexpr std::array<AggrConfig, 6> kVldpAggrTable = {{
+    {0, 0},
+    {0, 1},
+    {0, 1},
+    {0, 2},
+    {0, 3},
+    {0, 4},
+}};
+
+/**
+ * DSPatch configurations. A trigger replays a whole spatial bit-pattern,
+ * so `degree` caps how many pattern bits are issued per trigger (a 2KB
+ * region holds at most 32 blocks); `distance` is unused.
+ */
+inline constexpr std::array<AggrConfig, 6> kDspatchAggrTable = {{
+    {0, 0},
+    {0, 4},
+    {0, 8},
+    {0, 16},
+    {0, 24},
+    {0, 32},
+}};
+
+/** Next-line sandbox fallback: `degree` sequential blocks per L2 miss. */
+inline constexpr std::array<AggrConfig, 6> kNextLineAggrTable = {{
+    {0, 0},
+    {0, 1},
+    {0, 1},
+    {0, 2},
+    {0, 3},
+    {0, 4},
+}};
+
 /** Human-readable name of an aggressiveness level (1-based). */
 constexpr const char *
 aggrLevelName(unsigned level)

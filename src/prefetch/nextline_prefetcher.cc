@@ -1,0 +1,75 @@
+#include "prefetch/nextline_prefetcher.hh"
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+NextLinePrefetcher::NextLinePrefetcher(const NextLinePrefetcherParams &params)
+    : params_(params), level_(params.initialLevel)
+{
+    setAggressiveness(params_.initialLevel);
+}
+
+void
+NextLinePrefetcher::setAggressiveness(unsigned level)
+{
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        panic("nextline prefetcher: bad aggressiveness level %u", level);
+    level_ = level;
+}
+
+void
+NextLinePrefetcher::reset()
+{
+    tick_ = 0;
+}
+
+void
+NextLinePrefetcher::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: aggressiveness level %u outside [%u, %u]", auditName(),
+               level_, kMinAggrLevel, kMaxAggrLevel);
+}
+
+void
+NextLinePrefetcher::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU8(static_cast<std::uint8_t>(level_));
+    w.putU64(tick_);
+    w.endSection();
+}
+
+void
+NextLinePrefetcher::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const unsigned level = r.getU8();
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        fatal("snapshot: nextline prefetcher level %u out of range", level);
+    level_ = level;
+    tick_ = r.getU64();
+    r.closeSection();
+}
+
+void
+NextLinePrefetcher::doObserve(const PrefetchObservation &obs,
+                              std::vector<BlockAddr> &out,
+                              std::size_t budget)
+{
+    ++tick_;
+    if (!obs.miss)
+        return;
+    const unsigned deg = degree();
+    std::size_t produced = 0;
+    for (unsigned j = 1; j <= deg; ++j) {
+        if (produced >= budget)
+            break;
+        out.push_back(obs.block + j);
+        ++produced;
+    }
+}
+
+} // namespace fdp

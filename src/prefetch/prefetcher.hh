@@ -31,6 +31,13 @@ struct PrefetchObservation
     Addr pc;
     /** True when the access missed in the L2. */
     bool miss;
+    /**
+     * DRAM data-bus utilization over the memory system's recent
+     * measurement window, in [0, 1]. Bandwidth-adaptive prefetchers
+     * (DSPatch) bias toward accuracy when the bus is saturated; all
+     * other prefetchers ignore it.
+     */
+    double busUtil = 0.0;
 };
 
 /** Base class for the stream / GHB / stride prefetchers. */

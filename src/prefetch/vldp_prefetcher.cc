@@ -1,0 +1,392 @@
+#include "prefetch/vldp_prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter bump. */
+void
+bumpAccuracy(std::uint8_t &acc, bool correct)
+{
+    if (correct) {
+        if (acc < 3)
+            ++acc;
+    } else if (acc > 0) {
+        --acc;
+    }
+}
+
+} // namespace
+
+VldpPrefetcher::VldpPrefetcher(const VldpPrefetcherParams &params)
+    : params_(params), level_(params.initialLevel), dhb_(params.dhbEntries)
+{
+    if (params_.dhbEntries == 0)
+        fatal("vldp prefetcher needs a nonzero delta history buffer");
+    if (params_.dptEntries == 0)
+        fatal("vldp prefetcher needs nonzero delta prediction tables");
+    for (auto &table : dpt_)
+        table.resize(params_.dptEntries);
+    setAggressiveness(params_.initialLevel);
+}
+
+void
+VldpPrefetcher::setAggressiveness(unsigned level)
+{
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        panic("vldp prefetcher: bad aggressiveness level %u", level);
+    level_ = level;
+}
+
+void
+VldpPrefetcher::reset()
+{
+    for (auto &e : dhb_)
+        e = DhbEntry{};
+    opt_ = {};
+    for (auto &table : dpt_)
+        for (auto &e : table)
+            e = DptEntry{};
+    tick_ = 0;
+}
+
+void
+VldpPrefetcher::saveState(SnapWriter &w) const
+{
+    w.beginSection(snapName());
+    w.putU8(static_cast<std::uint8_t>(level_));
+    w.putU64(tick_);
+    w.putU32(static_cast<std::uint32_t>(dhb_.size()));
+    for (const DhbEntry &e : dhb_) {
+        w.putBool(e.valid);
+        w.putU64(e.pageTag);
+        w.putU8(e.lastOffset);
+        w.putU8(e.firstOffset);
+        for (std::int8_t d : e.deltas)
+            w.putU8(static_cast<std::uint8_t>(d));
+        w.putU8(e.numDeltas);
+        w.putU64(e.lastUse);
+    }
+    w.putU32(kVldpBlocksPerPage);
+    for (const OptEntry &e : opt_) {
+        w.putBool(e.valid);
+        w.putU8(static_cast<std::uint8_t>(e.pred));
+        w.putU8(e.accuracy);
+    }
+    w.putU32(static_cast<std::uint32_t>(params_.dptEntries));
+    for (const auto &table : dpt_) {
+        for (const DptEntry &e : table) {
+            w.putBool(e.valid);
+            for (std::int8_t d : e.key)
+                w.putU8(static_cast<std::uint8_t>(d));
+            w.putU8(static_cast<std::uint8_t>(e.pred));
+            w.putU8(e.accuracy);
+        }
+    }
+    w.endSection();
+}
+
+void
+VldpPrefetcher::loadState(SnapReader &r)
+{
+    r.openSection(snapName());
+    const unsigned level = r.getU8();
+    if (level < kMinAggrLevel || level > kMaxAggrLevel)
+        fatal("snapshot: vldp prefetcher level %u out of range", level);
+    level_ = level;
+    tick_ = r.getU64();
+    const std::uint32_t nDhb = r.getU32();
+    if (nDhb != dhb_.size())
+        fatal("snapshot: vldp DHB holds %zu entries, snapshot has %u",
+              dhb_.size(), nDhb);
+    for (DhbEntry &e : dhb_) {
+        e.valid = r.getBool();
+        e.pageTag = r.getU64();
+        e.lastOffset = r.getU8();
+        e.firstOffset = r.getU8();
+        for (std::int8_t &d : e.deltas)
+            d = static_cast<std::int8_t>(r.getU8());
+        e.numDeltas = r.getU8();
+        e.lastUse = r.getU64();
+    }
+    const std::uint32_t nOpt = r.getU32();
+    if (nOpt != kVldpBlocksPerPage)
+        fatal("snapshot: vldp OPT holds %u entries, snapshot has %u",
+              kVldpBlocksPerPage, nOpt);
+    for (OptEntry &e : opt_) {
+        e.valid = r.getBool();
+        e.pred = static_cast<std::int8_t>(r.getU8());
+        e.accuracy = r.getU8();
+    }
+    const std::uint32_t nDpt = r.getU32();
+    if (nDpt != params_.dptEntries)
+        fatal("snapshot: vldp DPT holds %u entries, snapshot has %u",
+              params_.dptEntries, nDpt);
+    for (auto &table : dpt_) {
+        for (DptEntry &e : table) {
+            e.valid = r.getBool();
+            for (std::int8_t &d : e.key)
+                d = static_cast<std::int8_t>(r.getU8());
+            e.pred = static_cast<std::int8_t>(r.getU8());
+            e.accuracy = r.getU8();
+        }
+    }
+    r.closeSection();
+}
+
+std::size_t
+VldpPrefetcher::findPage(std::uint64_t pageTag) const
+{
+    for (std::size_t i = 0; i < dhb_.size(); ++i)
+        if (dhb_[i].valid && dhb_[i].pageTag == pageTag)
+            return i;
+    return dhb_.size();
+}
+
+std::size_t
+VldpPrefetcher::victimSlot() const
+{
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < dhb_.size(); ++i) {
+        if (!dhb_[i].valid)
+            return i;
+        if (dhb_[i].lastUse < dhb_[victim].lastUse)
+            victim = i;
+    }
+    return victim;
+}
+
+std::size_t
+VldpPrefetcher::dptIndexOf(
+    unsigned len, const std::array<std::int8_t, kVldpHistLen> &key) const
+{
+    // FNV-1a over the first `len` deltas; distinct history lengths hash
+    // into distinct tables, so only the live prefix participates.
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned j = 0; j < len; ++j) {
+        h ^= static_cast<std::uint8_t>(key[j]);
+        h *= 1099511628211ull;
+    }
+    return h % params_.dptEntries;
+}
+
+void
+VldpPrefetcher::trainDpt(unsigned len,
+                         const std::array<std::int8_t, kVldpHistLen> &key,
+                         std::int8_t delta)
+{
+    DptEntry &e = dpt_[len - 1][dptIndexOf(len, key)];
+    bool match = e.valid;
+    for (unsigned j = 0; match && j < len; ++j)
+        match = e.key[j] == key[j];
+    if (!match) {
+        // Replace-on-zero: a confident resident entry survives one miss.
+        if (e.valid && e.accuracy > 0) {
+            --e.accuracy;
+            return;
+        }
+        e.valid = true;
+        e.key = {};
+        for (unsigned j = 0; j < len; ++j)
+            e.key[j] = key[j];
+        e.pred = delta;
+        e.accuracy = 1;
+        return;
+    }
+    if (e.pred == delta) {
+        bumpAccuracy(e.accuracy, true);
+    } else if (e.accuracy == 0) {
+        e.pred = delta;
+        e.accuracy = 1;
+    } else {
+        --e.accuracy;
+    }
+}
+
+std::int8_t
+VldpPrefetcher::predictDelta(
+    unsigned histLen, const std::array<std::int8_t, kVldpHistLen> &hist) const
+{
+    for (unsigned len = std::min(histLen, kVldpHistLen); len >= 1; --len) {
+        const DptEntry &e = dpt_[len - 1][dptIndexOf(len, hist)];
+        if (!e.valid || e.accuracy == 0)
+            continue;
+        bool match = true;
+        for (unsigned j = 0; match && j < len; ++j)
+            match = e.key[j] == hist[j];
+        if (match)
+            return e.pred;
+    }
+    return 0;
+}
+
+void
+VldpPrefetcher::audit() const
+{
+    FDP_ASSERT(level_ >= kMinAggrLevel && level_ <= kMaxAggrLevel,
+               "%s: aggressiveness level %u outside [%u, %u]", auditName(),
+               level_, kMinAggrLevel, kMaxAggrLevel);
+    for (std::size_t i = 0; i < dhb_.size(); ++i) {
+        const DhbEntry &e = dhb_[i];
+        if (!e.valid)
+            continue;
+        FDP_ASSERT(e.lastOffset < kVldpBlocksPerPage &&
+                       e.firstOffset < kVldpBlocksPerPage,
+                   "%s: DHB entry %zu offsets (%u, %u) outside page",
+                   auditName(), i, e.lastOffset, e.firstOffset);
+        FDP_ASSERT(e.numDeltas <= kVldpHistLen,
+                   "%s: DHB entry %zu holds %u deltas (max %u)",
+                   auditName(), i, e.numDeltas, kVldpHistLen);
+        for (unsigned j = 0; j < e.numDeltas; ++j)
+            FDP_ASSERT(e.deltas[j] != 0 &&
+                           e.deltas[j] > -static_cast<int>(
+                               kVldpBlocksPerPage) &&
+                           e.deltas[j] < static_cast<int>(kVldpBlocksPerPage),
+                       "%s: DHB entry %zu delta[%u] = %d illegal",
+                       auditName(), i, j, static_cast<int>(e.deltas[j]));
+        FDP_ASSERT(e.lastUse <= tick_,
+                   "%s: DHB entry %zu last used at tick %llu, after "
+                   "current tick %llu",
+                   auditName(), i,
+                   static_cast<unsigned long long>(e.lastUse),
+                   static_cast<unsigned long long>(tick_));
+        for (std::size_t k = i + 1; k < dhb_.size(); ++k)
+            FDP_ASSERT(!dhb_[k].valid || dhb_[k].pageTag != e.pageTag,
+                       "%s: page %llx tracked in DHB slots %zu and %zu",
+                       auditName(),
+                       static_cast<unsigned long long>(e.pageTag), i, k);
+    }
+    for (unsigned len = 1; len <= kVldpHistLen; ++len) {
+        const auto &table = dpt_[len - 1];
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            const DptEntry &e = table[i];
+            if (!e.valid)
+                continue;
+            FDP_ASSERT(dptIndexOf(len, e.key) == i,
+                       "%s: DPT%u entry stored in slot %zu but hashes "
+                       "to %zu",
+                       auditName(), len, i, dptIndexOf(len, e.key));
+            FDP_ASSERT(e.accuracy <= 3,
+                       "%s: DPT%u entry %zu accuracy %u overflows 2 bits",
+                       auditName(), len, i, e.accuracy);
+            FDP_ASSERT(e.pred != 0,
+                       "%s: DPT%u entry %zu predicts a zero delta",
+                       auditName(), len, i);
+        }
+    }
+    for (std::size_t i = 0; i < opt_.size(); ++i) {
+        const OptEntry &e = opt_[i];
+        if (!e.valid)
+            continue;
+        FDP_ASSERT(e.accuracy <= 3,
+                   "%s: OPT entry %zu accuracy %u overflows 2 bits",
+                   auditName(), i, e.accuracy);
+        FDP_ASSERT(e.pred != 0,
+                   "%s: OPT entry %zu predicts a zero delta", auditName(),
+                   i);
+    }
+}
+
+void
+VldpPrefetcher::doObserve(const PrefetchObservation &obs,
+                          std::vector<BlockAddr> &out, std::size_t budget)
+{
+    ++tick_;
+    const std::uint64_t page = obs.addr >> kVldpPageShift;
+    const auto offset = static_cast<std::uint8_t>(
+        (obs.addr >> kBlockShift) & (kVldpBlocksPerPage - 1));
+    const BlockAddr pageBlockBase =
+        static_cast<BlockAddr>(page)
+        << (kVldpPageShift - kBlockShift);
+
+    std::size_t slot = findPage(page);
+    if (slot == dhb_.size()) {
+        // First recorded access to this page: allocate and consult the
+        // OPT so even the first touch can trigger a prefetch.
+        slot = victimSlot();
+        DhbEntry &e = dhb_[slot];
+        e = DhbEntry{};
+        e.valid = true;
+        e.pageTag = page;
+        e.lastOffset = offset;
+        e.firstOffset = offset;
+        e.lastUse = tick_;
+        const OptEntry &o = opt_[offset];
+        if (o.valid && o.accuracy > 0 && budget >= 1) {
+            const int next = offset + o.pred;
+            if (next >= 0 && next < static_cast<int>(kVldpBlocksPerPage))
+                out.push_back(pageBlockBase + static_cast<unsigned>(next));
+        }
+        return;
+    }
+
+    DhbEntry &e = dhb_[slot];
+    e.lastUse = tick_;
+    const int rawDelta = static_cast<int>(offset)
+                         - static_cast<int>(e.lastOffset);
+    if (rawDelta == 0)
+        return;
+    const auto delta = static_cast<std::int8_t>(rawDelta);
+
+    // The page's second access trains the OPT: first offset -> delta.
+    if (e.numDeltas == 0) {
+        OptEntry &o = opt_[e.firstOffset];
+        if (!o.valid) {
+            o.valid = true;
+            o.pred = delta;
+            o.accuracy = 1;
+        } else if (o.pred == delta) {
+            bumpAccuracy(o.accuracy, true);
+        } else if (o.accuracy == 0) {
+            o.pred = delta;
+            o.accuracy = 1;
+        } else {
+            --o.accuracy;
+        }
+    }
+
+    // Each DPT level learns: last-j-deltas -> the delta that followed.
+    for (unsigned len = 1; len <= e.numDeltas; ++len)
+        trainDpt(len, e.deltas, delta);
+
+    // Push the new delta onto the history (most recent first).
+    for (unsigned j = kVldpHistLen - 1; j >= 1; --j)
+        e.deltas[j] = e.deltas[j - 1];
+    e.deltas[0] = delta;
+    if (e.numDeltas < kVldpHistLen)
+        ++e.numDeltas;
+    e.lastOffset = offset;
+
+    // Multi-degree chained prediction: each predicted delta extends the
+    // speculative history the next lookup keys on.
+    std::array<std::int8_t, kVldpHistLen> hist = e.deltas;
+    unsigned histLen = e.numDeltas;
+    int cur = offset;
+    const unsigned deg = degree();
+    std::size_t produced = 0;
+    for (unsigned d = 0; d < deg; ++d) {
+        if (produced >= budget)
+            break;
+        const std::int8_t pred = predictDelta(histLen, hist);
+        if (pred == 0)
+            break;
+        cur += pred;
+        if (cur < 0 || cur >= static_cast<int>(kVldpBlocksPerPage))
+            break;
+        out.push_back(pageBlockBase + static_cast<unsigned>(cur));
+        ++produced;
+        for (unsigned j = kVldpHistLen - 1; j >= 1; --j)
+            hist[j] = hist[j - 1];
+        hist[0] = pred;
+        if (histLen < kVldpHistLen)
+            ++histLen;
+    }
+}
+
+} // namespace fdp

@@ -91,6 +91,16 @@ SnapWriter::putString(const std::string &s)
         putU8(static_cast<std::uint8_t>(c));
 }
 
+void
+SnapWriter::putBytes(const std::vector<std::uint8_t> &blob)
+{
+    FDP_ASSERT(inSection_, "snapshot writer: put outside a section");
+    FDP_ASSERT(blob.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "snapshot writer: blob of %zu bytes", blob.size());
+    putU32(static_cast<std::uint32_t>(blob.size()));
+    bytes_.insert(bytes_.end(), blob.begin(), blob.end());
+}
+
 // ---------------------------------------------------------------------------
 // SnapReader.
 // ---------------------------------------------------------------------------
@@ -224,6 +234,16 @@ SnapReader::getString()
     std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
     pos_ += len;
     return s;
+}
+
+std::vector<std::uint8_t>
+SnapReader::getBytes()
+{
+    const std::uint32_t len = getU32();
+    need(len);
+    std::vector<std::uint8_t> blob(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return blob;
 }
 
 } // namespace fdp

@@ -51,6 +51,10 @@ class SnapWriter
     void putDouble(double v);
     /** u16 length + raw bytes (names, labels; not bulk data). */
     void putString(const std::string &s);
+    /** u32 length + raw bytes. For nested snapshot bodies (e.g. a
+     *  composite component embedding its children's sections as one
+     *  opaque blob inside its own section). */
+    void putBytes(const std::vector<std::uint8_t> &blob);
 
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
     std::uint32_t sectionCount() const { return sections_; }
@@ -93,6 +97,7 @@ class SnapReader
     bool getBool() { return getU8() != 0; }
     double getDouble();
     std::string getString();
+    std::vector<std::uint8_t> getBytes();
 
     /** True once every byte of the body has been consumed. */
     bool atEnd() const { return pos_ == size_; }

@@ -5,7 +5,7 @@
  * Layout (all fixed-width scalars little-endian):
  *
  *   magic        8 bytes   "FDPSNAPS"
- *   version      u32       1
+ *   version      u32       kSnapVersion
  *   nameLen      u16       benchmark name length
  *   name         nameLen   benchmark the machine was warmed on
  *   geomLen      u16       geometry string length
@@ -36,7 +36,9 @@ namespace fdp
 inline constexpr std::size_t kSnapMagicLen = 8;
 inline constexpr char kSnapMagic[kSnapMagicLen + 1] = "FDPSNAPS";
 inline constexpr char kSnapEndMagic[kSnapMagicLen + 1] = "FDPSNEND";
-inline constexpr std::uint32_t kSnapVersion = 1;
+// v2: synthetic workloads grew the delta-walker/phase state and the
+// memory system's bus-utilization window; v1 images no longer restore.
+inline constexpr std::uint32_t kSnapVersion = 2;
 /// @}
 
 /** One decoded snapshot: identity header + opaque section body. */

@@ -1,5 +1,7 @@
 #include "workload/generators.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace fdp
@@ -9,7 +11,7 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params)
     : params_(params), rng_(params.seed)
 {
     const double mix = params_.pStream + params_.pHot + params_.pChase +
-                       params_.pRandom;
+                       params_.pRandom + params_.pDelta;
     if (mix > 1.0)
         fatal("workload %s: op-mix probabilities sum to %f > 1",
               params_.name.c_str(), mix);
@@ -35,6 +37,16 @@ SyntheticWorkload::reset()
     nextStream_ = 0;
     chaseCur_ = rng_.range(std::max<unsigned>(params_.chaseBlocks, 1));
     chaseSeqAddr_ = kChaseRegionBase;
+
+    // Only draw for the delta walker when it can ever run: workloads
+    // predating the band replay their exact historical rng sequence.
+    deltaPage_ = 0;
+    deltaOffset_ = 1;
+    deltaPhase_ = 0;
+    deltaWord_ = 0;
+    opCount_ = 0;
+    if (params_.pDelta > 0.0 || params_.phaseOps != 0)
+        deltaPage_ = rng_.range(kDeltaRegionSize / kDeltaPageBytes);
 
     hotOrder_.clear();
     hotCursor_ = 0;
@@ -139,12 +151,53 @@ SyntheticWorkload::randomOp()
 }
 
 MicroOp
+SyntheticWorkload::deltaOp()
+{
+    MicroOp op;
+    op.kind = rng_.range(100) < params_.storePercent ? OpKind::Store
+                                                     : OpKind::Load;
+    op.addr = kDeltaRegionBase + deltaPage_ * kDeltaPageBytes +
+              blockBase(deltaOffset_) + 8 * deltaWord_;
+    op.pc = 0x14000;
+
+    // Eight sequential words per block (the L1 absorbs all but the
+    // first), THEN advance to the next block of the delta cycle.
+    if (++deltaWord_ < kBlockBytes / 8)
+        return op;
+    deltaWord_ = 0;
+
+    static constexpr unsigned kDeltas[3] = {1, 3, 2};
+    const unsigned d = kDeltas[deltaPhase_];
+    if (++deltaPhase_ >= 3)
+        deltaPhase_ = 0;
+    if (deltaOffset_ + d >= kDeltaPageBytes / kBlockBytes) {
+        // Page exhausted: jump to a fresh random page but keep the
+        // delta cycle running, so the PATTERN survives page crossings
+        // even though raw addresses do not.
+        deltaPage_ = rng_.range(kDeltaRegionSize / kDeltaPageBytes);
+        deltaOffset_ = 1;
+    } else {
+        deltaOffset_ += d;
+    }
+    return op;
+}
+
+MicroOp
 SyntheticWorkload::next()
 {
+    // The phase flip swaps the stream and delta bands' shares, so a
+    // phased workload alternates which prefetcher its traffic trains.
+    double pStream = params_.pStream;
+    double pDelta = params_.pDelta;
+    if (params_.phaseOps != 0 &&
+        (opCount_ / params_.phaseOps) % 2 != 0)
+        std::swap(pStream, pDelta);
+    ++opCount_;
+
     double x = rng_.uniform();
-    if (x < params_.pStream)
+    if (x < pStream)
         return streamOp();
-    x -= params_.pStream;
+    x -= pStream;
     if (x < params_.pHot)
         return hotOp();
     x -= params_.pHot;
@@ -153,6 +206,9 @@ SyntheticWorkload::next()
     x -= params_.pChase;
     if (x < params_.pRandom)
         return randomOp();
+    x -= params_.pRandom;
+    if (x < pDelta)
+        return deltaOp();
     return MicroOp{};  // Int op
 }
 
@@ -176,6 +232,12 @@ SyntheticWorkload::saveState(SnapWriter &w) const
     w.putU64(chaseCur_);
     w.putU64(chaseSeqAddr_);
     w.putU64(hotCursor_);
+    // Snapshot format v2: the delta walker and the phase counter.
+    w.putU64(deltaPage_);
+    w.putU32(deltaOffset_);
+    w.putU32(deltaPhase_);
+    w.putU32(deltaWord_);
+    w.putU64(opCount_);
     w.endSection();
 }
 
@@ -205,6 +267,11 @@ SyntheticWorkload::loadState(SnapReader &r)
     chaseCur_ = r.getU64();
     chaseSeqAddr_ = r.getU64();
     hotCursor_ = static_cast<std::size_t>(r.getU64());
+    deltaPage_ = r.getU64();
+    deltaOffset_ = r.getU32();
+    deltaPhase_ = r.getU32();
+    deltaWord_ = r.getU32();
+    opCount_ = r.getU64();
     r.closeSection();
 }
 

@@ -46,7 +46,25 @@ struct SyntheticParams
     double pHot = 0.0;
     double pChase = 0.0;
     double pRandom = 0.0;
+    /**
+     * delta: walks 4 KB pages with the repeating block-delta pattern
+     * {+1, +3, +2} (new random page on overflow), touching each block
+     * with eight sequential 8-byte accesses so the L1 absorbs 7/8 of
+     * them — the band's L2-block rate is pDelta/8 per op, the same
+     * shape as the stream band's. Irregular enough that a monotonic
+     * stream tracker keeps losing its window, but exactly the history
+     * a delta-correlating prefetcher (VLDP) locks onto.
+     */
+    double pDelta = 0.0;
     /// @}
+
+    /**
+     * When nonzero, swap the stream and delta bands' probabilities
+     * every phaseOps micro-ops. Builds mixed-phase traces where the
+     * best prefetcher changes at phase boundaries — the case runtime
+     * management (DESIGN.md §17) exists for. 0 disables phasing.
+     */
+    std::uint64_t phaseOps = 0;
 
     /** Percentage of (non-chase) memory ops that are stores. */
     unsigned storePercent = 20;
@@ -116,6 +134,7 @@ class SyntheticWorkload : public Workload, public Snapshottable
     MicroOp hotOp();
     MicroOp chaseOp();
     MicroOp randomOp();
+    MicroOp deltaOp();
     void respawnStream(Stream &s);
 
     SyntheticParams params_;
@@ -127,6 +146,15 @@ class SyntheticWorkload : public Workload, public Snapshottable
     /** Fixed visit order for HotPattern::Sweep. */
     std::vector<std::uint32_t> hotOrder_;
     std::size_t hotCursor_ = 0;
+    /// @name Delta-walker cursor (see pDelta)
+    /// @{
+    std::uint64_t deltaPage_ = 0;   ///< page index within the region
+    unsigned deltaOffset_ = 1;      ///< block offset within the page
+    unsigned deltaPhase_ = 0;       ///< position in the {+1,+3,+2} cycle
+    unsigned deltaWord_ = 0;        ///< 8-byte word within the block
+    /// @}
+    /** Ops emitted since reset; drives the phaseOps band swap. */
+    std::uint64_t opCount_ = 0;
 };
 
 /**
@@ -191,6 +219,9 @@ class RebasedWorkload : public Workload, public Auditable
 /// @{
 inline constexpr Addr kHotRegionBase = 0x1'0000'0000ull;
 inline constexpr Addr kChaseRegionBase = 0x2'0000'0000ull;
+inline constexpr Addr kDeltaRegionBase = 0x8'0000'0000ull;
+inline constexpr Addr kDeltaRegionSize = 0x10'0000'0000ull;  // 64 GB
+inline constexpr Addr kDeltaPageBytes = 4096;
 inline constexpr Addr kStreamRegionBase = 0x40'0000'0000ull;
 inline constexpr Addr kStreamRegionSize = 0x100'0000'0000ull;  // 1 TB
 inline constexpr Addr kRandomRegionBase = 0x200'0000'0000ull;

@@ -127,6 +127,35 @@ buildSuite()
     add(make("fma3d", 0.0200, 0.16, 0.0, 0.0008, 4, 256, 4096, 25, 125));
     add(make("sixtrack", 0.0030, 0.26, 0.0, 0.0002, 2, 64, 2000, 20, 126));
 
+    // ---- Prefetcher-zoo stressors (DESIGN.md §17) ----
+    // deltamix: nearly all memory traffic walks the {+1,+3,+2} page
+    // pattern at ~12 BPKI — latency-bound, so prefetching matters. A
+    // monotonic stream tracker wastes half its bandwidth on the
+    // skipped blocks; a delta-correlating prefetcher locks on within
+    // one page.
+    {
+        SyntheticParams p = make("deltamix", 0.000, 0.04, 0.000, 0.0005,
+                                 4, 64, 1024, 8, 127);
+        p.pDelta = 0.095;
+        add(p);
+    }
+    // phaseflip: alternates a stream-heavy and a delta-heavy phase.
+    // Phase A is wupwise-shaped: four concurrent streams keep the MLP
+    // low, so misses serialize and the stream prefetcher's distance-64
+    // timeliness crushes VLDP's shallow delta chains (~1.6 vs ~1.0
+    // IPC); phase B hands the same share to the delta walker, where
+    // the roles invert. The best static prefetcher flips at every
+    // 24M-op boundary (a couple dozen FDP sampling intervals per
+    // phase, so one exploration round amortizes); only runtime
+    // management tracks the winner.
+    {
+        SyntheticParams p = make("phaseflip", 0.055, 0.08, 0.000, 0.0005,
+                                 4, 2048, 2048, 8, 128);
+        p.pDelta = 0.005;
+        p.phaseOps = 24'000'000;
+        add(p);
+    }
+
     return suite;
 }
 
@@ -157,6 +186,13 @@ remainingBenchmarks()
         "crafty", "eon", "fma3d", "gcc", "gzip",
         "mesa", "perlbmk", "sixtrack", "vortex",
     };
+    return v;
+}
+
+const std::vector<std::string> &
+zooBenchmarks()
+{
+    static const std::vector<std::string> v = {"deltamix", "phaseflip"};
     return v;
 }
 

@@ -31,6 +31,15 @@ const std::vector<std::string> &remainingBenchmarks();
 /** All 26 benchmark names. */
 std::vector<std::string> allBenchmarks();
 
+/**
+ * Names of the prefetcher-zoo stressors (DESIGN.md §17): deltamix
+ * trains a delta-correlating prefetcher and starves a monotonic one;
+ * phaseflip alternates stream- and delta-friendly phases so only
+ * runtime management tracks the winner. NOT part of allBenchmarks():
+ * the default sweep set (and its pinned baselines) predates them.
+ */
+const std::vector<std::string> &zooBenchmarks();
+
 /** Generator parameters for @p name; fatal on unknown names. */
 const SyntheticParams &benchmarkParams(const std::string &name);
 

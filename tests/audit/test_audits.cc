@@ -308,6 +308,90 @@ TEST(StrideAuditDeathTest, EntryInWrongSlotCaught)
     EXPECT_DEATH(pf.audit(), "hashes");
 }
 
+TEST(VldpAudit, CleanPrefetcherPasses)
+{
+    VldpPrefetcher pf;
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x10400; a += 0x40)
+        pf.observe({a, a >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(VldpAuditDeathTest, DptEntryInWrongSlotCaught)
+{
+    VldpPrefetcher pf;
+    AuditCorrupter::vldpDptWrongSlot(pf);
+    EXPECT_DEATH(pf.audit(), "hashes");
+}
+
+TEST(DspatchAudit, CleanPrefetcherPasses)
+{
+    DspatchPrefetcher pf;
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x14000; a += 0x240)
+        pf.observe({a, a >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(DspatchAuditDeathTest, LostTriggerBitCaught)
+{
+    DspatchPrefetcher pf;
+    AuditCorrupter::dspatchLoseTriggerBit(pf);
+    EXPECT_DEATH(pf.audit(), "lost its trigger bit");
+}
+
+TEST(NextLineAudit, CleanPrefetcherPasses)
+{
+    NextLinePrefetcher pf;
+    std::vector<BlockAddr> out;
+    pf.observe({0x10000, 0x10000 >> 6, 0x1000, true}, out);
+    pf.audit();
+}
+
+TEST(NextLineAuditDeathTest, BadLevelCaught)
+{
+    NextLinePrefetcher pf;
+    AuditCorrupter::nextlineBadLevel(pf);
+    EXPECT_DEATH(pf.audit(), "outside");
+}
+
+// ---------------------------------------------------------------------------
+// ManagedPrefetcher (the runtime management layer over a real zoo)
+// ---------------------------------------------------------------------------
+
+ManagedPrefetcher
+smallManager()
+{
+    std::vector<std::unique_ptr<Prefetcher>> zoo;
+    zoo.push_back(std::make_unique<StreamPrefetcher>());
+    zoo.push_back(std::make_unique<StridePrefetcher>());
+    return ManagedPrefetcher(ManagerParams{}, std::move(zoo));
+}
+
+TEST(ManagerAudit, CleanManagerPasses)
+{
+    ManagedPrefetcher mgr = smallManager();
+    std::vector<BlockAddr> out;
+    for (Addr a = 0x10000; a < 0x10400; a += 0x40)
+        mgr.observe({a, a >> 6, 0x1000, true}, out);
+    mgr.intervalTick({0.5, 0.1, 0.0, 1000, 2000});
+    mgr.audit();
+}
+
+TEST(ManagerAuditDeathTest, ActiveIndexOutsideZooCaught)
+{
+    ManagedPrefetcher mgr = smallManager();
+    AuditCorrupter::managerBadActive(mgr);
+    EXPECT_DEATH(mgr.audit(), "outside zoo");
+}
+
+TEST(ManagerAuditDeathTest, ExploreCursorDesyncCaught)
+{
+    ManagedPrefetcher mgr = smallManager();
+    AuditCorrupter::managerExploreDesync(mgr);
+    EXPECT_DEATH(mgr.audit(), "is live");
+}
+
 // ---------------------------------------------------------------------------
 // TraceReader
 // ---------------------------------------------------------------------------

@@ -93,6 +93,58 @@ TEST(MakePrefetcher, ProducesRequestedKind)
     EXPECT_STREQ(t->name(), "pc-stride");
 }
 
+TEST(PrefetcherSelection, NamesRoundTripThroughTheTable)
+{
+    // Every published name resolves, and concrete kinds resolve back to
+    // the prefetcher that prints that name.
+    for (const std::string &name : knownPrefetcherNames()) {
+        const PrefetcherSelection sel = prefetcherSelectionFromName(name);
+        if (sel.manager == ManagerKind::Explore) {
+            EXPECT_EQ(name, "manager");
+            continue;
+        }
+        EXPECT_EQ(std::string(prefetcherKindName(sel.kind)), name);
+    }
+}
+
+TEST(PrefetcherSelection, AppliesToAConfigCopy)
+{
+    const RunConfig base = RunConfig::fullFdp();
+    const RunConfig vldp = applyPrefetcherSelection(base, "vldp");
+    EXPECT_EQ(vldp.prefetcher, PrefetcherKind::Vldp);
+    EXPECT_EQ(vldp.manager, ManagerKind::Off);
+    const RunConfig managed = applyPrefetcherSelection(base, "manager");
+    EXPECT_EQ(managed.manager, ManagerKind::Explore);
+}
+
+TEST(PrefetcherSelectionDeath, UnknownNameIsACleanFatal)
+{
+    // The fdp_sim --prefetcher error path: a clean main-thread fatal
+    // that lists the valid names.
+    EXPECT_DEATH(prefetcherSelectionFromName("nosuch"),
+                 "unknown prefetcher");
+}
+
+TEST(MakeRunPrefetcher, BuildsTheManagedZoo)
+{
+    RunConfig c = RunConfig::fullFdp();
+    c.manager = ManagerKind::Explore;
+    auto pf = makeRunPrefetcher(c);
+    ASSERT_NE(pf, nullptr);
+    auto *mgr = dynamic_cast<ManagedPrefetcher *>(pf.get());
+    ASSERT_NE(mgr, nullptr);
+    EXPECT_EQ(mgr->zooSize(), defaultManagerZoo().size());
+    EXPECT_STREQ(mgr->activeName(), "stream");
+
+    c.managerZoo = {PrefetcherKind::Vldp, PrefetcherKind::NextLine};
+    auto narrow = makeRunPrefetcher(c);
+    auto *nmgr = dynamic_cast<ManagedPrefetcher *>(narrow.get());
+    ASSERT_NE(nmgr, nullptr);
+    EXPECT_EQ(nmgr->zooSize(), 2u);
+    EXPECT_STREQ(nmgr->candidate(0).name(), "vldp");
+    EXPECT_STREQ(nmgr->candidate(1).name(), "nextline");
+}
+
 TEST(RunWorkload, StaticLevelReachesThePrefetcher)
 {
     // A static level-1 run must never send more than distance-4-deep

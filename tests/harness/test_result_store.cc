@@ -101,6 +101,48 @@ TEST(StoreKey, StableAcrossCallsAndSensitiveToEveryInput)
     EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, a.hash);
 }
 
+TEST(StoreKey, SensitiveToPrefetcherAndManagerConfig)
+{
+    const RunConfig config = quickConfig();
+    const StoreKey base = makeStoreKey("swim", config, "fdp");
+
+    // Prefetcher type is part of the cell's identity.
+    RunConfig tweaked = config;
+    tweaked.prefetcher = PrefetcherKind::Vldp;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, base.hash);
+
+    // So is turning the runtime manager on...
+    RunConfig managed = config;
+    managed.manager = ManagerKind::Explore;
+    const StoreKey managedKey = makeStoreKey("swim", managed, "fdp");
+    EXPECT_NE(managedKey.hash, base.hash);
+
+    // ...and every scheduling knob of the manager itself.
+    tweaked = managed;
+    tweaked.managerParams.exploreIntervals += 1;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+    tweaked = managed;
+    tweaked.managerParams.exploitIntervals += 1;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+    tweaked = managed;
+    tweaked.managerParams.hysteresisPct += 0.5;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+    tweaked = managed;
+    tweaked.managerParams.reexploreDropPct += 0.5;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+
+    // A non-default zoo names a different cell.
+    tweaked = managed;
+    tweaked.managerZoo = {PrefetcherKind::Stream, PrefetcherKind::Vldp};
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+
+    // But spelling out the default zoo explicitly is the SAME cell: the
+    // fingerprint covers the effective zoo, not the spelling.
+    tweaked = managed;
+    tweaked.managerZoo = defaultManagerZoo();
+    EXPECT_EQ(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
+}
+
 TEST(StoreKey, CanonicalStringNamesItsComponents)
 {
     const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");

@@ -162,5 +162,71 @@ TEST(McMachine, MismatchedCoreCountIsFatal)
                 testing::ExitedWithCode(1), "cores");
 }
 
+TEST(McMachine, HeterogeneousCoresRunTheirOwnPrefetchers)
+{
+    McRunConfig cfg = mcConfig(RunConfig::fullFdp(), 2, 30'000);
+    cfg.corePrefetchers = {"stream", "vldp"};
+    const McRunResult r =
+        runMix(benchMix("hetero", {"swim", "art"}), cfg, "fdp");
+    ASSERT_EQ(r.cores.size(), 2u);
+    EXPECT_EQ(r.cores[0].prefetcher, "stream");
+    EXPECT_EQ(r.cores[1].prefetcher, "vldp");
+    for (const McCoreResult &c : r.cores)
+        EXPECT_EQ(c.insts, 30'000u);
+}
+
+TEST(McMachine, ManagedCoreReportsItsActiveCandidate)
+{
+    McRunConfig cfg = mcConfig(RunConfig::fullFdp(), 2, 30'000);
+    cfg.base.fdp.intervalEvictions = 1024;  // fast manager ticks
+    cfg.corePrefetchers = {"manager", "stream"};
+    const McRunResult r =
+        runMix(benchMix("managed", {"swim", "art"}), cfg, "fdp");
+    ASSERT_EQ(r.cores.size(), 2u);
+    // "manager[<candidate>]" where <candidate> is a zoo member.
+    EXPECT_EQ(r.cores[0].prefetcher.rfind("manager[", 0), 0u)
+        << r.cores[0].prefetcher;
+    EXPECT_EQ(r.cores[0].prefetcher.back(), ']');
+    EXPECT_EQ(r.cores[1].prefetcher, "stream");
+}
+
+TEST(McMachine, HeterogeneousRunsAreDeterministic)
+{
+    McRunConfig cfg = mcConfig(RunConfig::fullFdp(), 2, 30'000);
+    cfg.base.fdp.intervalEvictions = 1024;
+    cfg.corePrefetchers = {"manager", "dspatch"};
+    const MixSpec spec = benchMix("hdet", {"swim", "mgrid"});
+    const McRunResult a = runMix(spec, cfg, "fdp");
+    const McRunResult b = runMix(spec, cfg, "fdp");
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.busAccesses, b.busAccesses);
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
+        EXPECT_EQ(a.cores[i].prefetcher, b.cores[i].prefetcher);
+        EXPECT_EQ(a.cores[i].busAccesses, b.cores[i].busAccesses);
+    }
+}
+
+TEST(McMachine, MixSpecCorePrefetchersFlowThroughRunMix)
+{
+    MixSpec spec = benchMix("specpf", {"swim", "art"});
+    spec.corePrefetchers = {"nextline", "stride"};
+    const McRunConfig cfg = mcConfig(RunConfig::fullFdp(), 2, 20'000);
+    const McRunResult r = runMix(spec, cfg, "fdp");
+    ASSERT_EQ(r.cores.size(), 2u);
+    EXPECT_EQ(r.cores[0].prefetcher, "nextline");
+    EXPECT_EQ(r.cores[1].prefetcher, "pc-stride");
+}
+
+TEST(McMachine, WrongSizedPrefetcherListIsFatal)
+{
+    McRunConfig cfg = mcConfig(RunConfig::fullFdp(), 2, 10'000);
+    cfg.corePrefetchers = {"stream", "vldp", "dspatch"};
+    EXPECT_EXIT(runMix(benchMix("bad", {"swim", "art"}), cfg, "fdp"),
+                testing::ExitedWithCode(1),
+                "per-core prefetcher selections");
+}
+
 } // namespace
 } // namespace fdp

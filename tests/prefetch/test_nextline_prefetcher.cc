@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the next-line sandbox prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/nextline_prefetcher.hh"
+#include "sim/snapshot.hh"
+
+namespace fdp
+{
+namespace
+{
+
+std::vector<BlockAddr>
+feed(NextLinePrefetcher &pf, Addr addr, bool miss,
+     std::size_t budget = Prefetcher::kUnlimited)
+{
+    std::vector<BlockAddr> out;
+    pf.observe({addr, blockAddr(addr), 0x1000, miss}, out, budget);
+    return out;
+}
+
+TEST(NextLinePrefetcher, MissRequestsTheNextBlocks)
+{
+    NextLinePrefetcher pf;
+    pf.setAggressiveness(5);  // degree 4
+    const Addr a = 0x10000;
+    const auto out = feed(pf, a, true);
+    ASSERT_EQ(out.size(), 4u);
+    for (unsigned j = 0; j < 4; ++j)
+        EXPECT_EQ(out[j], blockAddr(a) + 1 + j);
+}
+
+TEST(NextLinePrefetcher, HitsStaySilent)
+{
+    NextLinePrefetcher pf;
+    EXPECT_TRUE(feed(pf, 0x10000, false).empty());
+}
+
+TEST(NextLinePrefetcher, ConservativeLevelShortensTheRun)
+{
+    NextLinePrefetcher pf;
+    pf.setAggressiveness(1);  // degree 1
+    const auto out = feed(pf, 0x20000, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], blockAddr(0x20000) + 1);
+}
+
+TEST(NextLinePrefetcher, BudgetCapsTheRun)
+{
+    NextLinePrefetcher pf;
+    pf.setAggressiveness(5);
+    EXPECT_EQ(feed(pf, 0x30000, true, 2).size(), 2u);
+    EXPECT_TRUE(feed(pf, 0x30000, true, 0).empty());
+}
+
+TEST(NextLinePrefetcher, SnapshotRoundTripIsByteExact)
+{
+    NextLinePrefetcher pf;
+    pf.setAggressiveness(2);
+    feed(pf, 0x40000, true);
+    feed(pf, 0x41000, false);
+    SnapWriter w1;
+    pf.saveState(w1);
+
+    NextLinePrefetcher restored;
+    SnapReader r(w1.bytes());
+    restored.loadState(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(restored.aggressiveness(), 2u);
+    SnapWriter w2;
+    restored.saveState(w2);
+    EXPECT_EQ(w1.bytes(), w2.bytes());
+    restored.audit();
+}
+
+TEST(NextLinePrefetcherDeathTest, CorruptSnapshotLevelIsFatal)
+{
+    // A hand-built section with an out-of-range level must be rejected.
+    SnapWriter w;
+    w.beginSection("nextline");
+    w.putU8(9);
+    w.putU64(0);
+    w.endSection();
+    NextLinePrefetcher pf;
+    SnapReader r(w.bytes());
+    EXPECT_DEATH(pf.loadState(r), "level 9 out of range");
+}
+
+} // namespace
+} // namespace fdp

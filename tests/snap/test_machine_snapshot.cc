@@ -59,6 +59,32 @@ TEST(MachineSnapshot, SaveRestoreResaveIsByteIdentical)
     EXPECT_EQ(saved.bytes, resaved.bytes);
 }
 
+TEST(MachineSnapshot, ManagedMachineRoundTripsAndContinues)
+{
+    // The manager nests every zoo candidate's state inside its own
+    // section; the whole-machine capture must round-trip it and keep a
+    // restored run bit-identical through later FSM transitions.
+    RunConfig config = testConfig();
+    config.manager = ManagerKind::Explore;
+    config.fdp.intervalEvictions = 1024;  // several manager ticks
+    SyntheticWorkload w1(benchmarkParams("swim"));
+    SimMachine m1(w1, config);
+    AuditSet audits1;
+    wireAudits(m1, audits1);  // installs the manager's interval hook
+    const SnapshotImageBody saved = runAndCapture(m1, 120'000);
+
+    SyntheticWorkload w2(benchmarkParams("swim"));
+    SimMachine m2(w2, config);
+    AuditSet audits2;
+    wireAudits(m2, audits2);
+    restoreMachine(m2.parts(), saved.bytes, RestoreMode::Full);
+    EXPECT_EQ(captureMachine(m2.parts()).bytes, saved.bytes);
+
+    const SnapshotImageBody after1 = runAndCapture(m1, 120'000);
+    const SnapshotImageBody after2 = runAndCapture(m2, 120'000);
+    EXPECT_EQ(after1.bytes, after2.bytes);
+}
+
 TEST(MachineSnapshot, RestoredMachineContinuesBitIdentically)
 {
     const RunConfig config = testConfig();

@@ -15,15 +15,19 @@
 #include "core/fdp_controller.hh"
 #include "core/feedback_counters.hh"
 #include "core/pollution_filter.hh"
+#include "manage/prefetcher_manager.hh"
 #include "mc/mc_memory_system.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/memory_system.hh"
 #include "mem/mshr.hh"
 #include "sim/logging.hh"
+#include "prefetch/dspatch_prefetcher.hh"
 #include "prefetch/ghb_prefetcher.hh"
+#include "prefetch/nextline_prefetcher.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
+#include "prefetch/vldp_prefetcher.hh"
 #include "sim/event_queue.hh"
 #include "trace/trace_reader.hh"
 
@@ -193,6 +197,54 @@ struct AuditCorrupter
         e.valid = true;
         e.tag = tag;
         e.state = StridePrefetcher::State::Initial;
+    }
+
+    /** Store a VLDP level-1 DPT entry in a slot its key misses. */
+    static void
+    vldpDptWrongSlot(VldpPrefetcher &pf)
+    {
+        std::array<std::int8_t, kVldpHistLen> key{};
+        key[0] = 2;
+        const std::size_t wrong =
+            (pf.dptIndexOf(1, key) + 1) % pf.dpt_[0].size();
+        VldpPrefetcher::DptEntry &e = pf.dpt_[0][wrong];
+        e.valid = true;
+        e.key = key;
+        e.pred = 1;
+        e.accuracy = 1;
+    }
+
+    /** Clear a tracked region's trigger bit from its access pattern. */
+    static void
+    dspatchLoseTriggerBit(DspatchPrefetcher &pf)
+    {
+        DspatchPrefetcher::PbEntry &e = pf.pb_.front();
+        e.valid = true;
+        e.triggerOffset = 3;
+        e.pattern = 1u << 5;  // trigger bit 3 missing
+        e.lastUse = pf.tick_;
+    }
+
+    /** Push the next-line prefetcher's level out of [1, 5]. */
+    static void
+    nextlineBadLevel(NextLinePrefetcher &pf)
+    {
+        pf.level_ = kMaxAggrLevel + 4;
+    }
+
+    /** Point the manager's live-candidate index outside its zoo. */
+    static void
+    managerBadActive(ManagedPrefetcher &mgr)
+    {
+        mgr.active_ = mgr.zoo_.size();
+    }
+
+    /** Desynchronize an exploring manager from its scoring cursor. */
+    static void
+    managerExploreDesync(ManagedPrefetcher &mgr)
+    {
+        mgr.phase_ = ManagedPrefetcher::Phase::Explore;
+        mgr.exploreIdx_ = (mgr.active_ + 1) % mgr.zoo_.size();
     }
 
     /** Overfill the Prefetch Request Queue past its capacity. */

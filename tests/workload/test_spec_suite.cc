@@ -56,6 +56,36 @@ TEST(SpecSuite, UnknownNameIsFatal)
     EXPECT_DEATH(benchmarkParams("nonexistent"), "unknown benchmark");
 }
 
+TEST(SpecSuite, ZooBenchmarksStayOutOfTheMainSuite)
+{
+    const auto &zoo = zooBenchmarks();
+    ASSERT_EQ(zoo.size(), 2u);
+    EXPECT_EQ(zoo[0], "deltamix");
+    EXPECT_EQ(zoo[1], "phaseflip");
+    // Management-layer traces are resolvable by name but must never
+    // leak into allBenchmarks(): the default sweep (and its committed
+    // bench baseline) stays bit-identical with the zoo present.
+    const auto all = allBenchmarks();
+    const std::set<std::string> suite(all.begin(), all.end());
+    for (const auto &name : zoo) {
+        EXPECT_EQ(suite.count(name), 0u) << name;
+        auto w = makeBenchmark(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_STREQ(w->name(), name.c_str());
+        for (int i = 0; i < 1000; ++i)
+            w->next();
+    }
+}
+
+TEST(SpecSuite, ZooBenchmarksExerciseTheDeltaBand)
+{
+    // deltamix trains VLDP's delta tables; phaseflip alternates between
+    // stream-friendly and delta-friendly bands so the manager re-elects.
+    EXPECT_GT(benchmarkParams("deltamix").pDelta, 0.0);
+    EXPECT_NE(benchmarkParams("phaseflip").phaseOps, 0u);
+    EXPECT_GT(benchmarkParams("phaseflip").pStream, 0.0);
+}
+
 TEST(SpecSuite, PollutionVictimsHaveShortStreamsAndBigHotSets)
 {
     for (const char *name : {"art", "ammp"}) {

@@ -18,6 +18,9 @@ layerRanks()
         {"sim", 0},  {"prefetch", 1}, {"workload", 1}, {"core", 2},
         {"mem", 3},  {"trace", 3},    {"cpu", 4},      {"snap", 5},
         {"harness", 6}, {"mc", 7},
+        // manage sees only the abstract Prefetcher interface, so it
+        // sits just above prefetch; concrete zoos are wired in harness.
+        {"manage", 2},
     };
     return ranks;
 }

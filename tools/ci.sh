@@ -136,6 +136,24 @@ stage_tier1() {
     diff "$mdir/jobs1.out" "$mdir/jobs4.out"
     diff "$mdir/jobs1.json" "$mdir/jobs4.json"
     echo "mix smoke: co-run bit-identical across --jobs 1 and --jobs 4"
+
+    echo "==== stage tier1: manager determinism smoke ===="
+    # The adaptive prefetcher manager explores/exploits off interval
+    # feedback; its FSM must be a pure function of the simulation, so a
+    # managed sweep is bit-identical across worker counts too.
+    local gdir="$ROOT/build-ci/manager-smoke"
+    rm -rf "$gdir" && mkdir -p "$gdir"
+    "$ROOT/build-ci/bench/fdp_sim" --list-prefetchers > "$gdir/list.out"
+    grep -q '^manager$' "$gdir/list.out"
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --bench mgrid \
+        --manager explore --insts 200000 --jobs 1 \
+        --out "$gdir/jobs1.json" > "$gdir/jobs1.out" 2> /dev/null
+    "$ROOT/build-ci/bench/fdp_sim" --bench swim --bench mgrid \
+        --manager explore --insts 200000 --jobs 4 \
+        --out "$gdir/jobs4.json" > "$gdir/jobs4.out" 2> /dev/null
+    diff "$gdir/jobs1.out" "$gdir/jobs4.out"
+    diff "$gdir/jobs1.json" "$gdir/jobs4.json"
+    echo "manager smoke: managed sweep bit-identical across --jobs 1/4"
 }
 
 stage_asan() {
@@ -171,7 +189,7 @@ stage_tsan() {
         > /dev/null
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/bench/mix05_corun" --mix mix2-stream \
-        --mix mix4-bw --insts 50000 --jobs 4 > /dev/null
+        --mix mix4-bw --mix mix4-zoo --insts 50000 --jobs 4 > /dev/null
     echo "tsan stage: zero data races reported"
 }
 
@@ -210,6 +228,9 @@ for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s",
                  "micro/WorkloadNext/ns",
                  "micro/StatScalarIncrement/ns",
                  "micro/StatBatchedIncrement/ns",
+                 "micro/VldpObserve/ns",
+                 "micro/DspatchObserve/ns",
+                 "micro/ManagerIntervalTick/ns",
                  "macro/sweep_warmfork/speedup"):
     if required not in names:
         sys.exit(f"missing required entry {required}")

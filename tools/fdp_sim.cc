@@ -34,7 +34,8 @@ using namespace fdp;
 struct Options
 {
     std::vector<std::string> benches;
-    PrefetcherKind prefetcher = PrefetcherKind::Stream;
+    std::string prefetcher = "stream";  // knownPrefetcherNames()
+    std::string manager = "off";        // off | explore
     std::string policy = "fdp";  // none | static | dyn-aggr | dyn-ins |
                                  // fdp | accuracy-only
     unsigned level = 5;
@@ -65,8 +66,15 @@ usage()
         "  --bench NAME        benchmark stand-in (repeatable); "
         "--all for every one\n"
         "  --list              list available benchmarks and exit\n"
-        "  --prefetcher KIND   none | stream | ghb | stride "
+        "  --prefetcher KIND   none | stream | ghb | stride | vldp |\n"
+        "                      dspatch | nextline | manager "
         "(default stream)\n"
+        "  --manager M         off | explore: wrap the run in the\n"
+        "                      adaptive prefetcher manager (explore =\n"
+        "                      POWER7-style explore/exploit over the\n"
+        "                      default zoo; `--prefetcher manager' is\n"
+        "                      shorthand for explore)\n"
+        "  --list-prefetchers  list prefetcher selections and exit\n"
         "  --policy P          none | static | dyn-aggr | dyn-ins | fdp |"
         " accuracy-only (default fdp)\n"
         "  --level N           static aggressiveness 1..5 (default 5)\n"
@@ -125,17 +133,19 @@ parse(int argc, char **argv)
                 std::printf("%s\n", b.c_str());
             std::exit(0);
         } else if (!std::strcmp(a, "--prefetcher")) {
-            const std::string k = need(i);
-            if (k == "none")
-                o.prefetcher = PrefetcherKind::None;
-            else if (k == "stream")
-                o.prefetcher = PrefetcherKind::Stream;
-            else if (k == "ghb")
-                o.prefetcher = PrefetcherKind::GhbCdc;
-            else if (k == "stride")
-                o.prefetcher = PrefetcherKind::Stride;
-            else
-                usage();
+            // Validated on the main thread: an unknown name is a user
+            // error listing the valid selections, never a worker fatal.
+            o.prefetcher = need(i);
+            prefetcherSelectionFromName(o.prefetcher);
+        } else if (!std::strcmp(a, "--manager")) {
+            o.manager = need(i);
+            if (o.manager != "off" && o.manager != "explore")
+                fatal("--manager wants off or explore (got `%s')",
+                      o.manager.c_str());
+        } else if (!std::strcmp(a, "--list-prefetchers")) {
+            for (const auto &p : knownPrefetcherNames())
+                std::printf("%s\n", p.c_str());
+            std::exit(0);
         } else if (!std::strcmp(a, "--policy")) {
             o.policy = need(i);
         } else if (!std::strcmp(a, "--level")) {
@@ -270,8 +280,11 @@ buildConfig(const Options &o)
     else
         usage();
 
-    if (o.policy != "none")
-        c.prefetcher = o.prefetcher;
+    if (o.policy != "none") {
+        c = applyPrefetcherSelection(c, o.prefetcher);
+        if (o.manager == "explore")
+            c.manager = ManagerKind::Explore;
+    }
     c.numInsts = o.insts;
     c.machine.l2.sizeBytes = o.l2KB * 1024;
     c.machine.dram = DramParams::withUnloadedLatency(o.memLatency);
