@@ -12,6 +12,7 @@
 
 #include "core/fdp_controller.hh"
 #include "core/pollution_filter.hh"
+#include "dram/dram_controller.hh"
 #include "harness/experiment.hh"
 #include "manage/prefetcher_manager.hh"
 #include "mem/cache.hh"
@@ -389,6 +390,57 @@ BM_ManagerIntervalTick(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ManagerIntervalTick);
+
+void
+BM_DramSchedulePick(benchmark::State &state)
+{
+    // Steady-state FR-FCFS scheduling over a populated queue with the
+    // full comparator engaged: FDP tiers, weighted service, QoS caps.
+    EventQueue events;
+    StatGroup stats{"dram"};
+    DramCtrlParams ctrl;
+    ctrl.kind = DramKind::Controller;
+    ctrl.channels = 2;
+    ctrl.qosWeighted = true;
+    DramController dram(DramParams{}, ctrl, events, stats, 4);
+    static constexpr PrefetchTier kTiers[3] = {PrefetchTier::High,
+                                               PrefetchTier::Medium,
+                                               PrefetchTier::Low};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const BusPriority prio =
+            i % 3 == 0 ? BusPriority::Demand : BusPriority::Prefetch;
+        dram.enqueue((i * 37) % (1 << 20), prio, events.horizon(),
+                     [](Cycle) {}, CoreId(i % 4), kTiers[i % 3]);
+        // Keep ~16 requests resident so every grant scans a real queue.
+        if (++i % 16 == 0)
+            events.serviceUntil(events.horizon() + 4000);
+        benchmark::DoNotOptimize(dram.queued());
+    }
+}
+BENCHMARK(BM_DramSchedulePick);
+
+void
+BM_DramBankTick(benchmark::State &state)
+{
+    // Single-channel bank/row bookkeeping: a same-row walk, so every
+    // grant takes the row-hit path (activate bookkeeping amortized at
+    // row boundaries) and the per-access cost is the bank timing tick.
+    EventQueue events;
+    StatGroup stats{"dram"};
+    DramCtrlParams ctrl;
+    ctrl.kind = DramKind::Controller;
+    ctrl.channels = 1;
+    DramController dram(DramParams{}, ctrl, events, stats);
+    BlockAddr block = 0;
+    for (auto _ : state) {
+        dram.enqueue(block++, BusPriority::Demand, events.horizon(),
+                     [](Cycle) {});
+        events.serviceUntil(events.horizon() + 200);
+        benchmark::DoNotOptimize(dram.busAccesses());
+    }
+}
+BENCHMARK(BM_DramBankTick);
 
 } // namespace
 

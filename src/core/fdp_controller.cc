@@ -297,4 +297,19 @@ FdpController::lifetimePollution() const
                  static_cast<double>(demandMisses_.value()));
 }
 
+PrefetchTier
+FdpController::accuracyTier() const
+{
+    // No completed interval yet (cold start or measurement-boundary
+    // reset): no evidence against the stream, so schedule it neutrally.
+    if (intervals_.value() == 0)
+        return PrefetchTier::High;
+    const double acc = counters_.accuracy();
+    if (acc >= params_.thresholds.aHigh)
+        return PrefetchTier::High;
+    if (acc >= params_.thresholds.aLow)
+        return PrefetchTier::Medium;
+    return PrefetchTier::Low;
+}
+
 } // namespace fdp

@@ -25,6 +25,7 @@
 #include "core/feedback_counters.hh"
 #include "core/insertion.hh"
 #include "core/pollution_filter.hh"
+#include "dram/dram_backend.hh"
 #include "prefetch/aggressiveness.hh"
 #include "sim/check.hh"
 #include "sim/stats.hh"
@@ -131,6 +132,16 @@ class FdpController : public Auditable, public Snapshottable
 
     /** Current Dynamic Configuration Counter value (1..5). */
     unsigned level() const { return level_; }
+
+    /**
+     * Accuracy tier of this core's prefetch stream for DRAM scheduling
+     * (paper Table 2 thresholds on the smoothed accuracy): High until
+     * the first sampling interval completes, then High / Medium / Low
+     * by the aHigh / aLow cut points. The FR-FCFS controller schedules
+     * low-tier prefetches strictly behind demands and may drop them
+     * under queue pressure.
+     */
+    PrefetchTier accuracyTier() const;
 
     /** Lifetime (whole-run) metrics for Figures 2/3 style reporting. */
     double lifetimeAccuracy() const;

@@ -1,0 +1,38 @@
+#include "dram/dram_backend.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fdp
+{
+
+Cycle
+DramParams::transferCycles() const
+{
+    return static_cast<Cycle>(
+        std::ceil(static_cast<double>(kBlockBytes) / busBytesPerCycle));
+}
+
+Cycle
+DramParams::unloadedLatency() const
+{
+    return accessRowConflict + transferCycles() + returnCycles;
+}
+
+DramParams
+DramParams::withUnloadedLatency(Cycle total)
+{
+    DramParams p;
+    const Cycle transfer = p.transferCycles();
+    if (total < transfer + 20)
+        fatal("unloaded DRAM latency %llu too small",
+              static_cast<unsigned long long>(total));
+    const Cycle rest = total - transfer;
+    p.accessRowConflict = rest / 2;
+    p.accessRowHit = (p.accessRowConflict * 3) / 5;
+    p.returnCycles = rest - p.accessRowConflict;
+    return p;
+}
+
+} // namespace fdp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The DRAM backend seam: the parameter structs, the request priority /
+ * accuracy-tier vocabulary, and the abstract interface both memory
+ * systems talk to (DESIGN.md §18).
+ *
+ * Two implementations exist:
+ *  - the flat bandwidth-limited model of paper Table 3
+ *    (mem/dram.hh, the default baseline), and
+ *  - the FR-FCFS multi-channel controller (dram/dram_controller.hh,
+ *    opt-in via DramKind::Controller) that adds per-bank queues,
+ *    row-policy knobs, accuracy-directed prefetch priority, and
+ *    per-core bandwidth QoS.
+ *
+ * This layer knows nothing above sim/: the memory systems pick an
+ * implementation, the FDP controller supplies the PrefetchTier.
+ */
+
+#ifndef FDP_DRAM_DRAM_BACKEND_HH
+#define FDP_DRAM_DRAM_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/check.hh"
+#include "sim/inline_function.hh"
+#include "sim/snapshot.hh"
+#include "sim/types.hh"
+
+namespace fdp
+{
+
+/** DRAM timing/geometry parameters (paper Table 3). */
+struct DramParams
+{
+    unsigned banks = 32;
+    /** Blocks per DRAM row (128 x 64B = 8KB rows). */
+    unsigned rowBlocks = 128;
+    /** Bank access phase, row-buffer hit (cycles). */
+    Cycle accessRowHit = 150;
+    /** Bank access phase, row conflict (cycles). */
+    Cycle accessRowConflict = 250;
+    /** Open-row command cadence: bank busy per pipelined row hit. */
+    Cycle casToCASCycles = 8;
+    /** Data-bus bandwidth (4.5 GB/s at 4 GHz = 1.125 B/cycle). */
+    double busBytesPerCycle = 1.125;
+    /** Fixed fill/return overhead after the transfer (cycles). */
+    Cycle returnCycles = 193;
+    /** Capacity of a bus-request queue (per channel, for controllers). */
+    std::size_t queueCapacity = 128;
+    /** Writebacks get demand priority beyond this backlog. */
+    std::size_t writebackHighWater = 64;
+
+    /** Cycles one block occupies the data bus. */
+    Cycle transferCycles() const;
+
+    /** Unloaded row-conflict latency (the paper's "minimum" 500). */
+    Cycle unloadedLatency() const;
+
+    /** Bank access phase with the bank precharged but no row open
+     *  (activate without the preceding precharge of a conflict). */
+    Cycle accessRowEmpty() const
+    {
+        return (accessRowHit + accessRowConflict) / 2;
+    }
+
+    /**
+     * Derive a parameter set whose unloaded row-conflict latency is
+     * @p total cycles (used by the Table 7 sensitivity sweep).
+     */
+    static DramParams withUnloadedLatency(Cycle total);
+};
+
+/** Priority of a bus request. */
+enum class BusPriority : std::uint8_t { Demand, Prefetch, Writeback };
+
+/**
+ * Paper Table 2 accuracy class of the interval a prefetch was issued
+ * in. The FR-FCFS controller schedules by it: High may compete with
+ * demands for row hits, Medium runs behind all demands, Low runs last
+ * and is droppable under queue pressure. The flat model ignores it.
+ */
+enum class PrefetchTier : std::uint8_t { High, Medium, Low };
+
+/** Which DRAM backend a machine instantiates. */
+enum class DramKind : std::uint8_t { Flat, Controller };
+
+/** Row-buffer management policy of the controller. */
+enum class RowPolicy : std::uint8_t { Open, Closed, Adaptive };
+
+/** Memory-controller configuration (ignored under DramKind::Flat). */
+struct DramCtrlParams
+{
+    DramKind kind = DramKind::Flat;
+    /** Independent channels, each with its own banks, queues, and data
+     *  bus. Must be a power of two dividing DramParams::rowBlocks. */
+    unsigned channels = 2;
+    RowPolicy rowPolicy = RowPolicy::Open;
+    /** Accuracy-directed prefetch priority (the FDP tie-in). Off =
+     *  accuracy-blind FR-FCFS: demands and prefetches are one class. */
+    bool fdpPriority = true;
+    /** Drop Low-tier prefetches once their channel's read queue holds
+     *  this many requests (0 = never drop by tier). */
+    std::size_t lowTierDropAt = 16;
+    /** QoS: per-core cap on queued prefetches per channel (0 = off). */
+    unsigned qosInFlightCap = 0;
+    /** QoS: least-served-core-first tie-breaking among equal-priority
+     *  scheduling candidates (weighted service). */
+    bool qosWeighted = false;
+};
+
+/**
+ * Abstract DRAM + memory-bus engine. Implementations own their
+ * statistics (registered under the shared memory StatGroup with the
+ * flat model's names, so result extraction is backend-agnostic) and
+ * honor the repo contracts: audited invariants, quiesce-point
+ * snapshots, and bit-identical determinism.
+ */
+class DramBackend : public Auditable, public Snapshottable
+{
+  public:
+    using DoneFn = fdp::DoneFn;
+
+    ~DramBackend() override = default;
+
+    /**
+     * Enqueue a block request on behalf of @p core. Returns false (and
+     * drops the request) only for prefetches the backend refuses: a
+     * full queue, a Low-tier drop under pressure, or a QoS cap. @p done
+     * is invoked with the cycle at which the fill reaches the L2; pass
+     * nullptr for writebacks. @p tier is the issuing core's FDP
+     * accuracy class at issue time (meaningful for prefetches only).
+     */
+    virtual bool enqueue(BlockAddr block, BusPriority prio, Cycle now,
+                         DoneFn done, CoreId core = kCore0,
+                         PrefetchTier tier = PrefetchTier::High) = 0;
+
+    /**
+     * Promote a still-queued prefetch for @p block to demand priority
+     * (a demand merged with it in the MSHR). No-op if already granted.
+     */
+    virtual void promoteToDemand(BlockAddr block) = 0;
+
+    /** Requests currently waiting (all priorities, all channels). */
+    virtual std::size_t queued() const = 0;
+
+    /// @name Lifetime statistics
+    /// @{
+    virtual std::uint64_t busAccesses() const = 0;
+    /** Measured data-bus occupancy, summed over every channel. */
+    virtual std::uint64_t busBusyCycles() const = 0;
+    virtual std::uint64_t rowHits() const = 0;
+    virtual std::uint64_t rowConflicts() const = 0;
+
+    /** Blocks transferred on the bus on behalf of @p core. */
+    virtual std::uint64_t busAccessesByCore(CoreId core) const = 0;
+    /// @}
+
+    /**
+     * Zero the per-core attribution counters (and any other raw
+     * counters audited against registered statistics) alongside a
+     * StatGroup reset at a measurement boundary.
+     */
+    virtual void resetAttribution() = 0;
+
+    /** Independent data buses: busBusyCycles() can reach
+     *  dataBuses() * elapsed, so utilization windows normalize by it. */
+    virtual unsigned dataBuses() const = 0;
+
+    virtual const DramParams &params() const = 0;
+};
+
+} // namespace fdp
+
+#endif // FDP_DRAM_DRAM_BACKEND_HH

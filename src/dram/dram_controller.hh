@@ -1,0 +1,198 @@
+/**
+ * @file
+ * FR-FCFS multi-channel memory controller (DESIGN.md §18).
+ *
+ * Replaces the flat three-deque bus model with a real controller:
+ *  - XOR channel interleaving: consecutive blocks stripe across
+ *    channels, and the row index is folded in so same-bank streams on
+ *    one channel remap on the next, each channel owning its banks,
+ *    request queues, and data bus;
+ *  - FR-FCFS scheduling per channel: row-buffer hits first, oldest
+ *    first within a class, with the flat model's writeback high-water
+ *    starvation bound;
+ *  - row-policy knobs: open (leave rows open), closed (auto-precharge
+ *    after every access), adaptive (precharge after a conflict, stay
+ *    open after hits);
+ *  - the FDP tie-in: prefetches carry the issuing core's Table 2
+ *    accuracy tier. High-accuracy prefetches are scheduled exactly
+ *    like demands, Medium ones yield only their row-buffer misses to
+ *    demand misses, and Low ones run strictly last and are dropped at
+ *    enqueue once their channel queue is under pressure. With
+ *    fdpPriority off the controller is accuracy-blind: demands and
+ *    prefetches form a single FR-FCFS class (the baseline to beat);
+ *  - per-core bandwidth QoS on top of CoreId attribution: an in-flight
+ *    cap on queued prefetches per core, and optional weighted service
+ *    (least-served core first among equal-priority candidates).
+ */
+
+#ifndef FDP_DRAM_DRAM_CONTROLLER_HH
+#define FDP_DRAM_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/dram_backend.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace fdp
+{
+
+/** Event-driven FR-FCFS multi-channel DRAM controller. */
+class DramController : public DramBackend
+{
+  public:
+    /**
+     * @param numCores  cores that may issue requests; attribution, QoS
+     *                  caps, and weighted service track this many
+     */
+    DramController(const DramParams &params, const DramCtrlParams &ctrl,
+                   EventQueue &events, StatGroup &stats,
+                   unsigned numCores = 1);
+
+    bool enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done,
+                 CoreId core = kCore0,
+                 PrefetchTier tier = PrefetchTier::High) override;
+    void promoteToDemand(BlockAddr block) override;
+    std::size_t queued() const override;
+
+    std::uint64_t busAccesses() const override
+    {
+        return busAccesses_.value();
+    }
+    /** Sum of the per-channel measured data-bus occupancies (the
+     *  registered statistic mirrors it; audited equal). */
+    std::uint64_t busBusyCycles() const override;
+    std::uint64_t rowHits() const override { return rowHits_.value(); }
+    std::uint64_t rowConflicts() const override
+    {
+        return rowConflicts_.value();
+    }
+    std::uint64_t busAccessesByCore(CoreId core) const override;
+    void resetAttribution() override;
+    unsigned dataBuses() const override { return ctrl_.channels; }
+    const DramParams &params() const override { return params_; }
+
+    const DramCtrlParams &ctrlParams() const { return ctrl_; }
+
+    /** Channel @p block is routed to (XOR interleaving); for tests. */
+    unsigned channelOf(BlockAddr block) const;
+
+    /** Measured data-bus occupancy of one channel, in cycles. */
+    std::uint64_t busBusyCyclesOnChannel(unsigned ch) const;
+
+    /// @name Controller-specific lifetime statistics
+    /// @{
+    std::uint64_t rowEmpties() const { return rowEmpties_.value(); }
+    std::uint64_t lowTierDrops() const { return lowTierDrops_.value(); }
+    std::uint64_t qosRejects() const { return qosRejects_.value(); }
+    /// @}
+
+    /**
+     * Invariants: channel/bank state arrays match the configured
+     * geometry; every read queue stays within capacity; each queued
+     * request sits on the channel its block routes to, in the queue
+     * matching its priority, with a completion callback iff it is not
+     * a writeback, a valid core id, and arrival sequence numbers
+     * strictly increasing in queue order; a pump event is scheduled on
+     * every channel with queued work; the per-core bus accesses sum to
+     * the shared total; the per-channel measured bus occupancies sum to
+     * the registered statistic; and the per-core queued-prefetch
+     * counters match a recount of the queues.
+     */
+    void audit() const override;
+    const char *auditName() const override { return "dram_controller"; }
+
+    /**
+     * Snapshots are taken only at quiesce points: queued requests carry
+     * completion closures, so saveState() asserts every queue is empty
+     * and serializes the per-channel bank timing, open-row registers,
+     * bus horizons and measured occupancies, plus the per-core
+     * attribution and service counters. Derived state (arrival
+     * sequencing, queued-prefetch counts) is rebuilt on restore.
+     */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+    const char *snapName() const override { return "dramctl"; }
+
+  private:
+    friend struct AuditCorrupter;
+
+    /** An open-row register holding no row (precharged bank). */
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+    static constexpr std::size_t kNoPick = ~std::size_t{0};
+
+    struct Request
+    {
+        BlockAddr block = 0;
+        BusPriority prio = BusPriority::Demand;
+        PrefetchTier tier = PrefetchTier::High;
+        Cycle enqueueCycle = 0;
+        /** Global arrival order; the FCFS age within every class. */
+        std::uint64_t seq = 0;
+        CoreId core;
+        DoneFn done;
+    };
+
+    struct Channel
+    {
+        std::deque<Request> readQ;  ///< demands + prefetches (FR-FCFS)
+        std::deque<Request> wbQ;
+        std::vector<Cycle> bankReady;
+        std::vector<std::uint64_t> openRow;
+        Cycle busFree = 0;
+        /** Measured data-bus occupancy (sources the busUtil window). */
+        std::uint64_t busyCycles = 0;
+        bool pumpScheduled = false;
+    };
+
+    /** Split @p block into its per-channel bank and row coordinates. */
+    void decode(BlockAddr block, unsigned *bank,
+                std::uint64_t *row) const;
+
+    /**
+     * Scheduling rank of a queued read given the bank's current open
+     * row; lower wins. 0 is the FR-FCFS head class (row hits from
+     * demands, High, and Medium prefetches), 1 is demand and High
+     * misses, then Medium misses, then the Low tier.
+     */
+    unsigned pickClass(const Channel &c, const Request &r) const;
+
+    /** Index of the best read in @p c's queue, or kNoPick. */
+    std::size_t pickRead(const Channel &c) const;
+
+    void schedulePump(unsigned ch, Cycle now);
+    void pump(unsigned ch);
+
+    DramParams params_;
+    DramCtrlParams ctrl_;
+    EventQueue &events_;
+    Cycle transferCycles_;
+
+    /** deque: Channel is non-relocatable (queued DoneFn closures). */
+    std::deque<Channel> channels_;
+    /** Bus accesses attributed to each requesting core. */
+    std::vector<std::uint64_t> coreBusAccesses_;
+    /** Read grants per core, the weighted-service ledger. */
+    std::vector<std::uint64_t> coreServed_;
+    /** Queued (not yet granted) prefetches per core, for the QoS cap. */
+    std::vector<unsigned> corePrefQueued_;
+    std::uint64_t nextSeq_ = 0;
+
+    ScalarStat busAccesses_;
+    ScalarStat demandGrants_;
+    ScalarStat prefetchGrants_;
+    ScalarStat writebackGrants_;
+    ScalarStat rowHits_;
+    ScalarStat rowConflicts_;
+    ScalarStat rowEmpties_;
+    ScalarStat busBusyCycles_;
+    ScalarStat promotions_;
+    ScalarStat lowTierDrops_;
+    ScalarStat qosRejects_;
+};
+
+} // namespace fdp
+
+#endif // FDP_DRAM_DRAM_CONTROLLER_HH

@@ -172,6 +172,14 @@ configFingerprint(const RunConfig &c)
        << " dram.return=" << c.machine.dram.returnCycles
        << " dram.qcap=" << c.machine.dram.queueCapacity
        << " dram.wbhigh=" << c.machine.dram.writebackHighWater
+       << " dramctl.kind=" << static_cast<int>(c.machine.dramCtrl.kind)
+       << " dramctl.ch=" << c.machine.dramCtrl.channels
+       << " dramctl.rowpol="
+       << static_cast<int>(c.machine.dramCtrl.rowPolicy)
+       << " dramctl.fdpprio=" << c.machine.dramCtrl.fdpPriority
+       << " dramctl.lowdrop=" << c.machine.dramCtrl.lowTierDropAt
+       << " dramctl.qoscap=" << c.machine.dramCtrl.qosInFlightCap
+       << " dramctl.qosw=" << c.machine.dramCtrl.qosWeighted
        << " pcache.on=" << c.machine.prefetchCache.enabled
        << " pcache.size=" << c.machine.prefetchCache.sizeBytes
        << " pcache.assoc=" << c.machine.prefetchCache.assoc

@@ -67,7 +67,8 @@ McMemorySystem::McMemorySystem(const MachineParams &params,
       prefetchers_(prefetchers), fdp_(controllers),
       l2_(withCores(params.l2, numCores_)),
       mshrs_(params.l2Mshrs, numCores_),
-      dram_(params.dram, events, sharedStats, numCores_),
+      dram_(makeDramBackend(params.dram, params.dramCtrl, events,
+                            sharedStats, numCores_)),
       demandAccesses_(sharedStats, "demand_accesses",
                       "demand loads+stores"),
       l1Hits_(sharedStats, "l1_hits", "L1D hits"),
@@ -180,7 +181,7 @@ McMemorySystem::demandAccess(CoreId c, Addr addr, Addr pc, bool isWrite,
             fdp_[e->core.index()]->onLatePrefetchMshrHit();
             e->prefBit = false;
             e->core = c;
-            dram_.promoteToDemand(block);
+            dram_->promoteToDemand(block);
         }
         if (isWrite)
             e->writeIntent = true;
@@ -204,7 +205,7 @@ McMemorySystem::startDemandMiss(CoreId c, BlockAddr block, bool isWrite,
     MshrEntry &e = mshrs_.allocate(block, false, now, c);
     e.writeIntent = isWrite;
     e.waiters.push_back(std::move(done));
-    dram_.enqueue(block, BusPriority::Demand, now,
+    dram_->enqueue(block, BusPriority::Demand, now,
                   [this, block](Cycle cy) { onFill(block, cy); }, c);
 }
 
@@ -242,14 +243,15 @@ McMemorySystem::updateBusUtil(Cycle now)
 {
     if (now < busWindowStart_ + MemorySystem::kBusUtilWindow)
         return;
-    const std::uint64_t busy = dram_.busBusyCycles();
+    const std::uint64_t busy = dram_->busBusyCycles();
     if (busy < busWindowBusy_) {
         busWindowStart_ = now;
         busWindowBusy_ = busy;
         return;
     }
     busUtil_ = static_cast<double>(busy - busWindowBusy_) /
-               static_cast<double>(now - busWindowStart_);
+               (static_cast<double>(now - busWindowStart_) *
+                static_cast<double>(dram_->dataBuses()));
     if (busUtil_ > 1.0)
         busUtil_ = 1.0;
     busWindowStart_ = now;
@@ -280,8 +282,9 @@ McMemorySystem::drainPrefetchQueue(CoreId c, Cycle now)
             return;
         mshrs_.allocate(b, true, now, c);
         const bool sent =
-            dram_.enqueue(b, BusPriority::Prefetch, now,
-                          [this, b](Cycle cy) { onFill(b, cy); }, c);
+            dram_->enqueue(b, BusPriority::Prefetch, now,
+                          [this, b](Cycle cy) { onFill(b, cy); }, c,
+                          fdp_[c.index()]->accuracyTier());
         if (!sent) {
             // Bus queue full: keep the candidate queued for later.
             mshrs_.deallocate(b);
@@ -370,7 +373,7 @@ McMemorySystem::insertL2Fill(CoreId by, BlockAddr block, bool prefBit,
     if (v.dirty && params_.modelWritebacks) {
         ++core(v.owner).writebacks;
         ++writebacks_;
-        dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr,
+        dram_->enqueue(v.block, BusPriority::Writeback, now, nullptr,
                       v.owner);
     }
 }
@@ -392,7 +395,7 @@ McMemorySystem::fillL1(CoreId c, BlockAddr block, bool isWrite, Cycle now)
         if (!l2_.markDirty(v.block) && params_.modelWritebacks) {
             ++self.writebacks;
             ++writebacks_;
-            dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr,
+            dram_->enqueue(v.block, BusPriority::Writeback, now, nullptr,
                           c);
         }
     }
@@ -418,7 +421,7 @@ McMemorySystem::admitPending(Cycle now)
                 fdp_[e->core.index()]->onLatePrefetchMshrHit();
                 e->prefBit = false;
                 e->core = p.core;
-                dram_.promoteToDemand(p.block);
+                dram_->promoteToDemand(p.block);
             }
             if (p.isWrite)
                 e->writeIntent = true;
@@ -433,7 +436,7 @@ McMemorySystem::admitPending(Cycle now)
 bool
 McMemorySystem::quiesced() const
 {
-    if (mshrs_.size() != 0 || !mshrWaitQ_.empty() || dram_.queued() != 0)
+    if (mshrs_.size() != 0 || !mshrWaitQ_.empty() || dram_->queued() != 0)
         return false;
     for (const PerCore &c : perCore_)
         if (!c.prefetchQueue.empty())
@@ -514,7 +517,7 @@ McMemorySystem::audit() const
                    auditName(), p.core.index(), numCores_);
     l2_.audit();
     mshrs_.audit();
-    dram_.audit();
+    dram_->audit();
 
     // Stat scoping: every shared counter is exactly the sum of its
     // per-core breakdown — attribution may never invent or lose events.

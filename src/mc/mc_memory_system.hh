@@ -25,6 +25,7 @@
 #define FDP_MC_MC_MEMORY_SYSTEM_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/fdp_controller.hh"
@@ -79,8 +80,13 @@ class McMemorySystem : public Auditable
 
     const SetAssocCache &l1(CoreId core) const;
     const SetAssocCache &l2() const { return l2_; }
-    DramModel &dram() { return dram_; }
-    const DramModel &dram() const { return dram_; }
+    DramBackend &dram() { return *dram_; }
+    const DramBackend &dram() const { return *dram_; }
+
+    /** Data-bus utilization over the last closed measurement window,
+     *  normalized by the backend's data-bus count (same value the
+     *  single-core MemorySystem reports for the same request stream). */
+    double busUtilization() const { return busUtil_; }
 
     /// @name Per-core lifetime statistics
     /// @{
@@ -196,7 +202,7 @@ class McMemorySystem : public Auditable
 
     SetAssocCache l2_;
     MshrFile mshrs_;
-    DramModel dram_;
+    std::unique_ptr<DramBackend> dram_;
 
     /// @name Shared bus-utilization window (see MemorySystem)
     /// @{

@@ -73,6 +73,29 @@ buildNamedMixes()
                                    bench("art"), bench("mcf")});
     zoo.corePrefetchers = {"stream", "vldp", "dspatch", "manager"};
     mixes.push_back(std::move(zoo));
+    // Eight streamers: two copies of each mix4-bw program (duplicates
+    // get distinct deterministic seeds, so the copies desynchronize).
+    // The flat 4.5 GB/s bus is ~8x oversubscribed; the FR-FCFS
+    // controller's FDP-directed scheduling is evaluated here.
+    mixes.push_back(mix("mix8-bw",
+                        {bench("swim"), bench("mgrid"), bench("applu"),
+                         bench("lucas"), bench("swim"), bench("mgrid"),
+                         bench("applu"), bench("lucas")}));
+    // Heterogeneous eight: streamers, pollution victims, bandwidth
+    // hogs, and mixed INT sharing one L2 and one memory controller.
+    mixes.push_back(mix("mix8-mixed",
+                        {bench("swim"), bench("art"), bench("mcf"),
+                         bench("bzip2"), bench("mgrid"), bench("applu"),
+                         bench("lucas"), bench("equake")}));
+    // Sixteen streamers: four copies of each mix4-bw program; the
+    // extreme bandwidth-bound point for multi-channel scaling.
+    mixes.push_back(mix("mix16-bw",
+                        {bench("swim"), bench("mgrid"), bench("applu"),
+                         bench("lucas"), bench("swim"), bench("mgrid"),
+                         bench("applu"), bench("lucas"), bench("swim"),
+                         bench("mgrid"), bench("applu"), bench("lucas"),
+                         bench("swim"), bench("mgrid"), bench("applu"),
+                         bench("lucas")}));
     return mixes;
 }
 

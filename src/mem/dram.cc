@@ -1,39 +1,21 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
-#include <cmath>
 
+#include "dram/dram_controller.hh"
 #include "sim/logging.hh"
 
 namespace fdp
 {
 
-Cycle
-DramParams::transferCycles() const
+std::unique_ptr<DramBackend>
+makeDramBackend(const DramParams &params, const DramCtrlParams &ctrl,
+                EventQueue &events, StatGroup &stats, unsigned numCores)
 {
-    return static_cast<Cycle>(
-        std::ceil(static_cast<double>(kBlockBytes) / busBytesPerCycle));
-}
-
-Cycle
-DramParams::unloadedLatency() const
-{
-    return accessRowConflict + transferCycles() + returnCycles;
-}
-
-DramParams
-DramParams::withUnloadedLatency(Cycle total)
-{
-    DramParams p;
-    const Cycle transfer = p.transferCycles();
-    if (total < transfer + 20)
-        fatal("unloaded DRAM latency %llu too small",
-              static_cast<unsigned long long>(total));
-    const Cycle rest = total - transfer;
-    p.accessRowConflict = rest / 2;
-    p.accessRowHit = (p.accessRowConflict * 3) / 5;
-    p.returnCycles = rest - p.accessRowConflict;
-    return p;
+    if (ctrl.kind == DramKind::Controller)
+        return std::make_unique<DramController>(params, ctrl, events,
+                                                stats, numCores);
+    return std::make_unique<DramModel>(params, events, stats, numCores);
 }
 
 DramModel::DramModel(const DramParams &params, EventQueue &events,
@@ -60,7 +42,7 @@ DramModel::DramModel(const DramParams &params, EventQueue &events,
 
 bool
 DramModel::enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done,
-                   CoreId core)
+                   CoreId core, PrefetchTier /*tier*/)
 {
     switch (prio) {
       case BusPriority::Demand:

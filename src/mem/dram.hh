@@ -1,6 +1,7 @@
 /**
  * @file
- * Bandwidth-limited DRAM + memory bus model (paper Table 3).
+ * Bandwidth-limited DRAM + memory bus model (paper Table 3), the
+ * default DramBackend implementation.
  *
  * Requests drain from three priority queues (demand > prefetch >
  * writeback, with a writeback high-water override so dirty data cannot
@@ -9,6 +10,9 @@
  * the paper's 4.5 GB/s at 4 GHz is ~57 cycles per block. Banks model
  * open-row hits vs. conflicts; the unloaded end-to-end latency is
  * 500 cycles for a row conflict and 400 for a row hit.
+ *
+ * The FR-FCFS multi-channel alternative lives in
+ * dram/dram_controller.hh; makeDramBackend() picks between them.
  */
 
 #ifndef FDP_MEM_DRAM_HH
@@ -16,8 +20,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
+#include "dram/dram_backend.hh"
 #include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
@@ -28,45 +34,8 @@
 namespace fdp
 {
 
-/** DRAM timing/geometry parameters. */
-struct DramParams
-{
-    unsigned banks = 32;
-    /** Blocks per DRAM row (128 x 64B = 8KB rows). */
-    unsigned rowBlocks = 128;
-    /** Bank access phase, row-buffer hit (cycles). */
-    Cycle accessRowHit = 150;
-    /** Bank access phase, row conflict (cycles). */
-    Cycle accessRowConflict = 250;
-    /** Open-row command cadence: bank busy per pipelined row hit. */
-    Cycle casToCASCycles = 8;
-    /** Data-bus bandwidth (4.5 GB/s at 4 GHz = 1.125 B/cycle). */
-    double busBytesPerCycle = 1.125;
-    /** Fixed fill/return overhead after the transfer (cycles). */
-    Cycle returnCycles = 193;
-    /** Capacity of the demand and prefetch bus-request queues. */
-    std::size_t queueCapacity = 128;
-    /** Writebacks get demand priority beyond this backlog. */
-    std::size_t writebackHighWater = 64;
-
-    /** Cycles one block occupies the data bus. */
-    Cycle transferCycles() const;
-
-    /** Unloaded row-conflict latency (the paper's "minimum" 500). */
-    Cycle unloadedLatency() const;
-
-    /**
-     * Derive a parameter set whose unloaded row-conflict latency is
-     * @p total cycles (used by the Table 7 sensitivity sweep).
-     */
-    static DramParams withUnloadedLatency(Cycle total);
-};
-
-/** Priority of a bus request. */
-enum class BusPriority : std::uint8_t { Demand, Prefetch, Writeback };
-
-/** Event-driven DRAM/bus engine. */
-class DramModel : public Auditable, public Snapshottable
+/** Event-driven DRAM/bus engine (the flat single-bus model). */
+class DramModel : public DramBackend
 {
   public:
     using DoneFn = fdp::DoneFn;
@@ -82,32 +51,46 @@ class DramModel : public Auditable, public Snapshottable
      * Enqueue a block request on behalf of @p core. Returns false (and
      * drops the request) only for prefetches when the prefetch queue is
      * full. @p done is invoked with the cycle at which the fill reaches
-     * the L2; pass nullptr for writebacks.
+     * the L2; pass nullptr for writebacks. The flat model has no
+     * accuracy-directed scheduling, so @p tier is ignored.
      */
     bool enqueue(BlockAddr block, BusPriority prio, Cycle now, DoneFn done,
-                 CoreId core = kCore0);
+                 CoreId core = kCore0,
+                 PrefetchTier tier = PrefetchTier::High) override;
 
     /**
      * Promote a still-queued prefetch for @p block to demand priority
      * (a demand merged with it in the MSHR). No-op if already granted.
      */
-    void promoteToDemand(BlockAddr block);
+    void promoteToDemand(BlockAddr block) override;
 
     /** Requests currently waiting (all priorities). */
-    std::size_t queued() const;
+    std::size_t queued() const override;
 
-    const DramParams &params() const { return params_; }
+    const DramParams &params() const override { return params_; }
 
     /// @name Lifetime statistics
     /// @{
-    std::uint64_t busAccesses() const { return busAccesses_.value(); }
-    std::uint64_t busBusyCycles() const { return busBusyCycles_.value(); }
-    std::uint64_t rowHits() const { return rowHits_.value(); }
-    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+    std::uint64_t busAccesses() const override
+    {
+        return busAccesses_.value();
+    }
+    std::uint64_t busBusyCycles() const override
+    {
+        return busBusyCycles_.value();
+    }
+    std::uint64_t rowHits() const override { return rowHits_.value(); }
+    std::uint64_t rowConflicts() const override
+    {
+        return rowConflicts_.value();
+    }
 
     /** Blocks transferred on the bus on behalf of @p core. */
-    std::uint64_t busAccessesByCore(CoreId core) const;
+    std::uint64_t busAccessesByCore(CoreId core) const override;
     /// @}
+
+    /** One serializing data bus. */
+    unsigned dataBuses() const override { return 1; }
 
     /**
      * Invariants: the demand/prefetch queues stay within capacity, each
@@ -136,7 +119,7 @@ class DramModel : public Auditable, public Snapshottable
      * reset: the audit cross-checks these counters against the
      * bus_accesses statistic, so a measurement boundary must clear both.
      */
-    void resetAttribution();
+    void resetAttribution() override;
 
   private:
     friend struct AuditCorrupter;
@@ -181,6 +164,15 @@ class DramModel : public Auditable, public Snapshottable
     ScalarStat busBusyCycles_;
     ScalarStat promotions_;
 };
+
+/**
+ * Instantiate the configured DRAM backend: the flat Table 3 model
+ * (DramKind::Flat, the default and the golden baseline) or the
+ * FR-FCFS multi-channel controller (DramKind::Controller).
+ */
+std::unique_ptr<DramBackend>
+makeDramBackend(const DramParams &params, const DramCtrlParams &ctrl,
+                EventQueue &events, StatGroup &stats, unsigned numCores);
 
 } // namespace fdp
 

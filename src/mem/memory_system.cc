@@ -13,7 +13,8 @@ MemorySystem::MemorySystem(const MachineParams &params, EventQueue &events,
                            StatGroup &stats)
     : params_(params), events_(events), prefetcher_(pf), fdp_(fdp),
       l1_(params.l1), l2_(params.l2), mshrs_(params.l2Mshrs),
-      dram_(params.dram, events, stats),
+      dram_(makeDramBackend(params.dram, params.dramCtrl, events, stats,
+                            1)),
       demandAccesses_(stats, "demand_accesses", "demand loads+stores"),
       l1Hits_(stats, "l1_hits", "L1D hits"),
       l1Misses_(stats, "l1_misses", "L1D misses"),
@@ -94,7 +95,7 @@ MemorySystem::demandAccess(Addr addr, Addr pc, bool isWrite, Cycle now,
             // still fetching (paper Section 3.1.2).
             fdp_.onLatePrefetchMshrHit();
             e->prefBit = false;
-            dram_.promoteToDemand(block);
+            dram_->promoteToDemand(block);
         }
         if (isWrite)
             e->writeIntent = true;
@@ -117,7 +118,7 @@ MemorySystem::startDemandMiss(BlockAddr block, bool isWrite, Cycle now,
     MshrEntry &e = mshrs_.allocate(block, false, now);
     e.writeIntent = isWrite;
     e.waiters.push_back(std::move(done));
-    dram_.enqueue(block, BusPriority::Demand, now,
+    dram_->enqueue(block, BusPriority::Demand, now,
                   [this, block](Cycle c) { onFill(block, c); });
 }
 
@@ -150,7 +151,7 @@ MemorySystem::updateBusUtil(Cycle now)
 {
     if (now < busWindowStart_ + kBusUtilWindow)
         return;
-    const std::uint64_t busy = dram_.busBusyCycles();
+    const std::uint64_t busy = dram_->busBusyCycles();
     if (busy < busWindowBusy_) {
         // The bus-busy statistic was reset (measurement boundary):
         // re-prime the window and keep the last published value.
@@ -159,7 +160,8 @@ MemorySystem::updateBusUtil(Cycle now)
         return;
     }
     busUtil_ = static_cast<double>(busy - busWindowBusy_) /
-               static_cast<double>(now - busWindowStart_);
+               (static_cast<double>(now - busWindowStart_) *
+                static_cast<double>(dram_->dataBuses()));
     if (busUtil_ > 1.0)
         busUtil_ = 1.0;
     busWindowStart_ = now;
@@ -187,8 +189,9 @@ MemorySystem::drainPrefetchQueue(Cycle now)
             return;
         mshrs_.allocate(b, true, now);
         const bool sent =
-            dram_.enqueue(b, BusPriority::Prefetch, now,
-                          [this, b](Cycle c) { onFill(b, c); });
+            dram_->enqueue(b, BusPriority::Prefetch, now,
+                          [this, b](Cycle c) { onFill(b, c); },
+                          kCore0, fdp_.accuracyTier());
         if (!sent) {
             // Bus queue full: keep the candidate queued for later.
             mshrs_.deallocate(b);
@@ -251,7 +254,7 @@ MemorySystem::insertL2Fill(BlockAddr block, bool prefBit, bool dirty,
         fdp_.onDemandBlockEvictedByPrefetch(v.block);
     if (v.dirty && params_.modelWritebacks) {
         ++hot_.writebacks;
-        dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
+        dram_->enqueue(v.block, BusPriority::Writeback, now, nullptr);
     }
 }
 
@@ -269,7 +272,7 @@ MemorySystem::fillL1(BlockAddr block, bool isWrite, Cycle now)
         // they must go all the way to memory.
         if (!l2_.markDirty(v.block) && params_.modelWritebacks) {
             ++hot_.writebacks;
-            dram_.enqueue(v.block, BusPriority::Writeback, now, nullptr);
+            dram_->enqueue(v.block, BusPriority::Writeback, now, nullptr);
         }
     }
 }
@@ -297,7 +300,7 @@ MemorySystem::admitPending(Cycle now)
             if (e->prefBit) {
                 fdp_.onLatePrefetchMshrHit();
                 e->prefBit = false;
-                dram_.promoteToDemand(p.block);
+                dram_->promoteToDemand(p.block);
             }
             if (p.isWrite)
                 e->writeIntent = true;
@@ -333,7 +336,7 @@ MemorySystem::audit() const
     l1_.audit();
     l2_.audit();
     mshrs_.audit();
-    dram_.audit();
+    dram_->audit();
     if (pcache_)
         pcache_->audit();
 }
@@ -342,7 +345,7 @@ bool
 MemorySystem::quiesced() const
 {
     return mshrs_.size() == 0 && mshrWaitQ_.empty() &&
-           prefetchQueue_.empty() && dram_.queued() == 0;
+           prefetchQueue_.empty() && dram_->queued() == 0;
 }
 
 void
@@ -373,7 +376,7 @@ MemorySystem::saveState(SnapWriter &w) const
                "%s: snapshot with work in flight (%zu MSHRs, %zu stalled "
                "demands, %zu queued prefetches, %zu bus requests)",
                auditName(), mshrs_.size(), mshrWaitQ_.size(),
-               prefetchQueue_.size(), dram_.queued());
+               prefetchQueue_.size(), dram_->queued());
     // The stat group is serialized alongside this section; unflushed
     // batched counts would silently vanish from the snapshot.
     FDP_ASSERT(hot_.demandAccesses == 0 && hot_.demandMissCycles == 0,
@@ -388,7 +391,7 @@ MemorySystem::saveState(SnapWriter &w) const
     l1_.saveState(w);
     l2_.saveState(w);
     mshrs_.saveState(w);
-    dram_.saveState(w);
+    dram_->saveState(w);
     if (pcache_)
         pcache_->saveState(w);
 }
@@ -411,7 +414,7 @@ MemorySystem::loadState(SnapReader &r)
     l1_.loadState(r);
     l2_.loadState(r);
     mshrs_.loadState(r);
-    dram_.loadState(r);
+    dram_->loadState(r);
     if (pcache_)
         pcache_->loadState(r);
 }

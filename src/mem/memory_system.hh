@@ -53,6 +53,9 @@ struct MachineParams
     /** Prefetch Request Queue capacity (paper Section 4.1: 128). */
     std::size_t prefetchQueueCap = 128;
     DramParams dram;
+    /** DRAM backend selection + controller knobs (DramKind::Flat keeps
+     *  the Table 3 flat bus model, the golden baseline). */
+    DramCtrlParams dramCtrl;
     PrefetchCacheParams prefetchCache;
     bool modelWritebacks = true;
 };
@@ -95,11 +98,12 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
     /** Publish any locally batched counters into the stat group. */
     void flushStats();
 
-    /** Zero DRAM's per-core attribution (see DramModel). */
-    void resetAttribution() { dram_.resetAttribution(); }
+    /** Zero DRAM's per-core attribution (see DramBackend). */
+    void resetAttribution() { dram_->resetAttribution(); }
 
     /** Data-bus utilization over the last closed measurement window,
-     *  in [0, 1] (PrefetchObservation::busUtil; DESIGN.md §17). */
+     *  in [0, 1], measured from the backend's per-channel data-bus
+     *  occupancy (PrefetchObservation::busUtil; DESIGN.md §17/18). */
     double busUtilization() const { return busUtil_; }
 
     /** Cycles per bus-utilization measurement window (shared with the
@@ -108,8 +112,8 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
 
     const SetAssocCache &l1() const { return l1_; }
     const SetAssocCache &l2() const { return l2_; }
-    DramModel &dram() { return dram_; }
-    const DramModel &dram() const { return dram_; }
+    DramBackend &dram() { return *dram_; }
+    const DramBackend &dram() const { return *dram_; }
     const MachineParams &params() const { return params_; }
 
     /// @name Lifetime statistics
@@ -238,7 +242,7 @@ class MemorySystem : public Auditable, public MemoryPort, public Snapshottable
     SetAssocCache l1_;
     SetAssocCache l2_;
     MshrFile mshrs_;
-    DramModel dram_;
+    std::unique_ptr<DramBackend> dram_;
     std::unique_ptr<PrefetchCache> pcache_;
 
     /// @name Bus-utilization window

@@ -29,6 +29,16 @@ machineGeometry(const MachineParams &machine, const CoreParams &core)
       << ",ret=" << machine.dram.returnCycles
       << ",q=" << machine.dram.queueCapacity
       << ",wbhw=" << machine.dram.writebackHighWater << "}";
+    // Geometry strings of flat-DRAM machines predate the controller, so
+    // the controller block is appended only when it is selected: old
+    // fdpsnap images keep loading against the default configuration.
+    if (machine.dramCtrl.kind == DramKind::Controller)
+        s << " dramctl{ch=" << machine.dramCtrl.channels
+          << ",rowpol=" << static_cast<int>(machine.dramCtrl.rowPolicy)
+          << ",fdpprio=" << (machine.dramCtrl.fdpPriority ? 1 : 0)
+          << ",lowdrop=" << machine.dramCtrl.lowTierDropAt
+          << ",qoscap=" << machine.dramCtrl.qosInFlightCap
+          << ",qosw=" << (machine.dramCtrl.qosWeighted ? 1 : 0) << "}";
     if (machine.prefetchCache.enabled)
         s << " pcache{" << machine.prefetchCache.sizeBytes << ","
           << machine.prefetchCache.assoc << "}";

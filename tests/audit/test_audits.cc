@@ -156,6 +156,81 @@ TEST(DramAuditDeathTest, LostPumpEventCaught)
 }
 
 // ---------------------------------------------------------------------------
+// DramController
+// ---------------------------------------------------------------------------
+
+struct DramCtrlUnderAudit
+{
+    EventQueue events;
+    StatGroup stats{"dramctl"};
+    DramController dram;
+
+    DramCtrlUnderAudit()
+        : dram(DramParams{},
+               [] {
+                   DramCtrlParams c;
+                   c.kind = DramKind::Controller;
+                   c.channels = 2;
+                   return c;
+               }(),
+               events, stats, 2)
+    {
+        // One of each request kind, plus a second-core prefetch, spread
+        // over both channels so every queue invariant has work to check.
+        dram.enqueue(0x100, BusPriority::Demand, 0, [](Cycle) {});
+        dram.enqueue(0x101, BusPriority::Demand, 0, [](Cycle) {});
+        dram.enqueue(0x200, BusPriority::Prefetch, 0, [](Cycle) {},
+                     kCore0, PrefetchTier::Medium);
+        dram.enqueue(0x201, BusPriority::Prefetch, 0, [](Cycle) {},
+                     CoreId(1), PrefetchTier::Low);
+        dram.enqueue(0x300, BusPriority::Writeback, 0, nullptr);
+    }
+};
+
+TEST(DramCtrlAudit, CleanControllerPasses)
+{
+    DramCtrlUnderAudit d;
+    d.dram.audit();
+    d.events.serviceUntil(1000000);
+    d.dram.audit();
+}
+
+TEST(DramCtrlAuditDeathTest, OverfullReadQueueCaught)
+{
+    DramCtrlUnderAudit d;
+    AuditCorrupter::dramCtrlOverfillQueue(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "read queue holds");
+}
+
+TEST(DramCtrlAuditDeathTest, LostPumpEventCaught)
+{
+    DramCtrlUnderAudit d;
+    AuditCorrupter::dramCtrlLosePump(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "no pump");
+}
+
+TEST(DramCtrlAuditDeathTest, ChannelOccupancyDesyncCaught)
+{
+    DramCtrlUnderAudit d;
+    AuditCorrupter::dramCtrlBreakChannelBusy(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "occupancies sum");
+}
+
+TEST(DramCtrlAuditDeathTest, MisroutedRequestCaught)
+{
+    DramCtrlUnderAudit d;
+    AuditCorrupter::dramCtrlMisrouteRequest(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "routes");
+}
+
+TEST(DramCtrlAuditDeathTest, CoreAttributionDesyncCaught)
+{
+    DramCtrlUnderAudit d;
+    AuditCorrupter::dramCtrlBreakCoreSum(d.dram);
+    EXPECT_DEATH(d.dram.audit(), "per-core bus accesses sum");
+}
+
+// ---------------------------------------------------------------------------
 // PollutionFilter
 // ---------------------------------------------------------------------------
 

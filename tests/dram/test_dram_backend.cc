@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DramParams timing arithmetic: transfer-cycle rounding, the unloaded
+ * latency identity, and the withUnloadedLatency() budget split both
+ * memory-system constructors rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_backend.hh"
+
+namespace fdp
+{
+namespace
+{
+
+TEST(DramParams, TransferCyclesRoundsUp)
+{
+    DramParams p;
+    p.busBytesPerCycle = 1.125;  // 64 / 1.125 = 56.9 -> 57
+    EXPECT_EQ(p.transferCycles(), 57u);
+    p.busBytesPerCycle = 64.0;
+    EXPECT_EQ(p.transferCycles(), 1u);
+    p.busBytesPerCycle = 32.0;
+    EXPECT_EQ(p.transferCycles(), 2u);
+}
+
+TEST(DramParams, UnloadedLatencyIsConflictPlusTransferPlusReturn)
+{
+    DramParams p;
+    EXPECT_EQ(p.unloadedLatency(),
+              p.accessRowConflict + p.transferCycles() + p.returnCycles);
+}
+
+TEST(DramParams, RowEmptySplitsHitAndConflict)
+{
+    DramParams p;
+    p.accessRowHit = 100;
+    p.accessRowConflict = 300;
+    EXPECT_EQ(p.accessRowEmpty(), 200u);
+}
+
+TEST(DramParams, WithUnloadedLatencyHitsTheRequestedTotal)
+{
+    for (Cycle total : {200u, 500u, 443u, 1000u}) {
+        const DramParams p = DramParams::withUnloadedLatency(total);
+        EXPECT_EQ(p.unloadedLatency(), total) << "total=" << total;
+        EXPECT_LT(p.accessRowHit, p.accessRowConflict);
+    }
+}
+
+TEST(DramParamsDeathTest, WithUnloadedLatencyRejectsTinyBudgets)
+{
+    EXPECT_DEATH(DramParams::withUnloadedLatency(10),
+                 "unloaded DRAM latency");
+}
+
+} // namespace
+} // namespace fdp

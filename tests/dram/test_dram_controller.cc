@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Unit tests for the FR-FCFS multi-channel DRAM controller: XOR
+ * channel interleaving, row-hit-first scheduling, FCFS within a class,
+ * FDP accuracy-tier priority and low-tier drops, the accuracy-blind
+ * baseline mode, per-core QoS (in-flight cap, weighted service), row
+ * policies, promotion, snapshot round-trips, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "dram/dram_controller.hh"
+#include "sim/snapshot.hh"
+
+namespace fdp
+{
+namespace
+{
+
+struct Fixture
+{
+    EventQueue events;
+    StatGroup stats{"dram"};
+    DramParams params;
+    DramCtrlParams ctrl;
+    DramController dram;
+
+    explicit Fixture(DramCtrlParams c = oneChannel(), DramParams p = {},
+                     unsigned numCores = 1)
+        : params(p), ctrl(c), dram(p, c, events, stats, numCores)
+    {
+    }
+
+    /** Single channel: every block routes to one queue, so grant order
+     *  is fully determined by the scheduling policy under test. */
+    static DramCtrlParams
+    oneChannel()
+    {
+        DramCtrlParams c;
+        c.kind = DramKind::Controller;
+        c.channels = 1;
+        return c;
+    }
+
+    /** Open @p block's row by completing one access to it. */
+    void
+    openRow(BlockAddr block)
+    {
+        dram.enqueue(block, BusPriority::Demand, events.horizon(),
+                     [](Cycle) {});
+        drain();
+    }
+
+    void
+    drain()
+    {
+        while (dram.queued() > 0 || !events.empty())
+            events.serviceUntil(events.horizon() + 10000);
+    }
+
+    /** Block in the same (bank, row) as block 0, given one channel. */
+    BlockAddr
+    sameRowAs0(unsigned i) const
+    {
+        return i;  // blocks 0..rowBlocks-1 share bank 0 row 0
+    }
+
+    /** Block in bank 0, row @p row (conflicts with row 0). */
+    BlockAddr
+    bank0Row(std::uint64_t row) const
+    {
+        return row * params.rowBlocks * params.banks * ctrl.channels;
+    }
+};
+
+TEST(DramCtrl, RejectsBadGeometry)
+{
+    EventQueue events;
+    StatGroup stats{"dram"};
+    DramCtrlParams three;
+    three.channels = 3;  // not a power of two
+    EXPECT_DEATH(DramController(DramParams{}, three, events, stats),
+                 "power-of-two");
+    DramCtrlParams wide;
+    wide.channels = 256;  // rowBlocks (128) % 256 != 0
+    EXPECT_DEATH(DramController(DramParams{}, wide, events, stats),
+                 "multiple");
+}
+
+TEST(DramCtrl, XorInterleavingSpreadsConsecutiveBlocks)
+{
+    DramCtrlParams c;
+    c.channels = 4;
+    Fixture f(c);
+    std::set<unsigned> seen;
+    for (BlockAddr b = 0; b < 4; ++b)
+        seen.insert(f.dram.channelOf(b));
+    EXPECT_EQ(seen.size(), 4u);  // consecutive blocks stripe
+    // The row fold remaps the stripe from row to row: block 0 and the
+    // same slot one row up land on different channels.
+    EXPECT_NE(f.dram.channelOf(0),
+              f.dram.channelOf(f.params.rowBlocks));
+}
+
+TEST(DramCtrl, ChannelsTransferInParallel)
+{
+    DramCtrlParams c;
+    c.channels = 2;
+    Fixture f(c);
+    // Blocks 0 and 1 route to different channels: both transfers
+    // overlap, so both fills complete at the same cycle (the flat
+    // single-bus model would space them by transferCycles).
+    ASSERT_NE(f.dram.channelOf(0), f.dram.channelOf(1));
+    Cycle done0 = 0, done1 = 0;
+    f.dram.enqueue(0, BusPriority::Demand, 0,
+                   [&](Cycle cy) { done0 = cy; });
+    f.dram.enqueue(1, BusPriority::Demand, 0,
+                   [&](Cycle cy) { done1 = cy; });
+    f.drain();
+    EXPECT_EQ(done0, done1);
+    EXPECT_EQ(f.dram.busAccesses(), 2u);
+    f.dram.audit();
+}
+
+TEST(DramCtrl, ColdBankIsRowEmptyNotConflict)
+{
+    Fixture f;
+    f.openRow(0);
+    EXPECT_EQ(f.dram.rowEmpties(), 1u);
+    EXPECT_EQ(f.dram.rowConflicts(), 0u);
+    EXPECT_EQ(f.dram.rowHits(), 0u);
+}
+
+TEST(DramCtrl, RowHitScheduledBeforeOlderConflict)
+{
+    Fixture f;
+    f.openRow(0);
+    const Cycle now = f.events.horizon();
+    std::vector<int> order;
+    // The conflict demand arrives FIRST, the row hit SECOND: FR-FCFS
+    // still grants the row hit first.
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(1); });
+    f.dram.enqueue(f.sameRowAs0(1), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(2); });
+    f.drain();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(f.dram.rowHits(), 1u);
+    f.dram.audit();
+}
+
+TEST(DramCtrl, FcfsWithinEqualClass)
+{
+    Fixture f;
+    f.openRow(0);
+    const Cycle now = f.events.horizon();
+    std::vector<int> order;
+    // Two conflicting demands on different banks: equal class, so the
+    // older request wins.
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(1); });
+    f.dram.enqueue(f.params.rowBlocks, BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(2); });
+    f.drain();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(DramCtrl, AccuracyTiersRankPrefetchesAroundDemands)
+{
+    Fixture f;
+    f.openRow(0);
+    const Cycle now = f.events.horizon();
+    std::vector<int> order;
+    // Arrival order: Low hit, Medium hit, demand conflict, High hit.
+    // Medium and High row hits ride the head class (FCFS between
+    // them), the demand miss follows, and the Low tier runs last.
+    f.dram.enqueue(f.sameRowAs0(1), BusPriority::Prefetch, now,
+                   [&](Cycle) { order.push_back(1); }, kCore0,
+                   PrefetchTier::Low);
+    f.dram.enqueue(f.sameRowAs0(2), BusPriority::Prefetch, now,
+                   [&](Cycle) { order.push_back(2); }, kCore0,
+                   PrefetchTier::Medium);
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(3); });
+    f.dram.enqueue(f.sameRowAs0(3), BusPriority::Prefetch, now,
+                   [&](Cycle) { order.push_back(4); }, kCore0,
+                   PrefetchTier::High);
+    f.drain();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 4);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(order[3], 1);
+    f.dram.audit();
+}
+
+TEST(DramCtrl, HighTierMissIsDemandEquivalentButMediumYields)
+{
+    // Off the open row everything is a miss: an older High prefetch
+    // shares the demand class (FCFS, so it keeps its turn), while an
+    // older Medium prefetch yields to the younger demand.
+    {
+        Fixture f;
+        std::vector<int> order;
+        f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                       [&](Cycle) { order.push_back(1); }, kCore0,
+                       PrefetchTier::High);
+        f.dram.enqueue(f.bank0Row(2), BusPriority::Demand, 0,
+                       [&](Cycle) { order.push_back(2); });
+        f.drain();
+        ASSERT_EQ(order.size(), 2u);
+        EXPECT_EQ(order[0], 1);
+    }
+    {
+        Fixture f;
+        std::vector<int> order;
+        f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                       [&](Cycle) { order.push_back(1); }, kCore0,
+                       PrefetchTier::Medium);
+        f.dram.enqueue(f.bank0Row(2), BusPriority::Demand, 0,
+                       [&](Cycle) { order.push_back(2); });
+        f.drain();
+        ASSERT_EQ(order.size(), 2u);
+        EXPECT_EQ(order[0], 2);
+    }
+}
+
+TEST(DramCtrl, AccuracyBlindModeIgnoresTiers)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.fdpPriority = false;
+    Fixture f(c);
+    f.openRow(0);
+    const Cycle now = f.events.horizon();
+    std::vector<int> order;
+    // Blind FR-FCFS: a Low-tier row-hit prefetch outranks an older
+    // row-conflict demand (with fdpPriority on the demand would win).
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(1); });
+    f.dram.enqueue(f.sameRowAs0(1), BusPriority::Prefetch, now,
+                   [&](Cycle) { order.push_back(2); }, kCore0,
+                   PrefetchTier::Low);
+    f.drain();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(DramCtrl, LowTierDroppedUnderQueuePressure)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.lowTierDropAt = 2;
+    Fixture f(c);
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, kCore0,
+                               PrefetchTier::High));
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(2), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, kCore0,
+                               PrefetchTier::High));
+    // Queue depth reached lowTierDropAt: Low is shed, High still lands.
+    EXPECT_FALSE(f.dram.enqueue(f.bank0Row(3), BusPriority::Prefetch, 0,
+                                [](Cycle) {}, kCore0,
+                                PrefetchTier::Low));
+    EXPECT_EQ(f.dram.lowTierDrops(), 1u);
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(4), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, kCore0,
+                               PrefetchTier::High));
+    f.dram.audit();
+    f.drain();
+}
+
+TEST(DramCtrl, BlindModeNeverDropsLowTier)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.fdpPriority = false;
+    c.lowTierDropAt = 1;
+    Fixture f(c);
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0, [](Cycle) {},
+                   kCore0, PrefetchTier::Low);
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(2), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, kCore0,
+                               PrefetchTier::Low));
+    EXPECT_EQ(f.dram.lowTierDrops(), 0u);
+    f.drain();
+}
+
+TEST(DramCtrl, QosCapBoundsPerCoreQueuedPrefetches)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.qosInFlightCap = 2;
+    Fixture f(c, DramParams{}, 2);
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, CoreId(0)));
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(2), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, CoreId(0)));
+    // Core 0 is at its cap; core 1 is not.
+    EXPECT_FALSE(f.dram.enqueue(f.bank0Row(3), BusPriority::Prefetch, 0,
+                                [](Cycle) {}, CoreId(0)));
+    EXPECT_EQ(f.dram.qosRejects(), 1u);
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(4), BusPriority::Prefetch, 0,
+                               [](Cycle) {}, CoreId(1)));
+    f.dram.audit();
+    f.drain();
+    // Grants released the cap: core 0 may queue again.
+    EXPECT_TRUE(f.dram.enqueue(f.bank0Row(5), BusPriority::Prefetch,
+                               f.events.horizon(), [](Cycle) {},
+                               CoreId(0)));
+    f.drain();
+}
+
+TEST(DramCtrl, WeightedServicePrefersLeastServedCore)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.qosWeighted = true;
+    Fixture f(c, DramParams{}, 2);
+    // Core 0 banks two grants first.
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Demand, 0, [](Cycle) {},
+                   CoreId(0));
+    f.dram.enqueue(f.bank0Row(2), BusPriority::Demand, 0, [](Cycle) {},
+                   CoreId(0));
+    f.drain();
+    const Cycle now = f.events.horizon();
+    std::vector<int> order;
+    // Equal-class conflicts; core 0 arrives first but core 1 has been
+    // served less, so weighted service grants core 1 first.
+    f.dram.enqueue(f.bank0Row(3), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(0); }, CoreId(0));
+    f.dram.enqueue(f.bank0Row(4), BusPriority::Demand, now,
+                   [&](Cycle) { order.push_back(1); }, CoreId(1));
+    f.drain();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 0);
+    f.dram.audit();
+}
+
+TEST(DramCtrl, ClosedRowPolicyPrechargesEveryAccess)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.rowPolicy = RowPolicy::Closed;
+    Fixture f(c);
+    f.openRow(0);
+    f.openRow(1);  // same row: open policy would hit
+    EXPECT_EQ(f.dram.rowHits(), 0u);
+    EXPECT_EQ(f.dram.rowEmpties(), 2u);
+}
+
+TEST(DramCtrl, AdaptiveRowPolicyPrechargesAfterConflict)
+{
+    DramCtrlParams c = Fixture::oneChannel();
+    c.rowPolicy = RowPolicy::Adaptive;
+    Fixture f(c);
+    f.openRow(0);                // empty, stays open
+    f.openRow(1);                // hit, stays open
+    f.openRow(f.bank0Row(1));    // conflict -> precharge
+    f.openRow(f.bank0Row(1));    // empty again, not a second conflict
+    EXPECT_EQ(f.dram.rowHits(), 1u);
+    EXPECT_EQ(f.dram.rowConflicts(), 1u);
+    EXPECT_EQ(f.dram.rowEmpties(), 2u);
+}
+
+TEST(DramCtrl, PromoteToDemandOutranksOlderPrefetch)
+{
+    Fixture f;
+    std::vector<int> order;
+    // Medium tier: promotion lifts the late prefetch into the demand
+    // class, past an older same-tier request it would otherwise queue
+    // behind.
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                   [&](Cycle) { order.push_back(1); }, kCore0,
+                   PrefetchTier::Medium);
+    f.dram.enqueue(f.bank0Row(2), BusPriority::Prefetch, 0,
+                   [&](Cycle) { order.push_back(2); }, kCore0,
+                   PrefetchTier::Medium);
+    f.dram.promoteToDemand(f.bank0Row(2));
+    EXPECT_EQ(f.dram.busAccesses(), 0u);  // still queued
+    f.dram.audit();
+    f.drain();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);  // the promoted request went first
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(DramCtrl, WritebacksRunBehindReadsUntilHighWater)
+{
+    DramParams p;
+    p.writebackHighWater = 2;
+    DramCtrlParams c = Fixture::oneChannel();
+    Fixture f(c, p);
+    std::vector<int> order;
+    // Three writebacks breach the high water, so one pre-empts the
+    // queued prefetch; the rest drain after it.
+    f.dram.enqueue(f.bank0Row(1), BusPriority::Prefetch, 0,
+                   [&](Cycle) { order.push_back(1); });
+    for (int i = 0; i < 3; ++i)
+        f.dram.enqueue(f.bank0Row(static_cast<std::uint64_t>(2 + i)),
+                       BusPriority::Writeback, 0, nullptr);
+    f.dram.audit();
+    f.drain();
+    EXPECT_EQ(f.dram.busAccesses(), 4u);
+    ASSERT_EQ(order.size(), 1u);
+    f.dram.audit();
+}
+
+TEST(DramCtrl, PerCoreAttributionSumsToTotal)
+{
+    DramCtrlParams c;
+    c.channels = 2;
+    Fixture f(c, DramParams{}, 3);
+    for (unsigned i = 0; i < 9; ++i)
+        f.dram.enqueue(i * f.params.rowBlocks, BusPriority::Demand, 0,
+                       [](Cycle) {}, CoreId(i % 3));
+    f.drain();
+    EXPECT_EQ(f.dram.busAccessesByCore(CoreId(0)), 3u);
+    EXPECT_EQ(f.dram.busAccessesByCore(CoreId(1)), 3u);
+    EXPECT_EQ(f.dram.busAccessesByCore(CoreId(2)), 3u);
+    f.dram.audit();
+    f.dram.resetAttribution();
+    f.stats.resetAll();
+    f.dram.audit();
+    EXPECT_EQ(f.dram.busBusyCycles(), 0u);
+}
+
+TEST(DramCtrl, SnapshotRoundTripPreservesBankAndBusState)
+{
+    DramCtrlParams c;
+    c.channels = 2;
+    Fixture a(c, DramParams{}, 2);
+    // Mid-run state: open rows on several banks, staggered busFree and
+    // measured occupancy per channel, per-core attribution.
+    for (unsigned i = 0; i < 6; ++i)
+        a.dram.enqueue(i, BusPriority::Demand, 0, [](Cycle) {},
+                       CoreId(i % 2));
+    a.drain();
+
+    SnapWriter w;
+    a.dram.saveState(w);
+
+    Fixture b(c, DramParams{}, 2);
+    SnapReader r(w.bytes());
+    b.dram.loadState(r);
+
+    EXPECT_EQ(b.dram.busBusyCycles(), a.dram.busBusyCycles());
+    EXPECT_EQ(b.dram.busAccessesByCore(CoreId(0)),
+              a.dram.busAccessesByCore(CoreId(0)));
+    EXPECT_EQ(b.dram.busAccessesByCore(CoreId(1)),
+              a.dram.busAccessesByCore(CoreId(1)));
+    // Probe the same block on both at the same cycle: the restored
+    // machine must reproduce the original's timing (open row register
+    // and bus horizon both survived the round trip).
+    const Cycle t = a.events.horizon();
+    const std::uint64_t hits_before = a.dram.rowHits();
+    Cycle done_a = 0, done_b = 0;
+    a.dram.enqueue(0, BusPriority::Demand, t,
+                   [&](Cycle cy) { done_a = cy; });
+    b.dram.enqueue(0, BusPriority::Demand, t,
+                   [&](Cycle cy) { done_b = cy; });
+    a.drain();
+    b.drain();
+    EXPECT_EQ(done_b, done_a);
+    EXPECT_EQ(a.dram.rowHits(), hits_before + 1);  // row stayed open
+}
+
+TEST(DramCtrlDeathTest, SnapshotWithQueuedRequestsDies)
+{
+    Fixture f;
+    f.dram.enqueue(0, BusPriority::Demand, 0, [](Cycle) {});
+    SnapWriter w;
+    EXPECT_DEATH(f.dram.saveState(w), "not quiesced");
+}
+
+TEST(DramCtrlDeathTest, RestoreRejectsGeometryMismatch)
+{
+    DramCtrlParams two;
+    two.channels = 2;
+    Fixture a(two);
+    a.openRow(0);
+    SnapWriter w;
+    a.dram.saveState(w);
+    DramCtrlParams four;
+    four.channels = 4;
+    Fixture b(four);
+    SnapReader r(w.bytes());
+    EXPECT_DEATH(b.dram.loadState(r), "channels");
+}
+
+TEST(DramCtrl, DeterministicAcrossIdenticalRuns)
+{
+    // Returns the fill times plus the statistics dump, rendered while
+    // the controller (whose stats register into the group) is alive.
+    const auto run = [](std::vector<Cycle> *fills, std::string *dump) {
+        EventQueue events;
+        StatGroup stats{"dram"};
+        DramCtrlParams c;
+        c.channels = 2;
+        c.qosWeighted = true;
+        c.qosInFlightCap = 4;
+        DramParams p;
+        DramController dram(p, c, events, stats, 2);
+        const PrefetchTier tiers[] = {PrefetchTier::High,
+                                      PrefetchTier::Medium,
+                                      PrefetchTier::Low};
+        for (unsigned i = 0; i < 40; ++i) {
+            const BlockAddr b = (i * 37) % 4096;
+            const BusPriority prio = i % 3 == 0 ? BusPriority::Demand
+                                                : BusPriority::Prefetch;
+            dram.enqueue(b, prio, events.horizon(),
+                         [fills](Cycle cy) { fills->push_back(cy); },
+                         CoreId(i % 2), tiers[i % 3]);
+            if (i % 5 == 0)
+                events.serviceUntil(events.horizon() + 300);
+        }
+        while (dram.queued() > 0 || !events.empty())
+            events.serviceUntil(events.horizon() + 10000);
+        dram.audit();
+        std::ostringstream os;
+        stats.dump(os);
+        *dump = os.str();
+    };
+    std::vector<Cycle> fills1, fills2;
+    std::string dump1, dump2;
+    run(&fills1, &dump1);
+    run(&fills2, &dump2);
+    EXPECT_EQ(fills1, fills2);
+    EXPECT_FALSE(fills1.empty());
+    EXPECT_EQ(dump1, dump2);
+}
+
+} // namespace
+} // namespace fdp

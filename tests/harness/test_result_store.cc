@@ -143,6 +143,40 @@ TEST(StoreKey, SensitiveToPrefetcherAndManagerConfig)
     EXPECT_EQ(makeStoreKey("swim", tweaked, "fdp").hash, managedKey.hash);
 }
 
+TEST(StoreKey, SensitiveToEveryDramControllerKnob)
+{
+    const RunConfig config = quickConfig();
+    const StoreKey flat = makeStoreKey("swim", config, "fdp");
+
+    // Switching the flat bus for the FR-FCFS controller names a
+    // different cell...
+    RunConfig ctrl = config;
+    ctrl.machine.dramCtrl.kind = DramKind::Controller;
+    const StoreKey ctrlKey = makeStoreKey("swim", ctrl, "fdp");
+    EXPECT_NE(ctrlKey.hash, flat.hash);
+    EXPECT_NE(ctrlKey.canonical.find("dramctl.kind="), std::string::npos);
+
+    // ...and so does every controller knob, each on its own.
+    RunConfig tweaked = ctrl;
+    tweaked.machine.dramCtrl.channels *= 2;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+    tweaked = ctrl;
+    tweaked.machine.dramCtrl.rowPolicy = RowPolicy::Closed;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+    tweaked = ctrl;
+    tweaked.machine.dramCtrl.fdpPriority = !ctrl.machine.dramCtrl.fdpPriority;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+    tweaked = ctrl;
+    tweaked.machine.dramCtrl.lowTierDropAt += 1;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+    tweaked = ctrl;
+    tweaked.machine.dramCtrl.qosInFlightCap += 1;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+    tweaked = ctrl;
+    tweaked.machine.dramCtrl.qosWeighted = !ctrl.machine.dramCtrl.qosWeighted;
+    EXPECT_NE(makeStoreKey("swim", tweaked, "fdp").hash, ctrlKey.hash);
+}
+
 TEST(StoreKey, CanonicalStringNamesItsComponents)
 {
     const StoreKey key = makeStoreKey("swim", quickConfig(), "fdp");

@@ -56,6 +56,15 @@ TEST(WorkloadMix, CatalogHasTwoAndFourCoreMixes)
     EXPECT_TRUE(four);
 }
 
+TEST(WorkloadMix, CatalogHasEightAndSixteenCoreMixes)
+{
+    // The memory-controller co-runs (DESIGN.md §18) need mixes wide
+    // enough to oversubscribe a multi-channel bus.
+    EXPECT_EQ(mixByName("mix8-bw").numCores(), 8u);
+    EXPECT_EQ(mixByName("mix8-mixed").numCores(), 8u);
+    EXPECT_EQ(mixByName("mix16-bw").numCores(), 16u);
+}
+
 TEST(WorkloadMix, MixByNameRoundTripsAndRejectsUnknown)
 {
     for (const MixSpec &m : namedMixes())

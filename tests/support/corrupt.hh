@@ -15,6 +15,7 @@
 #include "core/fdp_controller.hh"
 #include "core/feedback_counters.hh"
 #include "core/pollution_filter.hh"
+#include "dram/dram_controller.hh"
 #include "manage/prefetcher_manager.hh"
 #include "mc/mc_memory_system.hh"
 #include "mem/cache.hh"
@@ -296,6 +297,47 @@ struct AuditCorrupter
     dramLosePump(DramModel &dram)
     {
         dram.pumpScheduled_ = false;
+    }
+
+    /** Overfill channel 0's read queue past its capacity. */
+    static void
+    dramCtrlOverfillQueue(DramController &dram)
+    {
+        dram.channels_[0].readQ.resize(dram.params_.queueCapacity + 1);
+    }
+
+    /** Forget channel 0's pump event while its work is queued. */
+    static void
+    dramCtrlLosePump(DramController &dram)
+    {
+        dram.channels_[0].pumpScheduled = false;
+    }
+
+    /** Desync channel 0's measured occupancy from the statistic. */
+    static void
+    dramCtrlBreakChannelBusy(DramController &dram)
+    {
+        ++dram.channels_[0].busyCycles;
+    }
+
+    /** Move a queued request onto a channel its block misroutes. */
+    static void
+    dramCtrlMisrouteRequest(DramController &dram)
+    {
+        for (auto &c : dram.channels_) {
+            if (c.readQ.empty())
+                continue;
+            ++c.readQ.front().block;
+            return;
+        }
+        panic("corrupter: controller read queues are empty");
+    }
+
+    /** Credit core 0 with a bus access the shared total never saw. */
+    static void
+    dramCtrlBreakCoreSum(DramController &dram)
+    {
+        ++dram.coreBusAccesses_[0];
     }
 
     /** Push the reader's buffer cursor past the buffered byte count. */

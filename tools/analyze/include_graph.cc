@@ -21,6 +21,9 @@ layerRanks()
         // manage sees only the abstract Prefetcher interface, so it
         // sits just above prefetch; concrete zoos are wired in harness.
         {"manage", 2},
+        // dram depends only on sim so both mem (3) and core (2) can see
+        // the DramBackend/PrefetchTier vocabulary without a cycle.
+        {"dram", 1},
     };
     return ranks;
 }

@@ -154,6 +154,22 @@ stage_tier1() {
     diff "$gdir/jobs1.out" "$gdir/jobs4.out"
     diff "$gdir/jobs1.json" "$gdir/jobs4.json"
     echo "manager smoke: managed sweep bit-identical across --jobs 1/4"
+
+    echo "==== stage tier1: FR-FCFS 8-core determinism smoke ===="
+    # The FR-FCFS memory controller schedules per channel off the FDP
+    # accuracy tiers; an 8-core co-run through it (plus its alone
+    # baselines) must stay bit-identical across worker counts.
+    local ddir="$ROOT/build-ci/dram-smoke"
+    rm -rf "$ddir" && mkdir -p "$ddir"
+    "$ROOT/build-ci/bench/fdp_sim" --mix mix8-bw --dram controller \
+        --channels 4 --insts 50000 --jobs 1 --out "$ddir/jobs1.json" \
+        > "$ddir/jobs1.out" 2> /dev/null
+    "$ROOT/build-ci/bench/fdp_sim" --mix mix8-bw --dram controller \
+        --channels 4 --insts 50000 --jobs 4 --out "$ddir/jobs4.json" \
+        > "$ddir/jobs4.out" 2> /dev/null
+    diff "$ddir/jobs1.out" "$ddir/jobs4.out"
+    diff "$ddir/jobs1.json" "$ddir/jobs4.json"
+    echo "dram smoke: FR-FCFS 8-core co-run bit-identical across --jobs 1/4"
 }
 
 stage_asan() {
@@ -172,7 +188,7 @@ stage_tsan() {
         "${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}"
     cmake --build "$ROOT/build-tsan" -j "$JOBS" \
         --target test_harness test_sim test_trace test_mc \
-        fig09_overall mix05_corun
+        fig09_overall mix05_corun fdp_sim_cli
     # The threaded surface: pool + scheduler + logging sink tests, the
     # trace suite (its golden test drives the pool at --jobs 4), the
     # multi-core suite (its mix-runner tests sweep co-runs and alone
@@ -190,6 +206,12 @@ stage_tsan() {
     TSAN_OPTIONS="halt_on_error=1" \
         "$ROOT/build-tsan/bench/mix05_corun" --mix mix2-stream \
         --mix mix4-bw --mix mix4-zoo --insts 50000 --jobs 4 > /dev/null
+    # The widest co-run through the FR-FCFS controller: 8 per-core FDP
+    # loops feeding one multi-channel scheduler under the pool.
+    TSAN_OPTIONS="halt_on_error=1" \
+        "$ROOT/build-tsan/bench/fdp_sim" --mix mix8-bw \
+        --dram controller --channels 4 --insts 50000 --jobs 4 \
+        > /dev/null
     echo "tsan stage: zero data races reported"
 }
 
@@ -231,6 +253,8 @@ for required in ("micro/CacheAccessHit/ns", "macro/insts_per_s",
                  "micro/VldpObserve/ns",
                  "micro/DspatchObserve/ns",
                  "micro/ManagerIntervalTick/ns",
+                 "micro/DramSchedulePick/ns",
+                 "micro/DramBankTick/ns",
                  "macro/sweep_warmfork/speedup"):
     if required not in names:
         sys.exit(f"missing required entry {required}")

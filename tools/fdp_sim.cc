@@ -55,6 +55,11 @@ struct Options
     std::uint64_t warmup = 0;  // --warmup: unmeasured warm-up micro-ops
     std::string saveSnapPath;  // --save-snap: warm up, capture, exit
     std::string loadSnapPath;  // --load-snap: fork the run from an image
+    std::string dram = "flat";  // --dram: flat | controller
+    unsigned channels = 0;      // --channels (0 = controller default)
+    std::string rowPolicy;      // --row-policy: open | closed | adaptive
+    std::string qos;            // --qos: off | cap:<n> | weighted | both
+    std::string fdpPriority;    // --fdp-priority: on | off
 };
 
 [[noreturn]] void
@@ -84,6 +89,20 @@ usage()
         "(default 500)\n"
         "  --bus-gbps X        memory bus bandwidth (default 4.5)\n"
         "  --pcache-kb N       add a separate prefetch cache of N KB\n"
+        "  --dram D            flat | controller: flat Table 3 bus model\n"
+        "                      (default) or the FR-FCFS multi-channel\n"
+        "                      memory controller (DESIGN.md section 18)\n"
+        "  --channels N        controller channel count, a power of two\n"
+        "                      (default 2; needs --dram controller)\n"
+        "  --row-policy R      open | closed | adaptive row-buffer\n"
+        "                      policy (default open; needs --dram\n"
+        "                      controller)\n"
+        "  --qos Q             off | cap:<n> | weighted | cap:<n>+weighted\n"
+        "                      per-core bandwidth QoS (default off;\n"
+        "                      needs --dram controller)\n"
+        "  --fdp-priority F    on | off: accuracy-directed prefetch\n"
+        "                      scheduling in the controller (default on;\n"
+        "                      needs --dram controller)\n"
         "  --jobs N            worker threads for multi-benchmark runs\n"
         "                      (default: FDP_JOBS or all hardware "
         "threads)\n"
@@ -161,6 +180,27 @@ parse(int argc, char **argv)
             o.busGBps = std::stod(need(i));
         } else if (!std::strcmp(a, "--pcache-kb")) {
             o.pcacheKB = parseCountArg("--pcache-kb", need(i));
+        } else if (!std::strcmp(a, "--dram")) {
+            o.dram = need(i);
+            if (o.dram != "flat" && o.dram != "controller")
+                fatal("--dram wants flat or controller (got `%s')",
+                      o.dram.c_str());
+        } else if (!std::strcmp(a, "--channels")) {
+            o.channels = static_cast<unsigned>(
+                parseCountArg("--channels", need(i), 64));
+        } else if (!std::strcmp(a, "--row-policy")) {
+            o.rowPolicy = need(i);
+            if (o.rowPolicy != "open" && o.rowPolicy != "closed" &&
+                o.rowPolicy != "adaptive")
+                fatal("--row-policy wants open, closed, or adaptive "
+                      "(got `%s')", o.rowPolicy.c_str());
+        } else if (!std::strcmp(a, "--qos")) {
+            o.qos = need(i);
+        } else if (!std::strcmp(a, "--fdp-priority")) {
+            o.fdpPriority = need(i);
+            if (o.fdpPriority != "on" && o.fdpPriority != "off")
+                fatal("--fdp-priority wants on or off (got `%s')",
+                      o.fdpPriority.c_str());
         } else if (!std::strcmp(a, "--jobs")) {
             o.jobs = static_cast<unsigned>(
                 parseCountArg("--jobs", need(i), 4096));
@@ -203,6 +243,11 @@ parse(int argc, char **argv)
     }
     if (o.store.resume && o.store.dir.empty())
         fatal("--resume needs --store DIR (nothing to resume from)");
+    if (o.dram != "controller" &&
+        (o.channels != 0 || !o.rowPolicy.empty() || !o.qos.empty() ||
+         !o.fdpPriority.empty()))
+        fatal("--channels/--row-policy/--qos/--fdp-priority configure "
+              "the memory controller; give --dram controller");
     if (!o.saveSnapPath.empty()) {
         if (o.warmup == 0)
             fatal("--save-snap captures a warmed machine; give "
@@ -289,6 +334,38 @@ buildConfig(const Options &o)
     c.machine.l2.sizeBytes = o.l2KB * 1024;
     c.machine.dram = DramParams::withUnloadedLatency(o.memLatency);
     c.machine.dram.busBytesPerCycle = o.busGBps / 4.0;  // 4 GHz core
+    if (o.dram == "controller") {
+        c.machine.dramCtrl.kind = DramKind::Controller;
+        if (o.channels != 0)
+            c.machine.dramCtrl.channels = o.channels;
+        if (o.rowPolicy == "closed")
+            c.machine.dramCtrl.rowPolicy = RowPolicy::Closed;
+        else if (o.rowPolicy == "adaptive")
+            c.machine.dramCtrl.rowPolicy = RowPolicy::Adaptive;
+        if (o.fdpPriority == "off")
+            c.machine.dramCtrl.fdpPriority = false;
+        if (!o.qos.empty() && o.qos != "off") {
+            // off | cap:<n> | weighted | cap:<n>+weighted
+            std::string spec = o.qos;
+            const std::size_t plus = spec.find('+');
+            for (const std::string part :
+                 {spec.substr(0, plus),
+                  plus == std::string::npos ? std::string()
+                                            : spec.substr(plus + 1)}) {
+                if (part.empty())
+                    continue;
+                if (part == "weighted")
+                    c.machine.dramCtrl.qosWeighted = true;
+                else if (part.rfind("cap:", 0) == 0)
+                    c.machine.dramCtrl.qosInFlightCap =
+                        static_cast<unsigned>(parseCountArg(
+                            "--qos cap", part.c_str() + 4, 4096));
+                else
+                    fatal("--qos wants off, cap:<n>, weighted, or "
+                          "cap:<n>+weighted (got `%s')", o.qos.c_str());
+            }
+        }
+    }
     if (o.pcacheKB > 0) {
         c.machine.prefetchCache.enabled = true;
         c.machine.prefetchCache.sizeBytes = o.pcacheKB * 1024;
